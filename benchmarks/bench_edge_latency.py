@@ -1,0 +1,61 @@
+"""Bench S6D — paper Section 6.D: edge processing inside a latency budget.
+
+A 200 ms end-to-end IoT service spends ~half its budget on the network
+round trip to the cloud; edge deployment reclaims that time and lets the
+service run at 50 % frequency with 30 % less voltage — "50 % less energy
+and 75 % less power".
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.tco import CLOUD, EDGE, EdgeServiceModel
+
+
+def test_edge_latency_budget(benchmark, emit):
+    result = run_once(benchmark, lambda: EdgeServiceModel().compare())
+
+    cloud, edge = result["cloud"], result["edge"]
+    table = render_table(
+        "Section 6.D: 200 ms IoT service, cloud vs edge deployment",
+        ["metric", "cloud", "edge"],
+        [
+            ["network RTT",
+             f"{CLOUD.network_rtt_ms:.0f} ms", f"{EDGE.network_rtt_ms:.0f} ms"],
+            ["compute budget",
+             f"{cloud.compute_budget_ms:.0f} ms",
+             f"{edge.compute_budget_ms:.0f} ms"],
+            ["required frequency",
+             f"{cloud.frequency_fraction * 100:.0f}% of peak",
+             f"{edge.frequency_fraction * 100:.0f}% of peak"],
+            ["required voltage",
+             f"{cloud.voltage_fraction * 100:.0f}% of nominal",
+             f"{edge.voltage_fraction * 100:.0f}% of nominal"],
+            ["energy per request (vs peak)",
+             f"{cloud.relative_energy * 100:.0f}%",
+             f"{edge.relative_energy * 100:.0f}%"],
+            ["power (vs peak)",
+             f"{cloud.relative_power * 100:.0f}%",
+             f"{edge.relative_power * 100:.0f}%"],
+        ],
+    )
+    headline = render_table(
+        "Edge savings (paper: ~50 % energy, ~75 % power at 50 % f, -30 % V)",
+        ["metric", "value"],
+        [
+            ["edge energy saving vs peak",
+             f"{edge.energy_saving * 100:.0f}%"],
+            ["edge power saving vs peak",
+             f"{edge.power_saving * 100:.0f}%"],
+            ["edge energy saving vs cloud deployment",
+             f"{result['energy_saving_vs_cloud'] * 100:.0f}%"],
+            ["edge power saving vs cloud deployment",
+             f"{result['power_saving_vs_cloud'] * 100:.0f}%"],
+        ],
+    )
+    emit("edge_latency", table + "\n\n" + headline)
+
+    assert edge.frequency_fraction <= 0.55
+    assert abs(edge.voltage_fraction - 0.70) < 0.02
+    assert abs(edge.energy_saving - 0.50) < 0.05
+    assert abs(edge.power_saving - 0.75) < 0.05

@@ -1,0 +1,65 @@
+"""Bench T3 — paper Table 3: energy-efficiency and TCO improvements.
+
+Regenerates the 2019 projection over a baseline ARM micro-server: the
+four EE sources (scaling, sw maturity, fog, margins), the overall EE
+factor, and the TCO improvements computed through the cost model.
+
+Paper row (garbled scan, see EXPERIMENTS.md): sources 1.15/4/2/3 with a
+printed overall of 36 and TCO 1.5; the prose anchors the EE-only TCO
+improvement at 1.15x.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.tco import (
+    BASELINE_ARM_SERVER,
+    TCOModel,
+    project_table3,
+)
+
+
+def test_table3_tco_projection(benchmark, emit):
+    projection = run_once(benchmark, project_table3)
+
+    rows = [[name, f"{value:.3g}x"] for name, value in projection.rows()]
+    table = render_table(
+        "Table 3: Energy efficiency and TCO improvement estimations "
+        "(paper: sources 1.15/4/2/3, TCO 1.15x EE-only, 1.5x overall)",
+        ["source / metric", "factor"],
+        rows,
+    )
+
+    breakdown = TCOModel().breakdown(BASELINE_ARM_SERVER)
+    detail = render_table(
+        "Baseline per-server lifetime TCO breakdown (USD)",
+        ["component", "USD"],
+        [[name, round(value)] for name, value in breakdown.rows()],
+    )
+    emit("table3_tco", table + "\n\n" + detail)
+
+    assert projection.sources.overall() > 20.0
+    assert 1.05 < projection.ee_only_tco < 1.3
+    assert projection.overall_tco > projection.ee_only_tco
+
+
+def test_table3_yield_sensitivity(benchmark, emit):
+    """Paper: 'The actual TCO improvement will be even more because of
+    lower chip cost due to higher yield' — sweep the recovered yield."""
+
+    def sweep():
+        return [
+            (y, project_table3(recovered_yield=y).overall_tco)
+            for y in (0.85, 0.90, 0.95, 1.00)
+        ]
+
+    rows = run_once(benchmark, sweep)
+    table = render_table(
+        "Overall TCO improvement vs recovered binning yield",
+        ["recovered yield", "overall TCO improvement"],
+        [[f"{y:.2f}", f"{tco:.3f}x"] for y, tco in rows],
+    )
+    emit("table3_yield_sensitivity", table)
+
+    improvements = [tco for _, tco in rows]
+    assert improvements == sorted(improvements)

@@ -1,0 +1,81 @@
+"""Bench T3b — datacenter design-space exploration with the TCO tool.
+
+The paper promises a TCO tool for "data-center design exploration"
+considering "specific requirements and architecture of both the Cloud
+and the Edge".  This bench prices a fixed service capacity across
+site × margin-policy combinations and extracts the cost/availability
+Pareto set — the menu a deployment architect actually chooses from.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.tco import (
+    BASELINE_ARM_SERVER,
+    DatacenterSpec,
+    DesignSpaceExplorer,
+    EDGE_SITE,
+    cheapest_meeting_availability,
+    cost_availability_pareto,
+)
+
+
+def test_tco_design_space(benchmark, emit):
+    explorer = DesignSpaceExplorer(required_capacity_units=1000.0,
+                                   capacity_per_server=10.0)
+
+    def explore():
+        return explorer.explore(
+            sites=(DatacenterSpec(), EDGE_SITE),
+            servers=(BASELINE_ARM_SERVER,),
+        )
+
+    points = run_once(benchmark, explore)
+
+    rows = [
+        [p.site, p.policy, p.n_servers,
+         f"${p.fleet_tco_usd / 1e6:.2f}M",
+         f"${p.tco_per_capacity_usd:.0f}",
+         f"{p.effective_availability:.5f}"]
+        for p in sorted(points, key=lambda x: x.tco_per_capacity_usd)
+    ]
+    table = render_table(
+        "T3b: design space for 1000 capacity units "
+        "(site x margin policy)",
+        ["site", "policy", "servers", "fleet TCO", "TCO/unit",
+         "availability"],
+        rows,
+    )
+
+    front = cost_availability_pareto(points)
+    front_table = render_table(
+        "Cost/availability Pareto set",
+        ["site", "policy", "TCO/unit", "availability"],
+        [[p.site, p.policy, f"${p.tco_per_capacity_usd:.0f}",
+          f"{p.effective_availability:.5f}"] for p in front],
+    )
+    strict = cheapest_meeting_availability(points, 0.9998)
+    loose = cheapest_meeting_availability(points, 0.99)
+    queries = render_table(
+        "Architect queries",
+        ["requirement", "chosen design", "TCO/unit"],
+        [
+            ["availability >= 0.9998",
+             f"{strict.site}/{strict.policy}",
+             f"${strict.tco_per_capacity_usd:.0f}"],
+            ["availability >= 0.99",
+             f"{loose.site}/{loose.policy}",
+             f"${loose.tco_per_capacity_usd:.0f}"],
+        ],
+    )
+    emit("tco_exploration",
+         table + "\n\n" + front_table + "\n\n" + queries)
+
+    # EOP policies beat conservative at every site.
+    by_key = {(p.site, p.policy): p for p in points}
+    for site in ("cloud", "edge"):
+        assert by_key[(site, "moderate-eop")].tco_per_capacity_usd < \
+            by_key[(site, "conservative")].tco_per_capacity_usd
+    # The Pareto set is a strict subset.
+    assert 0 < len(front) < len(points)
+    assert loose.tco_per_capacity_usd <= strict.tco_per_capacity_usd

@@ -1,0 +1,92 @@
+"""Bench V0 — the whole reproduction, validated in one table.
+
+Re-runs the core campaigns and checks every quantified paper claim
+against its measured value through
+:mod:`repro.analysis.validation` — the executable version of
+EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro.analysis.validation import PaperClaim, Tolerance, validate
+from repro.characterization import (
+    RefreshRelaxationCampaign,
+    UndervoltingCampaign,
+)
+from repro.hardware import (
+    ChipModel,
+    DramPowerModel,
+    intel_i5_4200u_spec,
+    intel_i7_3970x_spec,
+    standard_server_memory,
+)
+from repro.hypervisor import run_figure4_campaign
+from repro.tco import EDGE, EdgeServiceModel, project_table3
+from repro.workloads import spec_suite
+
+
+def _claims():
+    suite = spec_suite()
+    i5 = UndervoltingCampaign(
+        ChipModel(intel_i5_4200u_spec(), seed=11), suite).run()
+    i7 = UndervoltingCampaign(
+        ChipModel(intel_i7_3970x_spec(), seed=22), suite).run()
+    dram = RefreshRelaxationCampaign(
+        standard_server_memory(seed=5), "channel1").run()
+    fig4 = run_figure4_campaign(seed=7)
+    edge = EdgeServiceModel().service_point(EDGE)
+    table3 = project_table3()
+
+    return [
+        PaperClaim("T2", "i5 max crash offset", 0.112,
+                   lambda: i5.crash_offset_range()[1],
+                   Tolerance.ABSOLUTE, 0.01),
+        PaperClaim("T2", "i5 max core-to-core variation", 0.027,
+                   lambda: i5.core_variation_range()[1],
+                   Tolerance.ABSOLUTE, 0.006),
+        PaperClaim("T2", "i5 ECC onset above crash (V)", 0.015,
+                   lambda: i5.mean_ecc_onset_margin_v(),
+                   Tolerance.ABSOLUTE, 0.004),
+        PaperClaim("T2", "i7 max crash offset", 0.154,
+                   lambda: i7.crash_offset_range()[1],
+                   Tolerance.ABSOLUTE, 0.01),
+        PaperClaim("T2", "i7 min core-to-core variation", 0.037,
+                   lambda: i7.core_variation_range()[0],
+                   Tolerance.ABSOLUTE, 0.008),
+        PaperClaim("S6B", "error-free refresh interval (s)", 1.5,
+                   dram.max_error_free_interval_s, Tolerance.AT_LEAST),
+        PaperClaim("S6B", "BER at 5 s refresh", 1e-9,
+                   lambda: dram.step_at(5.0).cumulative_ber,
+                   Tolerance.ORDER_OF_MAGNITUDE, 0.5),
+        PaperClaim("S6B", "refresh share of 2 Gb device", 0.09,
+                   lambda: DramPowerModel(
+                       density_gbit=2.0).refresh_share(),
+                   Tolerance.ABSOLUTE, 0.01),
+        PaperClaim("S6B", "refresh share of 32 Gb device", 0.34,
+                   lambda: DramPowerModel(
+                       density_gbit=32.0).refresh_share(),
+                   Tolerance.AT_LEAST),
+        PaperClaim("F4", "injected objects", 16820,
+                   lambda: fig4.loaded_report.total_injections / 5,
+                   Tolerance.ABSOLUTE, 0),
+        PaperClaim("F4", "load amplification (~10x)", 10.0,
+                   fig4.load_amplification,
+                   Tolerance.ORDER_OF_MAGNITUDE, 0.3),
+        PaperClaim("S6D", "edge energy saving", 0.50,
+                   lambda: edge.energy_saving, Tolerance.ABSOLUTE, 0.05),
+        PaperClaim("S6D", "edge power saving", 0.75,
+                   lambda: edge.power_saving, Tolerance.ABSOLUTE, 0.05),
+        PaperClaim("T3", "TCO improvement, EE only", 1.15,
+                   lambda: table3.ee_only_tco, Tolerance.ABSOLUTE, 0.05),
+    ]
+
+
+def test_validation_summary(benchmark, emit):
+    report = run_once(benchmark, lambda: validate(_claims()))
+    emit("validation_summary", report.render(
+        "UniServer reproduction: quantified paper claims"))
+
+    assert report.all_passed, [
+        (r.claim.experiment, r.claim.description, r.measured)
+        for r in report.failures()
+    ]

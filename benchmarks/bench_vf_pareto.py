@@ -1,0 +1,78 @@
+"""Bench A6 — V-F exploration: the per-core energy/performance Pareto menu.
+
+The paper's EOPs are three-dimensional (V-F-R); Table 2 only sweeps
+voltage.  This bench explores the full V-F plane of the ARM SoC's
+heterogeneous cores, extracts the chip-level Pareto front, and shows the
+two consequences the stack exploits:
+
+* per-core heterogeneity puts the *strong* cores' points on the front —
+  cross-core domination is exactly what EOP-aware affinity schedules on;
+* SLA performance floors map directly to Pareto queries.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.characterization.vf_exploration import (
+    VFExplorer,
+    pareto_front,
+    point_for_performance,
+)
+from repro.hardware import ChipModel, arm_server_soc_spec
+
+FRACTIONS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+def test_vf_pareto_front(benchmark, emit):
+    chip = ChipModel(arm_server_soc_spec(), seed=1)
+
+    def explore():
+        explorer = VFExplorer(chip)
+        points = explorer.explore_chip(frequency_fractions=FRACTIONS)
+        return points, pareto_front(points)
+
+    points, front = run_once(benchmark, explore)
+
+    rows = [
+        [f"core{p.core_id}",
+         f"{p.relative_performance * 100:.0f}%",
+         f"{p.point.voltage_v:.3f} V",
+         f"{p.relative_energy * 100:.0f}%",
+         f"{p.relative_power * 100:.0f}%"]
+        for p in front
+    ]
+    table = render_table(
+        "A6: chip-level V-F Pareto front (ARM SoC, all cores explored)",
+        ["winning core", "performance", "voltage", "rel. energy",
+         "rel. power"],
+        rows,
+    )
+
+    floors = [0.95, 0.8, 0.6, 0.5]
+    sla_rows = []
+    for floor in floors:
+        chosen = point_for_performance(front, floor)
+        sla_rows.append([
+            f">= {floor * 100:.0f}%",
+            f"core{chosen.core_id}",
+            chosen.point.describe(),
+            f"{(1 - chosen.relative_energy) * 100:.0f}%",
+        ])
+    sla_table = render_table(
+        "SLA performance floors resolved against the front",
+        ["performance floor", "core", "operating point",
+         "energy saving"],
+        sla_rows,
+    )
+    emit("vf_pareto", table + "\n\n" + sla_table)
+
+    # Cross-core domination prunes the all-points set.
+    assert len(front) < len(points)
+    # The front is anchored by the strongest cores.
+    deltas = chip.spec.core_deltas_v
+    strongest = deltas.index(min(deltas))
+    assert any(p.core_id == strongest for p in front)
+    # Deeper floors buy monotonically more energy saving.
+    savings = [1 - point_for_performance(front, f).relative_energy
+               for f in floors]
+    assert savings == sorted(savings)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table or figure.  Rendered output is
+both printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so the regenerated artifacts survive
+the run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table/figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive campaign with a single measured round."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""DRAM refresh relaxation with a reliable kernel domain (Section 6.B).
+
+Walks the paper's memory experiment end to end:
+
+1. a 4-channel server memory with the kernel pinned to a reliable
+   domain at the nominal 64 ms refresh;
+2. a refresh sweep with random patterns — error counts, cumulative BER
+   and power at each step;
+3. the SECDED safety argument, demonstrated on real codewords;
+4. what happens *without* the reliable domain (the crash the paper's
+   isolation avoided).
+
+Run with::
+
+    python examples/dram_relaxation.py
+"""
+
+from repro.analysis import render_table
+from repro.characterization import RefreshRelaxationCampaign
+from repro.core.clock import SimClock
+from repro.hardware import build_uniserver_node, standard_server_memory
+from repro.hardware.ecc import (
+    DecodeStatus,
+    SECDED_BER_CAPABILITY,
+    decode,
+    encode,
+    inject_bit_flips,
+)
+from repro.hypervisor import Hypervisor, HypervisorConfig, make_vm_fleet
+from repro.workloads import ldbc_workload
+
+
+def sweep() -> None:
+    print("=== Refresh-relaxation sweep (channel1, random patterns) ===")
+    memory = standard_server_memory(seed=5)
+    result = RefreshRelaxationCampaign(memory, "channel1").run()
+    rows = [
+        [f"{step.refresh_interval_s * 1e3:.0f} ms",
+         f"{step.relaxation_factor:.1f}x",
+         step.observed_errors,
+         f"{step.cumulative_ber:.2e}",
+         f"{step.refresh_power_w:.3f} W"]
+        for step in result.steps
+    ]
+    print(render_table(
+        "Refresh sweep on an 8 GB domain",
+        ["interval", "vs 64 ms", "errors", "BER", "refresh power"],
+        rows,
+    ))
+    print(f"longest error-free interval: "
+          f"{result.max_error_free_interval_s():.1f} s "
+          f"(paper: 1.5 s, and 5 s stays at BER ~1e-9)")
+
+
+def secded_demo() -> None:
+    print("\n=== SECDED(72,64) on real codewords ===")
+    word = 0xFEEDFACECAFEBEEF
+    codeword = encode(word)
+    single = decode(inject_bit_flips(codeword, [17]))
+    double = decode(inject_bit_flips(codeword, [17, 42]))
+    print(f"  data word:          0x{word:016X}")
+    print(f"  single-bit flip ->  {single.status.value} "
+          f"(data intact: {single.data == word})")
+    print(f"  double-bit flip ->  {double.status.value} "
+          f"(flagged, not miscorrected)")
+    print(f"  SECDED handles raw BERs up to {SECDED_BER_CAPABILITY:.0e}; "
+          "the 5 s refresh point sits three orders below it")
+
+
+def reliable_domain_story() -> None:
+    print("\n=== Why the kernel lives in the reliable domain ===")
+    for use_reliable in (True, False):
+        clock = SimClock()
+        platform = build_uniserver_node()
+        hypervisor = Hypervisor(
+            platform, clock,
+            config=HypervisorConfig(use_reliable_domain=use_reliable),
+            seed=3,
+        )
+        hypervisor.boot()
+        platform.memory.relax_all(40.0,
+                                  keep_reliable_nominal=use_reliable)
+        for vm in make_vm_fleet(ldbc_workload(scale_factor=8.0), 3):
+            hypervisor.create_vm(vm)
+        for _ in range(300):
+            if hypervisor.crashed:
+                break
+            hypervisor.tick()
+            clock.advance_by(1.0)
+        label = "ON " if use_reliable else "OFF"
+        print(f"  reliable domain {label}: "
+              f"host crashes={hypervisor.stats.host_crashes}, "
+              f"guest corruptions masked="
+              f"{hypervisor.stats.vm_sdc_events} "
+              f"(40 s refresh, 300 s of load)")
+
+
+def main() -> None:
+    sweep()
+    secded_demo()
+    reliable_domain_story()
+
+
+if __name__ == "__main__":
+    main()

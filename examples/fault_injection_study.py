@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Hypervisor criticality analysis and selective protection (Figure 4).
+
+Runs the SDC fault-injection campaign over all 16 820 statically
+allocated hypervisor objects, derives the sensitive categories, and
+shows how selective checkpointing driven by that analysis converts fatal
+corruptions into recoveries at a fraction of full protection's memory
+cost — the paper's "educated checking and selective checkpointing".
+
+Run with::
+
+    python examples/fault_injection_study.py
+"""
+
+from repro.analysis import render_bar_chart, render_table
+from repro.hypervisor import (
+    CheckpointManager,
+    FaultInjectionCampaign,
+    ObjectCatalog,
+    run_figure4_campaign,
+)
+
+
+def main() -> None:
+    print("=== Figure 4 campaign: 16 820 objects x 5 executions ===")
+    result = run_figure4_campaign(seed=7)
+
+    categories = [row.category for row in result.rows]
+    print(render_bar_chart(
+        "Fatal hypervisor failures WITH workload",
+        categories,
+        [float(row.failures_loaded) for row in result.rows],
+    ))
+    print()
+    print(render_bar_chart(
+        "Fatal hypervisor failures WITHOUT workload",
+        categories,
+        [float(row.failures_unloaded) for row in result.rows],
+    ))
+    print(f"\nload amplification: {result.load_amplification():.1f}x "
+          "(paper: an order of magnitude)")
+    sensitive = result.sensitive_categories(4)
+    print(f"sensitive categories: {', '.join(sensitive)} "
+          f"(load-invariant: {result.sensitivity_is_load_invariant(4)})")
+
+    print("\n=== Selective protection driven by the analysis ===")
+    catalog = ObjectCatalog(seed=7)
+    campaign = FaultInjectionCampaign(catalog=catalog, seed=7)
+    selective = CheckpointManager(catalog, protected_categories=sensitive)
+    everything = CheckpointManager(catalog,
+                                   protected_categories=catalog.categories())
+
+    unprotected_report = campaign.run(loaded=True)
+    selective_report = campaign.run(loaded=True, checkpoints=selective)
+    full_report = campaign.run(loaded=True, checkpoints=everything)
+
+    print(render_table(
+        "Protection strategies compared",
+        ["strategy", "fatal", "recovered", "crucial coverage",
+         "memory overhead"],
+        [
+            ["none", unprotected_report.total_fatal, 0, "0%", "0 MB"],
+            ["selective (analysis-driven)",
+             selective_report.total_fatal,
+             selective_report.total_recovered,
+             f"{selective.coverage_fraction() * 100:.0f}%",
+             f"{selective.memory_overhead_mb():.0f} MB"],
+            ["everything",
+             full_report.total_fatal,
+             full_report.total_recovered,
+             f"{everything.coverage_fraction() * 100:.0f}%",
+             f"{everything.memory_overhead_mb():.0f} MB"],
+        ],
+    ))
+    saved = (1 - selective.memory_overhead_mb()
+             / everything.memory_overhead_mb())
+    prevented = (1 - selective_report.total_fatal
+                 / unprotected_report.total_fatal)
+    print(f"\nselective checkpointing prevents "
+          f"{prevented * 100:.0f}% of fatal corruptions using "
+          f"{saved * 100:.0f}% less checkpoint memory than full coverage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Five years in the life of a UniServer node: aging and re-characterisation.
+
+BTI aging raises every core's Vmin while the node runs undervolted and
+warm; the StressLog's periodic re-characterisation (Section 3.D) is what
+keeps deployment-time margins from silently going stale.  This example
+simulates two identical nodes across five accelerated years — one
+re-characterising quarterly, one frozen at its deployment margins — and
+prints the diverging trajectories.
+
+Run with::
+
+    python examples/lifetime_aging.py
+"""
+
+from repro.analysis import render_table
+from repro.core.lifetime import LifetimeSimulator
+
+
+def simulate(cadence_months, label):
+    simulator = LifetimeSimulator(
+        recharacterize_every_months=cadence_months,
+        operating_temperature_c=65.0,
+        seed=4,
+    )
+    result = simulator.run(years=5.0, epoch_months=6.0)
+    print(f"\n=== {label} ===")
+    rows = [
+        [f"{e.age_years:.1f}",
+         f"{e.mean_vmin_drift_mv:.1f}",
+         f"{e.mean_margin_headroom_mv:.1f}",
+         f"{e.crash_rate * 100:.1f}%",
+         f"{e.mean_relative_power:.3f}"]
+        for e in result.epochs
+    ]
+    print(render_table(
+        label,
+        ["age (y)", "Vmin drift (mV)", "headroom (mV)",
+         "crash rate", "rel. power"],
+        rows,
+    ))
+    unsafe = result.first_unsafe_epoch(0.01)
+    if unsafe is None:
+        print("verdict: safe for the whole deployment "
+              f"({result.total_recharacterizations()} StressLog cycles)")
+    else:
+        print(f"verdict: UNSAFE from year {unsafe.age_years:.1f} "
+              f"(crash rate {unsafe.crash_rate * 100:.1f}%) — margins "
+              "characterised at deployment no longer hold")
+    return result
+
+
+def main() -> None:
+    periodic = simulate(3.0, "Quarterly re-characterisation (UniServer)")
+    frozen = simulate(None, "Frozen deployment margins (ablated)")
+
+    print("\n=== The trade ===")
+    power_cost = (periodic.final().mean_relative_power
+                  - frozen.final().mean_relative_power)
+    print(f"tracking aging costs {power_cost * 100:.1f}% extra relative "
+          "power at end of life (margins retreat as silicon ages),")
+    print(f"and buys a {frozen.final().crash_rate * 100:.1f}% -> "
+          f"{periodic.final().crash_rate * 100:.1f}% crash-rate "
+          "reduction under worst-case stress.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: bring up one UniServer node and run VMs at extended margins.
+
+The five-minute tour of the public API:
+
+1. build a node (ARM SoC + 4 refresh domains, one reliable);
+2. pre-deployment StressLog characterisation reveals the EOPs;
+3. deploy — the hypervisor adopts every margin within the failure budget;
+4. train the Predictor and ask it for per-workload advice;
+5. run VMs and compare node power against the conservative baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import UniServerNode
+from repro.hypervisor import make_vm_fleet
+from repro.workloads import spec_workload
+
+
+def main() -> None:
+    node = UniServerNode(seed=42)
+
+    print("=== 1. The platform ===")
+    print(node.platform.describe())
+
+    print("\n=== 2. Pre-deployment StressLog characterisation ===")
+    margins = node.pre_deploy()
+    for margin in margins.margins:
+        print(f"  {margin.component:10s} -> {margin.safe_point.describe()}"
+              f"  (p_fail {margin.failure_probability:.1e}, "
+              f"relative power {margin.relative_power:.2f})")
+
+    print("\n=== 3. Deploy: hypervisor adopts the safe EOPs ===")
+    changed = node.deploy()
+    print(f"  components reconfigured: {', '.join(changed)}")
+
+    print("\n=== 4. Predictor advice ===")
+    node.train_predictor()
+    for name in ("mcf", "zeusmp"):
+        advice = node.predictor.advise(
+            spec_workload(name), mode="high-performance",
+            failure_budget=1e-3)
+        print(f"  {name:8s}: {advice.point.describe()}  "
+              f"(p_fail {advice.predicted_failure_probability:.1e})")
+
+    print("\n=== 5. Run VMs at the extended operating points ===")
+    vms = make_vm_fleet(spec_workload("hmmer", duration_cycles=5e10), 4)
+    for vm in vms:
+        node.launch_vm(vm)
+    node.run(60.0)
+    for vm in vms:
+        print(f"  {vm.name}: {vm.progress * 100:.0f}% complete, "
+              f"state {vm.state.value}")
+
+    report = node.energy_report()
+    print(f"\nnode power at nominal: {report.nominal_power_w:.1f} W")
+    print(f"node power at EOP:     {report.eop_power_w:.1f} W")
+    print(f"energy saving:         {report.saving_fraction * 100:.1f}%")
+    snapshot = node.snapshot()
+    print(f"HealthLog: ce={snapshot.correctable_errors} "
+          f"ue={snapshot.uncorrectable_errors} "
+          f"crashes={snapshot.crashes}")
+
+
+if __name__ == "__main__":
+    main()

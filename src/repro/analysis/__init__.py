@@ -1,0 +1,31 @@
+"""Analysis helpers: summary statistics and ASCII table/figure rendering."""
+
+from .stats import (
+    Summary,
+    exponential_moving_average,
+    geometric_mean,
+    quantize,
+    summarize,
+    wilson_interval,
+)
+from .tables import (
+    render_bar_chart,
+    render_histogram,
+    render_series,
+    render_table,
+)
+
+from .validation import (
+    ClaimResult,
+    PaperClaim,
+    Tolerance,
+    ValidationReport,
+    validate,
+)
+
+__all__ = [
+    "ClaimResult", "PaperClaim", "Tolerance", "ValidationReport", "validate",
+    "Summary", "exponential_moving_average", "geometric_mean", "quantize",
+    "summarize", "wilson_interval",
+    "render_bar_chart", "render_histogram", "render_series", "render_table",
+]

@@ -1,0 +1,89 @@
+"""Small statistics helpers shared by campaigns and benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def range(self) -> float:
+        """Max minus min of the sample."""
+        return self.maximum - self.minimum
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        n=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedups, ratios)."""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cannot average an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def quantize(value: float, step: float) -> float:
+    """Snap a value to the measurement grid (e.g. a 5 mV voltage step)."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    return round(value / step) * step
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used when reporting measured failure probabilities from a finite
+    number of stress runs.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1 + z ** 2 / trials
+    center = (p + z ** 2 / (2 * trials)) / denom
+    half = z * math.sqrt(
+        p * (1 - p) / trials + z ** 2 / (4 * trials ** 2)
+    ) / denom
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def exponential_moving_average(values: Sequence[float],
+                               alpha: float = 0.3) -> List[float]:
+    """EMA smoothing used by telemetry consumers."""
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+    out: List[float] = []
+    state: Optional[float] = None
+    for v in values:
+        state = v if state is None else alpha * v + (1 - alpha) * state
+        out.append(state)
+    return out

@@ -1,0 +1,33 @@
+"""Experiment drivers: the characterisation campaigns of Section 6."""
+
+from .cpu_undervolting import (
+    CampaignResult,
+    SweepResult,
+    UndervoltingCampaign,
+)
+from .dram_refresh import (
+    COMMERCIAL_DRAM_BER_TARGET,
+    PAPER_RELAXED_INTERVALS_S,
+    RefreshCampaignResult,
+    RefreshRelaxationCampaign,
+    RefreshShareRow,
+    RefreshStepResult,
+    refresh_share_vs_density,
+)
+from .population import PopulationStudy, run_population_study
+from .vf_exploration import (
+    VFExplorer,
+    VFPoint,
+    energy_performance_table,
+    pareto_front,
+    point_for_performance,
+)
+
+__all__ = [
+    "VFExplorer", "VFPoint", "energy_performance_table", "pareto_front", "point_for_performance",
+    "CampaignResult", "SweepResult", "UndervoltingCampaign",
+    "COMMERCIAL_DRAM_BER_TARGET", "PAPER_RELAXED_INTERVALS_S",
+    "RefreshCampaignResult", "RefreshRelaxationCampaign", "RefreshShareRow",
+    "RefreshStepResult", "refresh_share_vs_density",
+    "PopulationStudy", "run_population_study",
+]

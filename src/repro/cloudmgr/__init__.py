@@ -1,0 +1,72 @@
+"""OpenStack-like resource management layer (paper Section 4.B).
+
+Rack-level orchestration with UniServer's additions: a node reliability
+metric next to availability/utilization/energy, fine-grained VM
+telemetry, reliability-aware filter/weigh scheduling, integrated node
+failure prediction and proactive live migration.
+"""
+
+from .cloud import CloudController, CloudStats
+from .failure_prediction import (
+    LearnedFailurePredictor,
+    NODE_FEATURES,
+    RiskAssessment,
+    ThresholdFailurePredictor,
+    node_features,
+)
+from .migration import MigrationCostModel, MigrationManager, MigrationRecord
+from .node import ComputeNode, NodeMetrics
+from .scheduler import (
+    DEFAULT_FILTERS,
+    DEFAULT_WEIGHERS,
+    FilterScheduler,
+    Placement,
+    RoundRobinScheduler,
+    WeigherSpec,
+    balance_weigher,
+    capacity_filter,
+    energy_weigher,
+    health_filter,
+    reliability_weigher,
+    sla_performance_filter,
+    sla_reliability_filter,
+)
+from .sla import (
+    BRONZE,
+    DEFAULT_TIERS,
+    GOLD,
+    SILVER,
+    SLA,
+    SLARecord,
+    SLATracker,
+)
+from .telemetry import (
+    NodeSample,
+    RollingWindow,
+    TelemetryService,
+    VMSample,
+)
+
+from .simulation import (
+    SimulationStats,
+    TIER_MAP,
+    TraceDrivenSimulation,
+    run_trace_experiment,
+)
+
+__all__ = [
+    "SimulationStats", "TIER_MAP", "TraceDrivenSimulation", "run_trace_experiment",
+    "CloudController", "CloudStats",
+    "LearnedFailurePredictor", "NODE_FEATURES", "RiskAssessment",
+    "ThresholdFailurePredictor", "node_features",
+    "MigrationCostModel", "MigrationManager", "MigrationRecord",
+    "ComputeNode", "NodeMetrics",
+    "DEFAULT_FILTERS", "DEFAULT_WEIGHERS", "FilterScheduler", "Placement",
+    "RoundRobinScheduler", "WeigherSpec", "balance_weigher",
+    "capacity_filter", "energy_weigher", "health_filter",
+    "reliability_weigher", "sla_performance_filter",
+    "sla_reliability_filter",
+    "BRONZE", "DEFAULT_TIERS", "GOLD", "SILVER", "SLA", "SLARecord",
+    "SLATracker",
+    "NodeSample", "RollingWindow", "TelemetryService", "VMSample",
+]

@@ -1,0 +1,220 @@
+"""Cloud controller: rack-level orchestration (the OpenStack stand-in).
+
+Ties the layer together: a rack of :class:`~repro.cloudmgr.node.ComputeNode`
+instances, the filter/weigh scheduler, telemetry, SLA tracking, node
+failure prediction and the migration manager.  The control loop each step:
+
+1. advance every node (hypervisor ticks, availability accounting);
+2. collect telemetry (node health, per-VM utilization);
+3. assess each node's failure risk; with proactive mode on, evacuate
+   at-risk nodes before they fall over;
+4. detect crashed nodes, account VM downtime, and bring nodes back after
+   the recovery delay (reactive path);
+5. accrue SLA uptime/downtime per VM.
+
+Proactive vs reactive is exactly the comparison of ablation A4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.clock import SimClock
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..hypervisor.vm import VirtualMachine, VMState
+from .failure_prediction import (
+    RiskAssessment,
+    ThresholdFailurePredictor,
+)
+from .migration import MigrationManager
+from .node import ComputeNode
+from .scheduler import FilterScheduler, Placement
+from .sla import SLA, SLATracker
+from .telemetry import NodeSample, TelemetryService, VMSample
+
+
+@dataclass
+class CloudStats:
+    """Aggregate counters of one controller run."""
+
+    steps: int = 0
+    launched: int = 0
+    completed: int = 0
+    node_crashes: int = 0
+    evacuations: int = 0
+    energy_j: float = 0.0
+
+
+class CloudController:
+    """Manages a rack of UniServer nodes."""
+
+    def __init__(self, clock: SimClock, nodes: Sequence[ComputeNode],
+                 scheduler: Optional[FilterScheduler] = None,
+                 predictor=None,
+                 proactive_migration: bool = True,
+                 node_recovery_s: float = 300.0,
+                 vm_restart_penalty_s: float = 30.0) -> None:
+        if not nodes:
+            raise ConfigurationError("the rack needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("node names must be unique")
+        self.clock = clock
+        self.nodes: Dict[str, ComputeNode] = {n.name: n for n in nodes}
+        self.scheduler = scheduler or FilterScheduler()
+        self.predictor = predictor or ThresholdFailurePredictor()
+        self.proactive_migration = proactive_migration
+        self.node_recovery_s = node_recovery_s
+        #: Service blackout charged per masked VM crash: the hypervisor
+        #: restarts the guest transparently, but the guest still reboots.
+        self.vm_restart_penalty_s = vm_restart_penalty_s
+        self._seen_restarts: Dict[str, int] = {}
+        self.telemetry = TelemetryService()
+        self.tracker = SLATracker()
+        self.migrations = MigrationManager(
+            scheduler=self.scheduler, tracker=self.tracker,
+        )
+        self.stats = CloudStats()
+        self._vm_homes: Dict[str, str] = {}
+        self._down_since: Dict[str, float] = {}
+        self._last_energy: Dict[str, float] = {
+            n.name: 0.0 for n in nodes
+        }
+
+    # -- placement --------------------------------------------------------------
+
+    def node_list(self) -> List[ComputeNode]:
+        """All registered compute nodes."""
+        return list(self.nodes.values())
+
+    def launch(self, vm: VirtualMachine, sla: SLA) -> Placement:
+        """Admit a VM under an SLA: schedule, place, start tracking."""
+        from ..hypervisor.qos import requirement_from_sla
+
+        placement = self.scheduler.schedule(self.node_list(), vm, sla)
+        node = self.nodes[placement.node]
+        node.hypervisor.create_vm(vm)
+        node.qos.register(vm.name, requirement_from_sla(sla))
+        self.tracker.register(vm.name, sla)
+        self._vm_homes[vm.name] = placement.node
+        self.stats.launched += 1
+        return placement
+
+    def locate(self, vm_name: str) -> ComputeNode:
+        """The node currently hosting a VM."""
+        for node in self.nodes.values():
+            try:
+                node.hypervisor.vm(vm_name)
+                return node
+            except KeyError:
+                continue
+        raise KeyError(f"VM {vm_name!r} is not placed on any node")
+
+    # -- the control loop -----------------------------------------------------------
+
+    def _collect_telemetry(self, node: ComputeNode) -> None:
+        metrics = node.metrics()
+        recent_ce = node.hypervisor.stats.correctable_errors
+        self.telemetry.record_node(NodeSample(
+            timestamp=self.clock.now, node=node.name,
+            utilization=metrics.utilization, power_w=metrics.power_w,
+            reliability=metrics.reliability,
+            correctable_errors=recent_ce,
+            temperature_c=node.platform.chip.thermal.temperature_c,
+        ))
+        for vm in node.hypervisor.active_vms():
+            dt = max(node.hypervisor.config.tick_s, 1e-9)
+            self.telemetry.record_vm(VMSample(
+                timestamp=self.clock.now, vm_name=vm.name, node=node.name,
+                cpu_utilization=vm.workload.profile.activity_factor,
+                memory_mb=vm.memory_usage_mb(),
+                progress_rate=vm.progress / max(self.clock.now, dt),
+            ))
+
+    def _handle_risk(self, node: ComputeNode) -> None:
+        if node.hypervisor.crashed or not node.hypervisor.active_vms():
+            return
+        assessment: RiskAssessment = self.predictor.assess(
+            node, self.telemetry)
+        if assessment.at_risk and self.proactive_migration:
+            others = [n for n in self.node_list()
+                      if n.name != node.name and not n.hypervisor.crashed]
+            moved = self.migrations.evacuate(
+                node, others, self.tracker, proactive=True)
+            if moved:
+                self.stats.evacuations += 1
+                for record in moved:
+                    self._vm_homes[record.vm_name] = record.destination
+
+    def _handle_crashes(self, node: ComputeNode, dt_s: float) -> None:
+        if node.hypervisor.crashed:
+            if node.name not in self._down_since:
+                self._down_since[node.name] = self.clock.now
+                self.stats.node_crashes += 1
+            for vm in node.hypervisor.vms:
+                self.tracker.account(vm.name, dt_s, up=False)
+            if (self.clock.now - self._down_since[node.name]
+                    >= self.node_recovery_s):
+                node.recover()
+                del self._down_since[node.name]
+
+    def step(self, dt_s: float = 1.0) -> None:
+        """One control-loop iteration over the whole rack."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt must be positive")
+        self.stats.steps += 1
+        for node in self.node_list():
+            node.step(dt_s)
+            energy = node.hypervisor.stats.energy_j
+            self.stats.energy_j += energy - self._last_energy[node.name]
+            self._last_energy[node.name] = energy
+            self._collect_telemetry(node)
+            self._handle_crashes(node, dt_s)
+            if not node.hypervisor.crashed:
+                self._handle_risk(node)
+                for vm in node.hypervisor.vms:
+                    if vm.name not in self.tracker.tracked_vms():
+                        continue
+                    if vm.state is VMState.COMPLETED:
+                        # A finished VM is a success, not downtime.
+                        self.tracker.account(vm.name, dt_s, up=True)
+                        self.stats.completed += 1
+                        node.hypervisor.destroy_vm(vm.name)
+                        node.qos.unregister(vm.name)
+                        self._vm_homes.pop(vm.name, None)
+                        continue
+                    up = vm.state in (VMState.RUNNING, VMState.MIGRATING)
+                    self.tracker.account(vm.name, dt_s, up=up)
+                    new_restarts = vm.restarts - self._seen_restarts.get(
+                        vm.name, 0)
+                    if new_restarts > 0:
+                        self.tracker.account(
+                            vm.name,
+                            new_restarts * self.vm_restart_penalty_s,
+                            up=False)
+                        self._seen_restarts[vm.name] = vm.restarts
+
+    def run(self, duration_s: float, dt_s: float = 1.0) -> None:
+        """Run the control loop for a stretch of simulated time."""
+        steps = int(duration_s / dt_s)
+        for _ in range(steps):
+            self.step(dt_s)
+            self.clock.advance_by(dt_s)
+
+    # -- summaries --------------------------------------------------------------------
+
+    def fleet_availability(self) -> float:
+        """Mean achieved availability across tracked VMs."""
+        summary = self.tracker.availability_summary()
+        if not summary:
+            return 1.0
+        return sum(summary.values()) / len(summary)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"cloud: {len(self.nodes)} nodes, "
+                 f"{len(self.tracker.tracked_vms())} tracked VMs"]
+        for node in self.node_list():
+            lines.append("  " + node.metrics().describe())
+        return "\n".join(lines)

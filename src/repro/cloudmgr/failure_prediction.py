@@ -1,0 +1,171 @@
+"""Node-failure prediction integrated with the resource manager.
+
+Paper Section 5.B: "UniServer's approach is to extend OpenStack framework
+and have an integrated fault tolerance component, by adapting existing or
+developing new techniques to efficiently predict the system level
+failures and proactively migrate the running workloads on the healthy
+nodes."
+
+Two predictors are provided:
+
+* :class:`ThresholdFailurePredictor` — unsupervised, in the spirit of the
+  log-analysis detectors the paper surveys [19]–[25]: a risk score from
+  recent error rates, reliability trend and refresh/voltage aggression.
+* :class:`LearnedFailurePredictor` — supervised logistic model trained on
+  (node features → failed-within-horizon) labels collected from history,
+  reusing :class:`~repro.daemons.predictor.LogisticModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.eop import NOMINAL_REFRESH_INTERVAL_S
+from ..core.exceptions import ConfigurationError, PredictionError
+from ..daemons.predictor import LogisticModel
+from .node import ComputeNode
+from .telemetry import TelemetryService
+
+NODE_FEATURES = (
+    "ce_rate",              # recent correctable errors per sample
+    "reliability",          # UniServer reliability metric
+    "voltage_margin_used",  # how deep below nominal the cores sit
+    "refresh_relaxation",   # log2 of the worst refresh relaxation factor
+    "utilization",
+)
+
+
+def node_features(node: ComputeNode,
+                  telemetry: TelemetryService) -> np.ndarray:
+    """Feature row describing a node's current risk posture."""
+    nominal_v = node.platform.chip.spec.nominal.voltage_v
+    active = node.platform.chip.active_cores()
+    if active:
+        margins = [
+            1.0 - node.platform.core_point(c.core_id).voltage_v / nominal_v
+            for c in active
+        ]
+        margin_used = max(margins)
+    else:
+        margin_used = 1.0
+    relaxations = [
+        d.refresh_interval_s / NOMINAL_REFRESH_INTERVAL_S
+        for d in node.platform.memory.domains()
+    ]
+    return np.array([
+        telemetry.recent_error_rate(node.name),
+        node.reliability(),
+        margin_used,
+        float(np.log2(max(relaxations))),
+        node.utilization(),
+    ])
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """A predictor's verdict on one node."""
+
+    node: str
+    risk: float
+    at_risk: bool
+    reason: str = ""
+
+
+class ThresholdFailurePredictor:
+    """Unsupervised risk scoring from error rates and margin aggression.
+
+    The score composes multiplicative hazard terms; ``threshold`` divides
+    healthy from at-risk.  Deliberately simple: this is the baseline the
+    learned predictor is compared against in the migration ablation.
+    """
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0 < threshold < 1:
+            raise ConfigurationError("threshold must be in (0, 1)")
+        self.threshold = threshold
+
+    def assess(self, node: ComputeNode,
+               telemetry: TelemetryService) -> RiskAssessment:
+        """Risk verdict for one node."""
+        features = node_features(node, telemetry)
+        ce_rate, reliability, margin_used, refresh_log2, _util = features
+        risk = 0.0
+        reasons = []
+        if ce_rate > 0:
+            risk += min(0.5, 0.08 * ce_rate)
+            reasons.append(f"ce_rate={ce_rate:.2f}")
+        if reliability < 0.9:
+            risk += (0.9 - reliability)
+            reasons.append(f"reliability={reliability:.2f}")
+        if margin_used > 0.15:
+            risk += (margin_used - 0.15) * 2.0
+            reasons.append(f"margin={margin_used:.2f}")
+        if refresh_log2 > 5:  # beyond 32x nominal refresh
+            risk += 0.1 * (refresh_log2 - 5)
+            reasons.append(f"refresh=2^{refresh_log2:.1f}")
+        risk = min(1.0, risk)
+        return RiskAssessment(
+            node=node.name, risk=risk, at_risk=risk >= self.threshold,
+            reason=", ".join(reasons) or "healthy",
+        )
+
+
+@dataclass
+class LabelledNodeObservation:
+    """One training example for the learned predictor."""
+
+    features: np.ndarray
+    failed_within_horizon: bool
+
+
+class LearnedFailurePredictor:
+    """Supervised node-failure predictor on collected history."""
+
+    def __init__(self, threshold: float = 0.5,
+                 model: Optional[LogisticModel] = None) -> None:
+        if not 0 < threshold < 1:
+            raise ConfigurationError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.model = model or LogisticModel(epochs=300)
+        self._observations: List[LabelledNodeObservation] = []
+
+    def observe(self, node: ComputeNode, telemetry: TelemetryService,
+                failed_within_horizon: bool) -> None:
+        """Record one labelled snapshot for later training."""
+        self._observations.append(LabelledNodeObservation(
+            features=node_features(node, telemetry),
+            failed_within_horizon=failed_within_horizon,
+        ))
+
+    @property
+    def n_observations(self) -> int:
+        """Number of labelled snapshots collected."""
+        return len(self._observations)
+
+    def train(self) -> None:
+        """Fit the model on the collected observations."""
+        if len(self._observations) < 10:
+            raise PredictionError(
+                "need at least 10 observations to train the node predictor"
+            )
+        features = np.vstack([o.features for o in self._observations])
+        labels = np.array([
+            1.0 if o.failed_within_horizon else 0.0
+            for o in self._observations
+        ])
+        self.model.fit(features, labels)
+
+    def assess(self, node: ComputeNode,
+               telemetry: TelemetryService) -> RiskAssessment:
+        """Risk verdict for one node."""
+        if not self.model.is_trained:
+            raise PredictionError("train the node predictor first")
+        features = node_features(node, telemetry)
+        risk = float(self.model.predict_proba(features)[0])
+        return RiskAssessment(
+            node=node.name, risk=risk, at_risk=risk >= self.threshold,
+            reason=f"learned risk {risk:.3f}",
+        )

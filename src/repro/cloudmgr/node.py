@@ -1,0 +1,186 @@
+"""Compute-node abstraction for the resource manager.
+
+Each node bundles a platform, its hypervisor and its daemons, and exposes
+the metrics OpenStack-style scheduling consumes.  Paper Section 2: "in
+UniServer an additional node *reliability* metric is added to the
+traditional metrics of interest, which are node availability, utilization
+and energy usage."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.clock import SimClock
+from ..core.eop import OperatingPoint
+from ..core.events import EventBus
+from ..core.exceptions import ConfigurationError
+from ..daemons.healthlog import HealthLog, HealthLogConfig
+from ..daemons.stresslog import StressLog, StressTargets
+from ..hardware.faults import FaultClass
+from ..hardware.platform import ServerPlatform, build_uniserver_node
+from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
+from ..hypervisor.vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    """One scheduling-relevant snapshot of a node."""
+
+    node: str
+    availability: float
+    utilization: float
+    power_w: float
+    reliability: float
+    free_vcpus: int
+    free_memory_mb: float
+    frequency_fraction: float
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        return (
+            f"{self.node}: avail={self.availability:.4f} "
+            f"util={self.utilization:.2f} power={self.power_w:.1f}W "
+            f"rel={self.reliability:.3f} free_vcpus={self.free_vcpus}"
+        )
+
+
+class ComputeNode:
+    """A full UniServer node as the cloud layer sees it."""
+
+    def __init__(self, name: str, clock: SimClock,
+                 platform: Optional[ServerPlatform] = None,
+                 hypervisor_config: Optional[HypervisorConfig] = None,
+                 seed: int = 0) -> None:
+        self.name = name
+        self.clock = clock
+        self.bus = EventBus()
+        self.platform = platform or build_uniserver_node(name=name)
+        self.platform.name = name
+        self.hypervisor = Hypervisor(
+            self.platform, clock, bus=self.bus,
+            config=hypervisor_config, seed=seed,
+        )
+        self.healthlog = HealthLog(self.platform, self.bus, clock)
+        self.stresslog = StressLog(self.platform, clock, bus=self.bus)
+        # Per-VM QoS guarantees gating local EOP adoption; the cloud
+        # layer registers each VM's requirement at placement time.
+        from ..hypervisor.qos import QoSGuard
+        self.qos = QoSGuard(self.hypervisor)
+        self._uptime_s = 0.0
+        self._downtime_s = 0.0
+        self.hypervisor.boot()
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def total_vcpus(self) -> int:
+        """vCPU capacity over the node's active cores."""
+        return len(self.platform.chip.active_cores()) * 2  # 2 vCPUs per core
+
+    def used_vcpus(self) -> int:
+        """vCPUs consumed by active VMs."""
+        return sum(vm.vcpus for vm in self.hypervisor.active_vms())
+
+    def free_vcpus(self) -> int:
+        """vCPUs still available."""
+        return max(0, self.total_vcpus - self.used_vcpus())
+
+    def total_memory_mb(self) -> float:
+        """Total node memory in MB."""
+        return self.platform.memory.capacity_gb * 1024.0
+
+    def used_memory_mb(self) -> float:
+        """Memory consumed by current allocations (MB)."""
+        return sum(a.size_mb for a in self.hypervisor.placement.allocations)
+
+    def free_memory_mb(self) -> float:
+        """Memory still available (MB)."""
+        return max(0.0, self.total_memory_mb() - self.used_memory_mb())
+
+    def can_host(self, vm: VirtualMachine) -> bool:
+        """Capacity check for one more VM."""
+        if self.hypervisor.crashed:
+            return False
+        need_mb = vm.guest_os_mb + vm.workload.demand.memory_mb
+        return vm.vcpus <= self.free_vcpus() and need_mb <= self.free_memory_mb()
+
+    # -- metrics -----------------------------------------------------------
+
+    def availability(self) -> float:
+        """Achieved availability (uptime over total time)."""
+        total = self._uptime_s + self._downtime_s
+        return self._uptime_s / total if total else 1.0
+
+    def utilization(self) -> float:
+        """vCPU utilization in [0, 1]."""
+        if self.total_vcpus == 0:
+            return 1.0
+        return min(1.0, self.used_vcpus() / self.total_vcpus)
+
+    def reliability(self, window_s: float = 3600.0) -> float:
+        """The UniServer-added node reliability metric in [0, 1].
+
+        Derived from the recent error history: correctable errors dent the
+        score mildly, uncorrectable errors and crashes heavily.
+        """
+        now = self.clock.now
+        since = now - window_s
+        ledger = self.platform.faults
+        ce = ledger.count(fault_class=FaultClass.CORRECTABLE, since=since)
+        ue = ledger.count(fault_class=FaultClass.UNCORRECTABLE, since=since)
+        sdc = ledger.count(
+            fault_class=FaultClass.SILENT_DATA_CORRUPTION, since=since)
+        crash = ledger.count(fault_class=FaultClass.CRASH, since=since)
+        penalty = 0.002 * ce + 0.05 * ue + 0.05 * sdc + 0.25 * crash
+        return max(0.0, 1.0 - penalty)
+
+    def frequency_fraction(self) -> float:
+        """Mean active-core frequency relative to nominal."""
+        nominal = self.platform.chip.spec.nominal.frequency_hz
+        active = self.platform.chip.active_cores()
+        if not active:
+            return 0.0
+        fractions = [
+            self.platform.core_point(c.core_id).frequency_hz / nominal
+            for c in active
+        ]
+        return sum(fractions) / len(fractions)
+
+    def metrics(self) -> NodeMetrics:
+        """The scheduling snapshot."""
+        return NodeMetrics(
+            node=self.name,
+            availability=self.availability(),
+            utilization=self.utilization(),
+            power_w=self.platform.total_power_w(
+                activity=0.3 + 0.6 * self.utilization()),
+            reliability=self.reliability(),
+            free_vcpus=self.free_vcpus(),
+            free_memory_mb=self.free_memory_mb(),
+            frequency_fraction=self.frequency_fraction(),
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self, dt_s: float) -> None:
+        """Advance the node: tick the hypervisor, account availability."""
+        if dt_s < 0:
+            raise ConfigurationError("dt must be non-negative")
+        if self.hypervisor.crashed:
+            self._downtime_s += dt_s
+            return
+        n_ticks = max(1, int(dt_s / self.hypervisor.config.tick_s))
+        for _ in range(n_ticks):
+            if self.hypervisor.crashed:
+                break
+            self.hypervisor.tick()
+        if self.hypervisor.crashed:
+            self._downtime_s += dt_s
+        else:
+            self._uptime_s += dt_s
+
+    def recover(self) -> None:
+        """Reboot a crashed node (operator/automation action)."""
+        self.hypervisor.reboot()

@@ -1,0 +1,181 @@
+"""VM scheduling policies (OpenStack filter/weigh style).
+
+Paper Section 4.B: the extended OpenStack develops "new scheduling
+policies" exploiting fine-grained monitoring and the added node
+reliability metric, "focus[ing] on incurring minimal overhead and being
+non-intrusive in real-world scenarios where OpenStack would manage
+streams of incoming and terminating VMs".
+
+The :class:`FilterScheduler` follows the classical two-phase design:
+filters discard infeasible nodes (capacity, SLA compatibility, health),
+then weighers rank the survivors.  UniServer's reliability-aware weigher
+set trades energy efficiency against node reliability per the VM's SLA
+tier; a :class:`RoundRobinScheduler` baseline exists for the ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..hypervisor.vm import VirtualMachine
+from .node import ComputeNode
+from .sla import SLA
+
+Filter = Callable[[ComputeNode, VirtualMachine, SLA], bool]
+Weigher = Callable[[ComputeNode, VirtualMachine, SLA], float]
+
+
+# -- filters ---------------------------------------------------------------
+
+def capacity_filter(node: ComputeNode, vm: VirtualMachine, sla: SLA) -> bool:
+    """Node must have vCPU and memory headroom for the VM."""
+    return node.can_host(vm)
+
+
+def health_filter(node: ComputeNode, vm: VirtualMachine, sla: SLA) -> bool:
+    """Node must be up."""
+    return not node.hypervisor.crashed
+
+
+def sla_performance_filter(node: ComputeNode, vm: VirtualMachine,
+                           sla: SLA) -> bool:
+    """Node cores must satisfy the SLA's frequency floor."""
+    return node.frequency_fraction() >= sla.min_frequency_fraction
+
+
+def sla_reliability_filter(node: ComputeNode, vm: VirtualMachine,
+                           sla: SLA) -> bool:
+    """Node failure budget must fit the SLA.
+
+    Gold-tier VMs refuse nodes whose hypervisor *adopted* aggressive EOPs
+    (budget looser than the SLA's own).  A node still running entirely at
+    nominal points is safe for any tier regardless of its configured
+    budget — it has not spent any margin yet.
+    """
+    if node.hypervisor.stats.margin_applications == 0:
+        return True
+    return node.hypervisor.config.failure_budget <= sla.failure_budget
+
+
+DEFAULT_FILTERS: Tuple[Filter, ...] = (
+    health_filter, capacity_filter, sla_performance_filter,
+    sla_reliability_filter,
+)
+
+
+# -- weighers ---------------------------------------------------------------
+
+def energy_weigher(node: ComputeNode, vm: VirtualMachine, sla: SLA) -> float:
+    """Prefer nodes that buy more work per watt (lower power is better)."""
+    metrics = node.metrics()
+    if metrics.power_w <= 0:
+        return 1.0
+    return 1.0 / metrics.power_w
+
+
+def reliability_weigher(node: ComputeNode, vm: VirtualMachine,
+                        sla: SLA) -> float:
+    """Prefer reliable nodes, weighted up for high-priority SLAs."""
+    return node.reliability() * (1.0 + 0.5 * sla.priority)
+
+
+def balance_weigher(node: ComputeNode, vm: VirtualMachine, sla: SLA) -> float:
+    """Prefer less-utilized nodes (spread the fleet)."""
+    return 1.0 - node.utilization()
+
+
+@dataclass(frozen=True)
+class WeigherSpec:
+    """A weigher and its multiplier in the total score."""
+
+    weigher: Weigher
+    weight: float = 1.0
+
+
+DEFAULT_WEIGHERS: Tuple[WeigherSpec, ...] = (
+    WeigherSpec(reliability_weigher, 2.0),
+    WeigherSpec(energy_weigher, 1.0),
+    WeigherSpec(balance_weigher, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A scheduling decision."""
+
+    vm_name: str
+    node: str
+    score: float
+
+
+class FilterScheduler:
+    """Two-phase filter/weigh scheduler with normalised scoring."""
+
+    def __init__(self, filters: Sequence[Filter] = DEFAULT_FILTERS,
+                 weighers: Sequence[WeigherSpec] = DEFAULT_WEIGHERS) -> None:
+        if not filters:
+            raise ConfigurationError("scheduler needs at least one filter")
+        if not weighers:
+            raise ConfigurationError("scheduler needs at least one weigher")
+        self.filters = tuple(filters)
+        self.weighers = tuple(weighers)
+
+    def feasible_nodes(self, nodes: Sequence[ComputeNode],
+                       vm: VirtualMachine, sla: SLA) -> List[ComputeNode]:
+        """Nodes passing every filter."""
+        survivors = list(nodes)
+        for node_filter in self.filters:
+            survivors = [n for n in survivors if node_filter(n, vm, sla)]
+            if not survivors:
+                break
+        return survivors
+
+    def _score(self, candidates: Sequence[ComputeNode], vm: VirtualMachine,
+               sla: SLA) -> Dict[str, float]:
+        """Min-max-normalised weighted scores, per OpenStack convention."""
+        totals = {node.name: 0.0 for node in candidates}
+        for spec in self.weighers:
+            raw = {n.name: spec.weigher(n, vm, sla) for n in candidates}
+            low, high = min(raw.values()), max(raw.values())
+            span = high - low
+            for name, value in raw.items():
+                normalised = 0.5 if span <= 0 else (value - low) / span
+                totals[name] += spec.weight * normalised
+        return totals
+
+    def schedule(self, nodes: Sequence[ComputeNode], vm: VirtualMachine,
+                 sla: SLA) -> Placement:
+        """Pick the best node or raise :class:`SchedulingError`."""
+        candidates = self.feasible_nodes(nodes, vm, sla)
+        if not candidates:
+            raise SchedulingError(
+                f"no feasible node for VM {vm.name!r} (tier {sla.name})"
+            )
+        scores = self._score(candidates, vm, sla)
+        best = max(candidates, key=lambda n: (scores[n.name], n.name))
+        return Placement(vm_name=vm.name, node=best.name,
+                         score=scores[best.name])
+
+
+class RoundRobinScheduler:
+    """Baseline: rotate over whatever nodes have capacity."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def schedule(self, nodes: Sequence[ComputeNode], vm: VirtualMachine,
+                 sla: SLA) -> Placement:
+        """Pick a node with capacity, rotating the cursor."""
+        if not nodes:
+            raise SchedulingError("no nodes registered")
+        n = len(nodes)
+        for i in range(n):
+            node = nodes[(self._cursor + i) % n]
+            if not node.hypervisor.crashed and node.can_host(vm):
+                self._cursor = (self._cursor + i + 1) % n
+                return Placement(vm_name=vm.name, node=node.name, score=0.0)
+        raise SchedulingError(
+            f"no node with capacity for VM {vm.name!r}"
+        )

@@ -1,0 +1,174 @@
+"""Fine-grained VM and node monitoring.
+
+Paper Section 4.B: "Our extended version of OpenStack includes support
+for monitoring VMs and determining their dynamically changing
+characteristics and virtual resource utilization at a finer granularity
+than the existing state-of-the-art."
+
+The telemetry service keeps rolling windows of per-VM and per-node
+samples; its anomaly detector (EWMA ± k·sigma bands, in the spirit of the
+unsupervised detectors the paper cites [20][21]) flags the behavioural
+shifts the failure predictor consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VMSample:
+    """Per-VM utilization sample."""
+
+    timestamp: float
+    vm_name: str
+    node: str
+    cpu_utilization: float
+    memory_mb: float
+    progress_rate: float     # fraction of workload completed per second
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """Per-node health sample."""
+
+    timestamp: float
+    node: str
+    utilization: float
+    power_w: float
+    reliability: float
+    correctable_errors: int
+    temperature_c: float = 50.0
+
+
+class RollingWindow:
+    """Bounded sample window with EWMA-based anomaly detection."""
+
+    def __init__(self, maxlen: int = 120, alpha: float = 0.2) -> None:
+        if maxlen < 2:
+            raise ConfigurationError("window needs maxlen >= 2")
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self._values: Deque[float] = deque(maxlen=maxlen)
+        self._alpha = alpha
+        self._ewma: Optional[float] = None
+        self._ewmvar = 0.0
+
+    def push(self, value: float) -> None:
+        """Append a sample and update the EWMA state."""
+        self._values.append(value)
+        if self._ewma is None:
+            self._ewma = value
+            self._ewmvar = 0.0
+        else:
+            delta = value - self._ewma
+            self._ewma += self._alpha * delta
+            self._ewmvar = (1 - self._alpha) * (
+                self._ewmvar + self._alpha * delta * delta
+            )
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Current EWMA mean."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    @property
+    def std(self) -> float:
+        """Current EWMA standard deviation."""
+        return math.sqrt(max(0.0, self._ewmvar))
+
+    def latest(self) -> Optional[float]:
+        """Most recent sample, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def is_anomalous(self, value: float, k_sigma: float = 3.0,
+                     min_samples: int = 10) -> bool:
+        """Whether ``value`` sits outside the EWMA ± k·sigma band."""
+        if len(self._values) < min_samples or self._ewma is None:
+            return False
+        band = max(self.std * k_sigma, 1e-9)
+        return abs(value - self._ewma) > band
+
+
+class TelemetryService:
+    """Collects and indexes VM/node samples for the control plane."""
+
+    def __init__(self, window: int = 120) -> None:
+        self._window = window
+        self._vm_samples: Dict[str, List[VMSample]] = {}
+        self._node_samples: Dict[str, List[NodeSample]] = {}
+        self._vm_windows: Dict[Tuple[str, str], RollingWindow] = {}
+        self._node_windows: Dict[Tuple[str, str], RollingWindow] = {}
+        self.anomalies: List[str] = []
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _window_for(self, table: Dict, key: Tuple[str, str]) -> RollingWindow:
+        if key not in table:
+            table[key] = RollingWindow(maxlen=self._window)
+        return table[key]
+
+    def record_vm(self, sample: VMSample) -> None:
+        """Ingest one per-VM sample (and check for anomalies)."""
+        self._vm_samples.setdefault(sample.vm_name, []).append(sample)
+        for metric, value in (
+            ("cpu", sample.cpu_utilization),
+            ("mem", sample.memory_mb),
+            ("rate", sample.progress_rate),
+        ):
+            window = self._window_for(
+                self._vm_windows, (sample.vm_name, metric))
+            if window.is_anomalous(value):
+                self.anomalies.append(
+                    f"t={sample.timestamp:.1f} vm={sample.vm_name} "
+                    f"metric={metric} value={value:.4g}"
+                )
+            window.push(value)
+
+    def record_node(self, sample: NodeSample) -> None:
+        """Ingest one per-node sample (and check for anomalies)."""
+        self._node_samples.setdefault(sample.node, []).append(sample)
+        for metric, value in (
+            ("util", sample.utilization),
+            ("power", sample.power_w),
+            ("reliability", sample.reliability),
+            ("ce", float(sample.correctable_errors)),
+        ):
+            window = self._window_for(self._node_windows,
+                                      (sample.node, metric))
+            if window.is_anomalous(value):
+                self.anomalies.append(
+                    f"t={sample.timestamp:.1f} node={sample.node} "
+                    f"metric={metric} value={value:.4g}"
+                )
+            window.push(value)
+
+    # -- queries ------------------------------------------------------------
+
+    def vm_history(self, vm_name: str) -> List[VMSample]:
+        """All samples recorded for a VM."""
+        return list(self._vm_samples.get(vm_name, []))
+
+    def node_history(self, node: str) -> List[NodeSample]:
+        """All samples recorded for a node."""
+        return list(self._node_samples.get(node, []))
+
+    def node_trend(self, node: str, metric: str) -> Optional[RollingWindow]:
+        """The rolling window of one node metric, if any."""
+        return self._node_windows.get((node, metric))
+
+    def recent_error_rate(self, node: str, samples: int = 10) -> float:
+        """Mean correctable-error count over the last ``samples`` samples."""
+        history = self._node_samples.get(node, [])
+        if not history:
+            return 0.0
+        recent = history[-samples:]
+        return sum(s.correctable_errors for s in recent) / len(recent)

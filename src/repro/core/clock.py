@@ -1,0 +1,119 @@
+"""Discrete-event simulation clock.
+
+Everything in the simulated ecosystem — daemons sampling sensors, VMs
+executing, refresh timers expiring — shares one time base.  The clock is a
+minimal discrete-event scheduler: callbacks are scheduled at absolute times
+and executed in order when the clock advances.
+
+The design intentionally avoids wall-clock time (``time.time``) so that
+simulations are deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from .exceptions import ConfigurationError
+
+Callback = Callable[[], None]
+
+
+class SimClock:
+    """A deterministic discrete-event simulation clock.
+
+    Time is a float in seconds starting at 0.  Events are ``(time, seq,
+    callback)`` tuples ordered by time then insertion order, so two events at
+    the same instant run in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise ConfigurationError(
+                f"cannot schedule event in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError("delay must be non-negative")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_every(self, interval: float, callback: Callback,
+                       until: Optional[float] = None) -> None:
+        """Schedule a periodic callback starting one interval from now.
+
+        The period ends at ``until`` (absolute time) when given; otherwise it
+        repeats for as long as the simulation is advanced.  Periodic daemons
+        (HealthLog sampling, StressLog scheduling) use this.
+        """
+        if interval <= 0:
+            raise ConfigurationError("interval must be positive")
+
+        def tick() -> None:
+            """Run the callback and reschedule the next period."""
+            if until is not None and self._now > until:
+                return
+            callback()
+            if until is None or self._now + interval <= until:
+                self.schedule_after(interval, tick)
+
+        self.schedule_after(interval, tick)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def advance_to(self, when: float) -> int:
+        """Run all events up to and including time ``when``.
+
+        Returns the number of callbacks executed.  The clock ends exactly at
+        ``when`` even if no event fires there.
+        """
+        if when < self._now:
+            raise ConfigurationError("cannot advance the clock backwards")
+        executed = 0
+        while self._queue and self._queue[0][0] <= when:
+            event_time, _, callback = heapq.heappop(self._queue)
+            self._now = event_time
+            callback()
+            executed += 1
+        self._now = when
+        return executed
+
+    def advance_by(self, delta: float) -> int:
+        """Run all events within the next ``delta`` seconds."""
+        return self.advance_to(self._now + delta)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run queued events until the queue drains.
+
+        ``max_events`` bounds runaway periodic schedules; exceeding it raises
+        :class:`ConfigurationError` because an unbounded periodic callback in
+        ``run_until_idle`` is always a caller bug.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise ConfigurationError(
+                    f"run_until_idle exceeded {max_events} events; "
+                    "did you schedule an unbounded periodic callback?"
+                )
+            event_time, _, callback = heapq.heappop(self._queue)
+            self._now = event_time
+            callback()
+            executed += 1
+        return executed

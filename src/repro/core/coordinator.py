@@ -1,0 +1,209 @@
+"""Cross-layer coordinator: the full UniServer node (paper Figure 2).
+
+:class:`UniServerNode` assembles the complete ecosystem on one platform —
+event bus, HealthLog, StressLog, Predictor, Hypervisor — and drives the
+information-vector flow of Figure 2:
+
+1. **pre-deployment**: StressLog stress-tests every component and emits a
+   margin vector of Extended Operating Points;
+2. **deployment**: the Hypervisor adopts the EOPs that fit the failure
+   budget, VMs run, the HealthLog records everything;
+3. **runtime adaptation**: the Predictor trains on the accumulated
+   evidence and advises execution modes; HealthLog anomalies trigger
+   StressLog re-characterisation; the isolation manager fences failing
+   resources.
+
+The :meth:`energy_report` compares the node's energy at EOP against the
+conservative-nominal baseline — the headline UniServer saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..daemons.healthlog import HealthLog, HealthLogConfig
+from ..daemons.infovector import InfoVector, MarginVector
+from ..daemons.predictor import Predictor
+from ..daemons.stresslog import StressLog, StressTargets
+from ..hardware.platform import ServerPlatform, build_uniserver_node
+from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
+from ..hypervisor.isolation import IsolationManager, IsolationPolicy
+from ..hypervisor.vm import VirtualMachine
+from ..workloads.base import WorkloadSuite
+from .clock import SimClock
+from .eop import OperatingPoint
+from .events import EventBus
+from .exceptions import ConfigurationError
+
+
+@dataclass
+class EnergyReport:
+    """EOP-vs-nominal energy comparison for one node."""
+
+    nominal_power_w: float
+    eop_power_w: float
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fractional power saving of EOP vs nominal."""
+        if self.nominal_power_w <= 0:
+            return 0.0
+        return 1.0 - self.eop_power_w / self.nominal_power_w
+
+
+class UniServerNode:
+    """The full cross-layer stack on a single micro-server."""
+
+    def __init__(self, platform: Optional[ServerPlatform] = None,
+                 clock: Optional[SimClock] = None,
+                 stress_suite: Optional[WorkloadSuite] = None,
+                 stress_targets: Optional[StressTargets] = None,
+                 hypervisor_config: Optional[HypervisorConfig] = None,
+                 seed: int = 0) -> None:
+        self.clock = clock or SimClock()
+        self.platform = platform or build_uniserver_node(name="uniserver0")
+        self.bus = EventBus()
+        self.healthlog = HealthLog(self.platform, self.bus, self.clock)
+        self.stresslog = StressLog(
+            self.platform, self.clock, bus=self.bus,
+            suite=stress_suite, targets=stress_targets,
+        )
+        self.predictor = Predictor(self.platform.chip.spec.nominal)
+        self.hypervisor = Hypervisor(
+            self.platform, self.clock, bus=self.bus,
+            config=hypervisor_config, seed=seed,
+        )
+        self.isolation = IsolationManager(self.platform)
+        self.margin_history: List[MarginVector] = []
+        self._deployed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def pre_deploy(self) -> MarginVector:
+        """Pre-deployment characterisation: the first StressLog cycle."""
+        margins = self.stresslog.characterize(trigger="pre-deployment")
+        self.margin_history.append(margins)
+        return margins
+
+    def deploy(self, apply_margins: bool = True) -> List[str]:
+        """Bring the node into service, optionally adopting the EOPs.
+
+        Returns the components whose configuration changed.  With
+        ``apply_margins=False`` the node deploys conservatively at
+        nominal — the baseline configuration of the benches.
+        """
+        if not self.margin_history:
+            raise ConfigurationError("run pre_deploy() before deploy()")
+        self.hypervisor.boot()
+        self.healthlog.start()
+        self.stresslog.attach_anomaly_trigger(self.bus)
+        self._deployed = True
+        if not apply_margins:
+            return []
+        return self.hypervisor.apply_margins(self.margin_history[-1])
+
+    def launch_vm(self, vm: VirtualMachine) -> None:
+        """Admit one VM onto the node."""
+        if not self._deployed:
+            raise ConfigurationError("deploy() the node before launching VMs")
+        self.hypervisor.create_vm(vm)
+
+    def run(self, duration_s: float,
+            isolation_review_every_s: float = 60.0) -> None:
+        """Run the node: hypervisor ticks plus periodic isolation review."""
+        if not self._deployed:
+            raise ConfigurationError("deploy() the node before running")
+        tick = self.hypervisor.config.tick_s
+        elapsed = 0.0
+        since_review = 0.0
+        while elapsed < duration_s and not self.hypervisor.crashed:
+            self.hypervisor.tick()
+            self.clock.advance_by(tick)
+            elapsed += tick
+            since_review += tick
+            if since_review >= isolation_review_every_s:
+                self.isolation.review(self.platform.faults, self.clock.now)
+                since_review = 0.0
+
+    # -- the runtime feedback loop ------------------------------------------------
+
+    def train_predictor(self, benchmark_suite=None) -> None:
+        """Train the Predictor from StressLog evidence plus benchmarks.
+
+        Two evidence sources, mirroring the StressLog's workload suite of
+        "benchmarks and kernels that either represent real-life
+        applications or are hand-coded to stress specific components":
+
+        * every characterised virus point contributes survival evidence
+          at the safe point and crash evidence at the observed crash
+          voltage;
+        * an undervolting campaign with ``benchmark_suite`` (the
+          SPEC-like suite by default) teaches the model how workload
+          characteristics move the crash point.
+        """
+        from ..characterization.cpu_undervolting import UndervoltingCampaign
+        from ..daemons.predictor import dataset_from_campaign
+        from ..workloads.spec import spec_suite
+
+        nominal = self.platform.chip.spec.nominal
+        suite = self.stresslog.suite
+        for vector in self.margin_history:
+            for margin in vector.margins:
+                if not margin.component.startswith("core"):
+                    continue
+                profile = suite.get(margin.stress_workload).profile
+                self.predictor.observe(margin.safe_point, profile,
+                                       crashed=False)
+                if margin.observed_crash_voltage_v is not None:
+                    crash_point = nominal.with_voltage(
+                        min(nominal.voltage_v,
+                            margin.observed_crash_voltage_v))
+                    self.predictor.observe(crash_point, profile,
+                                           crashed=True)
+                # Nominal always survives the stress suite.
+                self.predictor.observe(nominal, profile, crashed=False)
+
+        benchmark_suite = benchmark_suite or spec_suite()
+        campaign = UndervoltingCampaign(
+            self.platform.chip, benchmark_suite, runs_per_benchmark=1,
+        ).run()
+        self.predictor.ingest(dataset_from_campaign(
+            campaign, benchmark_suite, nominal))
+        self.predictor.train()
+
+    def recharacterize(self) -> MarginVector:
+        """An on-demand StressLog cycle (e.g. after aging or anomalies)."""
+        margins = self.stresslog.characterize(trigger="on-demand")
+        self.margin_history.append(margins)
+        return margins
+
+    def snapshot(self) -> InfoVector:
+        """The HealthLog's on-demand information vector."""
+        return self.healthlog.snapshot()
+
+    # -- reporting --------------------------------------------------------------
+
+    def energy_report(self, activity: float = 0.5) -> EnergyReport:
+        """Current power versus the conservative-nominal configuration."""
+        eop_power = self.platform.total_power_w(activity=activity)
+        current_points = {
+            core.core_id: self.platform.core_point(core.core_id)
+            for core in self.platform.chip.cores
+        }
+        current_refresh = {
+            d.name: d.refresh_interval_s
+            for d in self.platform.memory.domains()
+        }
+        try:
+            self.platform.reset_nominal()
+            nominal_power = self.platform.total_power_w(activity=activity)
+        finally:
+            for core_id, point in current_points.items():
+                self.platform.set_core_point(core_id, point)
+            for name, interval in current_refresh.items():
+                domain = self.platform.memory.domain(name)
+                if not domain.reliable:
+                    domain.set_refresh_interval(interval)
+        return EnergyReport(nominal_power_w=nominal_power,
+                            eop_power_w=eop_power)

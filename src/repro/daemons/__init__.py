@@ -1,0 +1,36 @@
+"""System-software daemons: HealthLog, StressLog and the Predictor.
+
+These are the paper's low-level monitoring/characterisation/prediction
+layer (Sections 3.C–3.E): the HealthLog watches the hardware at runtime,
+the StressLog periodically re-characterises safe V-F-R margins offline,
+and the Predictor learns failure-probability models that advise the
+Hypervisor on operating modes.
+"""
+
+from .healthlog import HealthLog, HealthLogConfig
+from .infovector import ComponentMargin, InfoVector, MarginVector
+from .predictor import (
+    Advice,
+    FEATURE_NAMES,
+    FailureDataset,
+    LogisticModel,
+    Predictor,
+    dataset_from_campaign,
+    make_features,
+)
+from .stresslog import StressLog, StressTargets
+from .logpattern import (
+    LogPatternPredictor,
+    PatternStats,
+    WindowScore,
+    template_of,
+)
+
+__all__ = [
+    "LogPatternPredictor", "PatternStats", "WindowScore", "template_of",
+    "HealthLog", "HealthLogConfig",
+    "ComponentMargin", "InfoVector", "MarginVector",
+    "Advice", "FEATURE_NAMES", "FailureDataset", "LogisticModel",
+    "Predictor", "dataset_from_campaign", "make_features",
+    "StressLog", "StressTargets",
+]

@@ -1,0 +1,222 @@
+"""HealthLog daemon: runtime health monitoring and error logging.
+
+Paper Section 3.C.  The HealthLog monitor provides two service classes:
+
+* **Event-driven**: it subscribes to hardware error events (correctable,
+  uncorrectable, crashes) and sensor anomalies on the node's event bus,
+  appending everything to its ledger and logfile.  When the error count of
+  a component rises above a threshold within a sliding window, it raises
+  an :class:`~repro.core.events.AnomalyEvent` — the trigger that spawns an
+  on-demand StressLog cycle (Section 3: "If the number of errors rises
+  above a certain threshold a new stress-test cycle may be triggered").
+
+* **On-demand**: higher layers (Predictor, Hypervisor, OpenStack) request
+  the current :class:`~repro.daemons.infovector.InfoVector` snapshot.
+
+The daemon also samples sensors periodically on the simulation clock,
+mirroring the real daemon's polling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.clock import SimClock
+from ..core.events import (
+    AnomalyEvent,
+    CorrectableErrorEvent,
+    CrashEvent,
+    Event,
+    EventBus,
+    SensorEvent,
+    UncorrectableErrorEvent,
+)
+from ..core.exceptions import ConfigurationError
+from ..hardware.faults import FaultClass, FaultLedger, FaultOrigin, FaultRecord
+from ..hardware.platform import ServerPlatform
+from .infovector import InfoVector
+
+
+@dataclass(frozen=True)
+class HealthLogConfig:
+    """Tunables of the HealthLog daemon."""
+
+    #: Sensor sampling period (seconds of simulation time).
+    sampling_period_s: float = 1.0
+    #: Error-count threshold per component within the window that raises
+    #: an anomaly (and thus a StressLog re-characterisation request).
+    error_threshold: int = 10
+    #: Sliding window for the threshold rule (seconds).
+    error_window_s: float = 300.0
+    #: Retain at most this many logfile lines (memory bound).
+    logfile_limit: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.sampling_period_s <= 0:
+            raise ConfigurationError("sampling period must be positive")
+        if self.error_threshold < 1:
+            raise ConfigurationError("error threshold must be >= 1")
+        if self.error_window_s <= 0:
+            raise ConfigurationError("error window must be positive")
+
+
+class HealthLog:
+    """The HealthLog monitor for one platform."""
+
+    def __init__(self, platform: ServerPlatform, bus: EventBus,
+                 clock: SimClock,
+                 config: Optional[HealthLogConfig] = None) -> None:
+        self.platform = platform
+        self.bus = bus
+        self.clock = clock
+        self.config = config or HealthLogConfig()
+        self.ledger = FaultLedger()
+        self._logfile: List[str] = []
+        self._last_snapshot_counts = {"ce": 0, "ue": 0, "crash": 0}
+        self._sensor_cache: Dict[str, float] = {}
+        self._counter_cache: Dict[str, float] = {}
+        self._flagged: set = set()
+        self._started = False
+
+        bus.subscribe(CorrectableErrorEvent, self._on_correctable)
+        bus.subscribe(UncorrectableErrorEvent, self._on_uncorrectable)
+        bus.subscribe(CrashEvent, self._on_crash)
+        bus.subscribe(SensorEvent, self._on_sensor)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic sensor sampling on the simulation clock."""
+        if self._started:
+            return
+        self._started = True
+        self.clock.schedule_every(self.config.sampling_period_s, self._sample)
+
+    def _sample(self) -> None:
+        """One periodic sampling tick: read chip sensors into the cache."""
+        point = self.platform.core_point(0)
+        reading = self.platform.chip.read_sensors(self.clock.now, point)
+        self._sensor_cache = {
+            "voltage_v": reading.voltage_v,
+            "temperature_c": reading.temperature_c,
+            "power_w": reading.power_w,
+        }
+        self._append_log(
+            f"t={self.clock.now:.3f} sample "
+            f"v={reading.voltage_v:.4f} temp={reading.temperature_c:.2f} "
+            f"p={reading.power_w:.2f}"
+        )
+
+    # -- event-driven services ---------------------------------------------------
+
+    def _record(self, fault: FaultRecord) -> None:
+        self.ledger.record(fault)
+        self._append_log(
+            f"t={fault.timestamp:.3f} {fault.fault_class.value} "
+            f"{fault.component} {fault.detail}"
+        )
+        self._check_threshold(fault.component, fault.timestamp)
+
+    def _on_correctable(self, event: CorrectableErrorEvent) -> None:
+        self._record(FaultRecord(
+            timestamp=event.timestamp, fault_class=FaultClass.CORRECTABLE,
+            origin=FaultOrigin.UNKNOWN, component=event.component,
+            detail=event.detail,
+        ))
+
+    def _on_uncorrectable(self, event: UncorrectableErrorEvent) -> None:
+        self._record(FaultRecord(
+            timestamp=event.timestamp, fault_class=FaultClass.UNCORRECTABLE,
+            origin=FaultOrigin.UNKNOWN, component=event.component,
+            detail=event.detail,
+        ))
+
+    def _on_crash(self, event: CrashEvent) -> None:
+        self._record(FaultRecord(
+            timestamp=event.timestamp, fault_class=FaultClass.CRASH,
+            origin=FaultOrigin.UNKNOWN, component=event.component,
+            operating_point=event.operating_point,
+        ))
+
+    def _on_sensor(self, event: SensorEvent) -> None:
+        self._sensor_cache[event.sensor] = event.value
+
+    def _check_threshold(self, component: str, timestamp: float) -> None:
+        """Raise an anomaly when a component exceeds the error budget."""
+        since = timestamp - self.config.error_window_s
+        count = self.ledger.count(component=component, since=since)
+        if count >= self.config.error_threshold and component not in self._flagged:
+            self._flagged.add(component)
+            self.bus.publish(AnomalyEvent(
+                timestamp=timestamp, source="healthlog",
+                description=(
+                    f"component {component} logged {count} errors within "
+                    f"{self.config.error_window_s:.0f}s; stress re-test advised"
+                ),
+                severity="critical",
+            ))
+
+    def clear_flag(self, component: str) -> None:
+        """Re-arm the anomaly trigger (after a StressLog cycle handled it)."""
+        self._flagged.discard(component)
+
+    def update_counters(self, counters: Dict[str, float]) -> None:
+        """Fold fresh performance counters into the next snapshot."""
+        self._counter_cache.update(counters)
+
+    # -- on-demand services --------------------------------------------------------
+
+    def snapshot(self) -> InfoVector:
+        """On-demand service: the current information vector.
+
+        Error counts are deltas since the previous snapshot, matching a
+        logfile reader consuming incremental vectors.
+        """
+        by_class = self.ledger.counts_by_class()
+        totals = {
+            "ce": by_class.get(FaultClass.CORRECTABLE, 0),
+            "ue": by_class.get(FaultClass.UNCORRECTABLE, 0)
+            + by_class.get(FaultClass.SILENT_DATA_CORRUPTION, 0),
+            "crash": by_class.get(FaultClass.CRASH, 0),
+        }
+        delta = {k: totals[k] - self._last_snapshot_counts[k] for k in totals}
+        self._last_snapshot_counts = totals
+
+        configuration = {
+            f"core{core.core_id}": self.platform.core_point(
+                core.core_id).describe()
+            for core in self.platform.chip.cores
+        }
+        for domain in self.platform.memory.domains():
+            configuration[domain.name] = (
+                f"refresh {domain.refresh_interval_s * 1e3:.0f} ms"
+            )
+
+        suspects = tuple(self.ledger.components_above_threshold(
+            self.config.error_threshold,
+            since=self.clock.now - self.config.error_window_s,
+        ))
+        return InfoVector(
+            timestamp=self.clock.now,
+            node=self.platform.name,
+            configuration=configuration,
+            correctable_errors=delta["ce"],
+            uncorrectable_errors=delta["ue"],
+            crashes=delta["crash"],
+            sensors=dict(self._sensor_cache),
+            counters=dict(self._counter_cache),
+            suspect_components=suspects,
+        )
+
+    # -- logfile ---------------------------------------------------------------
+
+    def _append_log(self, line: str) -> None:
+        self._logfile.append(line)
+        if len(self._logfile) > self.config.logfile_limit:
+            del self._logfile[: len(self._logfile) - self.config.logfile_limit]
+
+    @property
+    def logfile(self) -> List[str]:
+        """The retained logfile lines (most recent last)."""
+        return list(self._logfile)

@@ -1,0 +1,121 @@
+"""Information-vector schemas exchanged between daemons and system software.
+
+Section 3.C: the HealthLog "records runtime system metrics in the form of
+an information vector, stored in a system logfile", combining error
+reports with "system configuration values, sensor readings and performance
+counters".  Section 3.D: the StressLog wraps its findings "into a vector
+to be passed to the higher system layers".
+
+Two vector types exist: the HealthLog's :class:`InfoVector` (runtime
+status) and the StressLog's :class:`MarginVector` (new safe V-F-R values
+per component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.eop import OperatingPoint
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InfoVector:
+    """One HealthLog information vector.
+
+    Field groups map to the paper's enumeration: errors (correctable /
+    uncorrectable / crashes since the last vector), configuration values
+    (per-component operating points), sensor readings and performance
+    counters.
+    """
+
+    timestamp: float
+    node: str
+    #: Per-component V-F-R configuration strings, e.g. {"core0": "..."}.
+    configuration: Mapping[str, str]
+    #: Error counts since the previous vector.
+    correctable_errors: int
+    uncorrectable_errors: int
+    crashes: int
+    #: Sensor readings, e.g. {"temperature_c": 54.2, "power_w": 38.1}.
+    sensors: Mapping[str, float]
+    #: Performance counters, e.g. {"ipc": 1.4, "cache_miss_rate": 0.02}.
+    counters: Mapping[str, float]
+    #: Components currently above the error threshold.
+    suspect_components: Tuple[str, ...] = ()
+
+    def to_log_line(self) -> str:
+        """Serialise to the one-line logfile format HealthLog appends."""
+        parts = [
+            f"t={self.timestamp:.3f}",
+            f"node={self.node}",
+            f"ce={self.correctable_errors}",
+            f"ue={self.uncorrectable_errors}",
+            f"crash={self.crashes}",
+        ]
+        parts.extend(f"cfg.{k}={v}" for k, v in sorted(self.configuration.items()))
+        parts.extend(f"sen.{k}={v:.4g}" for k, v in sorted(self.sensors.items()))
+        parts.extend(f"ctr.{k}={v:.4g}" for k, v in sorted(self.counters.items()))
+        if self.suspect_components:
+            parts.append("suspect=" + ",".join(self.suspect_components))
+        return " ".join(parts)
+
+    @property
+    def total_errors(self) -> int:
+        """Correctable plus uncorrectable plus crashes."""
+        return self.correctable_errors + self.uncorrectable_errors + self.crashes
+
+
+@dataclass(frozen=True)
+class ComponentMargin:
+    """StressLog verdict for one component.
+
+    For cores ``safe_point`` carries the characterised V-F; for memory
+    domains the refresh interval.  ``observed_crash_voltage_v`` (cores) or
+    ``observed_ber`` (domains) records the evidence; ``guard_margin``
+    states the safety buffer StressLog kept above the observed limit.
+    """
+
+    component: str
+    safe_point: OperatingPoint
+    failure_probability: float
+    relative_power: float
+    stress_workload: str
+    observed_crash_voltage_v: Optional[float] = None
+    observed_ber: Optional[float] = None
+    guard_margin: float = 0.0
+
+
+@dataclass(frozen=True)
+class MarginVector:
+    """The StressLog output vector: new safe V-F-R margins per component."""
+
+    timestamp: float
+    node: str
+    margins: Tuple[ComponentMargin, ...]
+    stress_duration_s: float = 0.0
+    trigger: str = "periodic"
+
+    def __post_init__(self) -> None:
+        names = [m.component for m in self.margins]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate components in margin vector")
+
+    def component_names(self) -> List[str]:
+        """Components covered by this margin vector."""
+        return [m.component for m in self.margins]
+
+    def margin_for(self, component: str) -> ComponentMargin:
+        """The margin entry for one component."""
+        for m in self.margins:
+            if m.component == component:
+                return m
+        raise KeyError(f"no margin for component {component!r}")
+
+    def mean_power_saving(self) -> float:
+        """Mean fractional power saving over all characterised components."""
+        if not self.margins:
+            return 0.0
+        savings = [max(0.0, 1.0 - m.relative_power) for m in self.margins]
+        return sum(savings) / len(savings)

@@ -1,0 +1,287 @@
+"""Predictor daemon: machine-learning failure models advising the Hypervisor.
+
+Paper Sections 2 and 3.E: "Using the information provided by the HealthLog
+and StressLog the Predictor develops probability failure models and tries
+to predict the hardware behavior under any operating point", advising the
+Hypervisor on execution modes (e.g. high-performance or low-power).
+
+The model is a from-scratch logistic regression (batch gradient descent
+with L2 regularisation on standardised features) — no ML framework is
+available offline, and a linear model over physically meaningful features
+(voltage offset, frequency fraction, droop, sensitivity, temperature) is
+both fast enough for a runtime daemon and faithful to the "probability
+failure models" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.eop import OperatingPoint
+from ..core.exceptions import ConfigurationError, PredictionError
+from ..workloads.base import StressProfile, Workload
+
+FEATURE_NAMES = (
+    "voltage_offset",      # (v - v_nominal) / v_nominal, negative = undervolt
+    "frequency_fraction",  # f / f_nominal
+    "droop_intensity",
+    "core_sensitivity",
+    "activity_factor",
+    "temperature_norm",    # (T - 50) / 50
+)
+
+
+def make_features(point: OperatingPoint, nominal: OperatingPoint,
+                  profile: StressProfile,
+                  temperature_c: float = 50.0) -> np.ndarray:
+    """Build one feature row for a (point, workload, temperature) triple."""
+    return np.array([
+        point.voltage_offset_from(nominal),
+        point.frequency_hz / nominal.frequency_hz,
+        profile.droop_intensity,
+        profile.core_sensitivity,
+        profile.activity_factor,
+        (temperature_c - 50.0) / 50.0,
+    ])
+
+
+@dataclass
+class FailureDataset:
+    """Labelled observations: feature rows plus crash labels."""
+
+    features: List[np.ndarray] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def add(self, point: OperatingPoint, nominal: OperatingPoint,
+            profile: StressProfile, crashed: bool,
+            temperature_c: float = 50.0) -> None:
+        """Append one observation."""
+        self.features.append(
+            make_features(point, nominal, profile, temperature_c)
+        )
+        self.labels.append(1 if crashed else 0)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The dataset as (features, labels) numpy arrays."""
+        if not self.labels:
+            raise PredictionError("dataset is empty")
+        return np.vstack(self.features), np.asarray(self.labels, dtype=float)
+
+    def crash_fraction(self) -> float:
+        """Fraction of positive (crash) labels."""
+        if not self.labels:
+            return 0.0
+        return sum(self.labels) / len(self.labels)
+
+
+def dataset_from_campaign(campaign, suite, nominal: OperatingPoint,
+                          step_v: float = 0.005) -> FailureDataset:
+    """Build a dataset from an undervolting campaign's sweeps.
+
+    Every sweep contributes its surviving voltage steps as negative
+    examples and its crash step as the positive example — exactly the
+    observations a HealthLog accumulates while StressLog sweeps run.
+
+    ``campaign`` is a
+    :class:`~repro.characterization.cpu_undervolting.CampaignResult`;
+    ``suite`` maps benchmark names back to stress profiles.
+    """
+    dataset = FailureDataset()
+    for sweep in campaign.sweeps:
+        profile = suite.get(sweep.benchmark).profile
+        voltage = nominal.voltage_v
+        while voltage > sweep.crash_voltage_v + 1e-12:
+            dataset.add(nominal.with_voltage(voltage), nominal, profile,
+                        crashed=False)
+            voltage = round(voltage - step_v, 9)
+        dataset.add(nominal.with_voltage(sweep.crash_voltage_v), nominal,
+                    profile, crashed=True)
+    return dataset
+
+
+class LogisticModel:
+    """Minimal logistic regression with L2, trained by gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 400,
+                 l2: float = 1e-3) -> None:
+        if learning_rate <= 0 or epochs < 1 or l2 < 0:
+            raise ConfigurationError("bad hyper-parameters")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self._weights: Optional[np.ndarray] = None
+        self._bias = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the model is ready to score/predict."""
+        return self._weights is not None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticModel":
+        """Train on standardised features; returns ``self``."""
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features/labels shape mismatch")
+        if len(np.unique(labels)) < 2:
+            raise PredictionError(
+                "training data needs both crash and survival examples"
+            )
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        x = (features - self._mean) / self._std
+        y = labels.astype(float)
+
+        n, d = x.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.epochs):
+            p = self._sigmoid(x @ weights + bias)
+            grad_w = x.T @ (p - y) / n + self.l2 * weights
+            grad_b = float(np.mean(p - y))
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Crash probabilities for feature rows."""
+        if self._weights is None:
+            raise PredictionError("model is not trained")
+        x = np.atleast_2d(features)
+        x = (x - self._mean) / self._std
+        return self._sigmoid(x @ self._weights + self._bias)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray,
+                 threshold: float = 0.5) -> float:
+        """Classification accuracy at a probability threshold."""
+        preds = self.predict_proba(features) >= threshold
+        return float(np.mean(preds == labels.astype(bool)))
+
+    def feature_weights(self) -> Dict[str, float]:
+        """Standardised-feature weights, keyed by feature name."""
+        if self._weights is None:
+            raise PredictionError("model is not trained")
+        return dict(zip(FEATURE_NAMES, (float(w) for w in self._weights)))
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The Predictor's recommendation to the Hypervisor."""
+
+    point: OperatingPoint
+    predicted_failure_probability: float
+    relative_power: float
+    mode: str
+
+
+class Predictor:
+    """The Predictor daemon: failure model plus operating-mode advisor."""
+
+    #: Execution modes the Hypervisor can request (paper: "possible
+    #: execution modes (e.g. high-performance or low-power)").
+    MODES = ("high-performance", "low-power")
+
+    def __init__(self, nominal: OperatingPoint,
+                 model: Optional[LogisticModel] = None) -> None:
+        self.nominal = nominal
+        self.model = model or LogisticModel()
+        self.dataset = FailureDataset()
+
+    def observe(self, point: OperatingPoint, profile: StressProfile,
+                crashed: bool, temperature_c: float = 50.0) -> None:
+        """Fold one runtime observation (from HealthLog) into the dataset."""
+        self.dataset.add(point, self.nominal, profile, crashed, temperature_c)
+
+    def ingest(self, dataset: FailureDataset) -> None:
+        """Fold a whole dataset (e.g. from a StressLog campaign) in."""
+        self.dataset.features.extend(dataset.features)
+        self.dataset.labels.extend(dataset.labels)
+
+    def train(self) -> LogisticModel:
+        """(Re)train the failure model on everything observed so far."""
+        features, labels = self.dataset.as_arrays()
+        return self.model.fit(features, labels)
+
+    def predict_failure(self, point: OperatingPoint, profile: StressProfile,
+                        temperature_c: float = 50.0) -> float:
+        """Predicted crash probability at a point for a workload."""
+        row = make_features(point, self.nominal, profile, temperature_c)
+        return float(self.model.predict_proba(row)[0])
+
+    def advise(self, workload: Workload, mode: str = "low-power",
+               failure_budget: float = 1e-3, voltage_step_v: float = 0.005,
+               min_frequency_fraction: float = 0.5,
+               relative_power_fn=None) -> Advice:
+        """Recommend an operating point for a workload and mode.
+
+        * ``high-performance``: frequency stays at nominal; voltage is
+          lowered to the deepest point whose predicted failure probability
+          fits the budget.
+        * ``low-power``: voltage *and* frequency scale down together
+          (classical DVFS shape) and the advisor picks the lowest-power
+          safe point.
+        """
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown mode {mode!r}; choose from {self.MODES}"
+            )
+        if not self.model.is_trained:
+            raise PredictionError("train the predictor before asking advice")
+
+        candidates: List[OperatingPoint] = []
+        if mode == "high-performance":
+            voltage = self.nominal.voltage_v
+            while voltage >= self.nominal.voltage_v * 0.6:
+                candidates.append(self.nominal.with_voltage(voltage))
+                voltage = round(voltage - voltage_step_v, 9)
+        else:
+            for i in range(40):
+                t = i / 39
+                vf = 1.0 - t * 0.35
+                ff = 1.0 - t * (1.0 - min_frequency_fraction)
+                candidates.append(self.nominal.scaled(
+                    voltage_factor=vf, frequency_factor=ff))
+
+        def rel_power(point: OperatingPoint) -> float:
+            """Relative dynamic power of a candidate point."""
+            if relative_power_fn is not None:
+                return relative_power_fn(point)
+            return ((point.voltage_v / self.nominal.voltage_v) ** 2
+                    * point.frequency_hz / self.nominal.frequency_hz)
+
+        best: Optional[Advice] = None
+        for point in candidates:
+            prob = self.predict_failure(point, workload.profile)
+            if prob > failure_budget:
+                continue
+            advice = Advice(
+                point=point,
+                predicted_failure_probability=prob,
+                relative_power=rel_power(point),
+                mode=mode,
+            )
+            if best is None or advice.relative_power < best.relative_power:
+                best = advice
+        if best is None:
+            # Nothing safe below nominal: recommend nominal itself.
+            best = Advice(
+                point=self.nominal,
+                predicted_failure_probability=self.predict_failure(
+                    self.nominal, workload.profile),
+                relative_power=1.0,
+                mode=mode,
+            )
+        return best

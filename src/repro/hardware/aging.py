@@ -1,0 +1,95 @@
+"""Transistor-aging model (Vmin drift over lifetime).
+
+The paper's StressLog exists precisely because characterised margins do not
+stay valid: *"these new values may need to be updated several times over
+the lifetime of a server due to the aging effects of the machine"*
+(Section 3.D).  BTI-style aging raises every core's minimum operational
+voltage over time, following the classical sub-linear power law
+``ΔVmin(t) = A · (t / t_ref)^n`` with ``n ≈ 0.2``.
+
+Stress accelerates aging: time spent at elevated voltage and temperature
+counts more than idle time, captured by an effective-stress-time
+accumulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.exceptions import ConfigurationError
+
+#: Seconds in a year, the natural unit for lifetime drift.
+YEAR_S = 365.25 * 24 * 3600.0
+
+
+@dataclass
+class AgingModel:
+    """Accumulates stress time and reports the resulting Vmin drift.
+
+    Parameters
+    ----------
+    drift_at_reference_v:
+        Vmin increase (volts) after ``reference_time_s`` of nominal-stress
+        operation.  3 years at ~10 mV drift is a typical BTI figure.
+    reference_time_s:
+        The reference lifetime for ``drift_at_reference_v``.
+    exponent:
+        Power-law exponent, classically ≈ 0.2 for BTI.
+    voltage_acceleration:
+        Multiplier on stress time per volt above the nominal voltage
+        (exponential law).
+    temperature_acceleration_c:
+        Temperature increase (°C) that doubles the stress rate.
+    """
+
+    drift_at_reference_v: float = 0.010
+    reference_time_s: float = 3 * YEAR_S
+    exponent: float = 0.2
+    voltage_acceleration: float = 4.0
+    temperature_acceleration_c: float = 15.0
+    nominal_voltage_v: float = 1.0
+    reference_temp_c: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.drift_at_reference_v < 0:
+            raise ConfigurationError("drift must be non-negative")
+        if self.reference_time_s <= 0 or self.exponent <= 0:
+            raise ConfigurationError(
+                "reference time and exponent must be positive"
+            )
+        self._effective_stress_s = 0.0
+
+    @property
+    def effective_stress_s(self) -> float:
+        """Accumulated stress-equivalent seconds."""
+        return self._effective_stress_s
+
+    def stress_rate(self, voltage_v: float, temperature_c: float) -> float:
+        """Stress-time accrual rate relative to nominal conditions."""
+        v_factor = math.exp(self.voltage_acceleration
+                            * (voltage_v - self.nominal_voltage_v))
+        t_factor = 2.0 ** ((temperature_c - self.reference_temp_c)
+                           / self.temperature_acceleration_c)
+        return v_factor * t_factor
+
+    def accrue(self, dt_s: float, voltage_v: float,
+               temperature_c: float) -> None:
+        """Accumulate ``dt_s`` seconds of operation at the given conditions."""
+        if dt_s < 0:
+            raise ConfigurationError("dt must be non-negative")
+        self._effective_stress_s += dt_s * self.stress_rate(
+            voltage_v, temperature_c
+        )
+
+    def vmin_drift_v(self) -> float:
+        """Current Vmin increase (volts) caused by accumulated aging."""
+        if self._effective_stress_s == 0.0:
+            return 0.0
+        return self.drift_at_reference_v * (
+            self._effective_stress_s / self.reference_time_s
+        ) ** self.exponent
+
+    def reset(self) -> None:
+        """Forget accumulated stress (a fresh part)."""
+        self._effective_stress_s = 0.0

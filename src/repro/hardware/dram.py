@@ -1,0 +1,297 @@
+"""DRAM retention model, refresh domains and DIMMs.
+
+Substitute for the paper's Section 6.B framework: real 8 GB DDR3 DIMMs on
+a commodity server, with main memory split into *domains* (per channel)
+whose refresh rate is set independently so critical kernel code/stack can
+stay on a reliable (nominal 64 ms) domain while the rest is relaxed.
+
+The physics: each DRAM cell holds charge for a *retention time*; if the
+refresh interval exceeds it, the cell leaks and the stored bit flips.
+Retention times across a device follow a heavy lower tail, modelled here
+as a lognormal calibrated to the paper's observations:
+
+* relaxing 64 ms → 1.5 s introduces no observable errors,
+* at 5 s (78× nominal) the cumulative BER is ≈ 1e-9 — within commercial
+  DRAM targets, and three orders below the 1e-6 SECDED capability.
+
+Retention roughly halves per 10 °C (Liu et al. [32]), exposed through
+:func:`repro.hardware.thermal.retention_temperature_factor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.stats import norm
+
+from ..core.eop import NOMINAL_REFRESH_INTERVAL_S
+from ..core.exceptions import ConfigurationError
+from .faults import FaultClass, FaultOrigin, FaultRecord
+from .power import DramPowerModel
+from .thermal import retention_temperature_factor
+
+#: Bits per gigabyte.
+BITS_PER_GB = 8 * 1024 ** 3
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Lognormal retention-time population of a DRAM device.
+
+    ``ln T ~ Normal(mu_ln_s, sigma_ln_s)`` at the reference temperature.
+    Default parameters are calibrated so BER(1.5 s) ≈ 1e-12 (unobservable
+    in a DIMM-scale test) and BER(5 s) ≈ 1e-9, matching Section 6.B.
+    """
+
+    mu_ln_s: float = 8.607
+    sigma_ln_s: float = 1.1666
+    reference_temp_c: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_ln_s <= 0:
+            raise ConfigurationError("sigma must be positive")
+
+    def ber(self, refresh_interval_s: float,
+            temperature_c: Optional[float] = None) -> float:
+        """Probability a random cell's retention is below the interval.
+
+        This is the *cumulative* bit error rate the paper reports: the
+        fraction of cells that cannot hold their value for a full refresh
+        period at the given temperature.
+        """
+        if refresh_interval_s <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        temp = self.reference_temp_c if temperature_c is None else temperature_c
+        factor = retention_temperature_factor(temp, self.reference_temp_c)
+        # Hotter => shorter retention => the effective interval grows.
+        effective_interval = refresh_interval_s / factor
+        z = (math.log(effective_interval) - self.mu_ln_s) / self.sigma_ln_s
+        return float(norm.cdf(z))
+
+    def max_interval_for_ber(self, ber_target: float,
+                             temperature_c: Optional[float] = None) -> float:
+        """Largest refresh interval keeping the BER at/below a target."""
+        if not 0.0 < ber_target < 1.0:
+            raise ConfigurationError("ber_target must be in (0, 1)")
+        temp = self.reference_temp_c if temperature_c is None else temperature_c
+        factor = retention_temperature_factor(temp, self.reference_temp_c)
+        z = norm.ppf(ber_target)
+        return float(math.exp(self.mu_ln_s + z * self.sigma_ln_s) * factor)
+
+
+@dataclass(frozen=True)
+class Dimm:
+    """One DIMM: capacity, device density and its power model."""
+
+    dimm_id: int
+    capacity_gb: float = 8.0
+    device_density_gbit: float = 2.0
+    n_devices: int = 16
+    retention: RetentionModel = field(default_factory=RetentionModel)
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0 or self.n_devices < 1:
+            raise ConfigurationError("invalid DIMM geometry")
+
+    @property
+    def capacity_bits(self) -> int:
+        """Capacity in bits."""
+        return int(self.capacity_gb * BITS_PER_GB)
+
+    def power_model(self) -> DramPowerModel:
+        """Power model for one constituent device."""
+        return DramPowerModel(density_gbit=self.device_density_gbit)
+
+    def total_power_w(self, refresh_interval_s: float) -> float:
+        """Whole-DIMM power at a refresh interval."""
+        return self.power_model().total_power_w(refresh_interval_s) * self.n_devices
+
+
+class MemoryDomain:
+    """A refresh domain: a set of DIMMs sharing one refresh interval.
+
+    The paper separates main memory into per-channel domains so the kernel
+    can be pinned to a *reliable* domain at nominal refresh while other
+    domains relax.  ``reliable=True`` marks the domain the hypervisor uses
+    for critical state; its refresh interval is locked at nominal.
+    """
+
+    def __init__(self, name: str, dimms: Sequence[Dimm],
+                 reliable: bool = False, ecc_enabled: bool = False,
+                 seed: int = 0) -> None:
+        if not dimms:
+            raise ConfigurationError("a domain needs at least one DIMM")
+        self.name = name
+        self.dimms = list(dimms)
+        self.reliable = reliable
+        self.ecc_enabled = ecc_enabled
+        self._refresh_interval_s = NOMINAL_REFRESH_INTERVAL_S
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def capacity_gb(self) -> float:
+        """Capacity in gigabytes."""
+        return sum(d.capacity_gb for d in self.dimms)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Capacity in bits."""
+        return sum(d.capacity_bits for d in self.dimms)
+
+    @property
+    def refresh_interval_s(self) -> float:
+        """Current refresh interval (seconds)."""
+        return self._refresh_interval_s
+
+    def set_refresh_interval(self, interval_s: float) -> None:
+        """Change the domain's refresh interval.
+
+        Reliable domains refuse relaxation: they exist to hold critical
+        state at nominal conditions.
+        """
+        if interval_s <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        if self.reliable and interval_s > NOMINAL_REFRESH_INTERVAL_S:
+            raise ConfigurationError(
+                f"domain {self.name!r} is reliable; refresh cannot be "
+                "relaxed beyond nominal"
+            )
+        self._refresh_interval_s = interval_s
+
+    def ber(self, temperature_c: Optional[float] = None) -> float:
+        """Cumulative BER of the domain at its current refresh interval."""
+        # All DIMMs in a domain share the interval; use the worst model.
+        return max(d.retention.ber(self._refresh_interval_s, temperature_c)
+                   for d in self.dimms)
+
+    def expected_errors_per_pass(self, coverage: float = 1.0,
+                                 temperature_c: Optional[float] = None,
+                                 ) -> float:
+        """Expected bit errors in one full-pattern pass over the domain.
+
+        ``coverage`` is the fraction of cells the pattern leaves in their
+        leak-vulnerable state (≈0.5 for random data).
+        """
+        if not 0.0 <= coverage <= 1.0:
+            raise ConfigurationError("coverage must be in [0, 1]")
+        return self.ber(temperature_c) * self.capacity_bits * coverage
+
+    def sample_pattern_errors(self, coverage: float = 1.0, passes: int = 1,
+                              temperature_c: Optional[float] = None) -> int:
+        """Sample the number of errors a pattern test observes."""
+        if passes < 1:
+            raise ConfigurationError("passes must be >= 1")
+        lam = self.expected_errors_per_pass(coverage, temperature_c) * passes
+        return int(self._rng.poisson(lam))
+
+    def refresh_power_w(self) -> float:
+        """Domain refresh power at the current interval."""
+        return sum(
+            d.power_model().refresh_power_w(self._refresh_interval_s)
+            * d.n_devices
+            for d in self.dimms
+        )
+
+    def total_power_w(self) -> float:
+        """Domain total DRAM power at the current interval."""
+        return sum(d.total_power_w(self._refresh_interval_s) for d in self.dimms)
+
+
+class DramSystem:
+    """The server's main memory: several independently refreshed domains."""
+
+    def __init__(self, domains: Sequence[MemoryDomain]) -> None:
+        if not domains:
+            raise ConfigurationError("a DRAM system needs at least one domain")
+        names = [d.name for d in domains]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("domain names must be unique")
+        self._domains: Dict[str, MemoryDomain] = {d.name: d for d in domains}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def domains(self) -> List[MemoryDomain]:
+        """All memory domains."""
+        return list(self._domains.values())
+
+    def domain(self, name: str) -> MemoryDomain:
+        """One memory domain by name."""
+        if name not in self._domains:
+            raise KeyError(f"no memory domain named {name!r}")
+        return self._domains[name]
+
+    def reliable_domain(self) -> Optional[MemoryDomain]:
+        """The domain designated for critical state, if any."""
+        for d in self._domains.values():
+            if d.reliable:
+                return d
+        return None
+
+    def relaxed_domains(self) -> List[MemoryDomain]:
+        """Domains whose refresh exceeds nominal."""
+        return [d for d in self._domains.values()
+                if d.refresh_interval_s > NOMINAL_REFRESH_INTERVAL_S]
+
+    @property
+    def capacity_gb(self) -> float:
+        """Capacity in gigabytes."""
+        return sum(d.capacity_gb for d in self._domains.values())
+
+    def total_power_w(self) -> float:
+        """Total power in watts."""
+        return sum(d.total_power_w() for d in self._domains.values())
+
+    def refresh_power_w(self) -> float:
+        """Refresh power in watts."""
+        return sum(d.refresh_power_w() for d in self._domains.values())
+
+    def relax_all(self, interval_s: float,
+                  keep_reliable_nominal: bool = True) -> List[str]:
+        """Relax every (non-reliable) domain to ``interval_s``.
+
+        Returns the names of the domains changed.  With
+        ``keep_reliable_nominal=False`` even the reliable domain is relaxed
+        — the configuration the resilience ablation (A3) uses to show why
+        the reliable domain matters.
+        """
+        changed = []
+        for d in self._domains.values():
+            if d.reliable and keep_reliable_nominal:
+                continue
+            if d.reliable and not keep_reliable_nominal:
+                # Bypass the safety interlock explicitly for the ablation.
+                d._refresh_interval_s = interval_s
+            else:
+                d.set_refresh_interval(interval_s)
+            changed.append(d.name)
+        return sorted(changed)
+
+
+def standard_server_memory(n_channels: int = 4, dimm_gb: float = 8.0,
+                           device_density_gbit: float = 2.0,
+                           reliable_channel: int = 0,
+                           retention: Optional[RetentionModel] = None,
+                           seed: int = 0) -> DramSystem:
+    """The paper's experimental memory layout: per-channel refresh domains.
+
+    One channel is designated the reliable domain holding critical kernel
+    code and stack; the others can be relaxed independently.
+    """
+    if not 0 <= reliable_channel < n_channels:
+        raise ConfigurationError("reliable_channel out of range")
+    retention = retention or RetentionModel()
+    domains = []
+    for ch in range(n_channels):
+        dimm = Dimm(dimm_id=ch, capacity_gb=dimm_gb,
+                    device_density_gbit=device_density_gbit,
+                    retention=retention)
+        domains.append(MemoryDomain(
+            name=f"channel{ch}", dimms=[dimm],
+            reliable=(ch == reliable_channel),
+            seed=seed + ch,
+        ))
+    return DramSystem(domains)

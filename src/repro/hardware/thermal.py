@@ -1,0 +1,88 @@
+"""First-order thermal model.
+
+Temperature matters twice in the UniServer stack: leakage power grows
+exponentially with it, and DRAM retention time roughly halves for every
+10 °C — which is why the paper stresses that its refresh experiments ran in
+an *air-conditioned server room* and why the HealthLog records sensor
+readings alongside errors.
+
+The model is a single-node thermal RC: junction temperature relaxes
+exponentially toward ``ambient + R_th · P`` with time constant ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass
+class ThermalModel:
+    """Single-node thermal RC model of a component.
+
+    Parameters
+    ----------
+    ambient_c:
+        Ambient (room) temperature in °C; the air-conditioned server room
+        of the paper's DRAM experiments sits around 25 °C.
+    thermal_resistance_c_per_w:
+        Steady-state temperature rise per watt of dissipated power.
+    time_constant_s:
+        Thermal RC time constant.
+    """
+
+    ambient_c: float = 25.0
+    thermal_resistance_c_per_w: float = 0.8
+    time_constant_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w < 0:
+            raise ConfigurationError("thermal resistance must be non-negative")
+        if self.time_constant_s <= 0:
+            raise ConfigurationError("time constant must be positive")
+        self._temperature_c = self.ambient_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature."""
+        return self._temperature_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature while dissipating ``power_w``."""
+        if power_w < 0:
+            raise ConfigurationError("power must be non-negative")
+        return self.ambient_c + self.thermal_resistance_c_per_w * power_w
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the model ``dt_s`` seconds at constant ``power_w``.
+
+        Returns the new temperature.  Uses the exact exponential solution
+        of the first-order ODE so large steps stay stable.
+        """
+        if dt_s < 0:
+            raise ConfigurationError("dt must be non-negative")
+        target = self.steady_state_c(power_w)
+        decay = math.exp(-dt_s / self.time_constant_s)
+        self._temperature_c = target + (self._temperature_c - target) * decay
+        return self._temperature_c
+
+    def reset(self, temperature_c: float | None = None) -> None:
+        """Reset to a given temperature (ambient by default)."""
+        self._temperature_c = (
+            self.ambient_c if temperature_c is None else temperature_c
+        )
+
+
+def retention_temperature_factor(temperature_c: float,
+                                 reference_c: float = 45.0,
+                                 halving_c: float = 10.0) -> float:
+    """DRAM retention-time multiplier at a device temperature.
+
+    Retention roughly halves per ``halving_c`` degrees above the reference
+    (Liu et al. [32]); below the reference it doubles correspondingly.
+    """
+    if halving_c <= 0:
+        raise ConfigurationError("halving interval must be positive")
+    return 2.0 ** ((reference_c - temperature_c) / halving_c)

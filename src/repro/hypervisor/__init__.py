@@ -1,0 +1,63 @@
+"""KVM-like error-resilient hypervisor (paper Section 4.A).
+
+Manages VMs on one platform, adopts characterised EOPs within a failure
+budget, masks hardware errors from guests, keeps its own state in the
+reliable memory domain, isolates failing resources and selectively
+checkpoints the structures the Figure 4 analysis marks as critical.
+"""
+
+from .checkpoint import CheckpointCostModel, CheckpointManager, CheckpointStats
+from .fault_injection import (
+    FaultInjectionCampaign,
+    Figure4Result,
+    InjectionOutcome,
+    InjectionReport,
+    LoadComparisonRow,
+    run_figure4_campaign,
+)
+from .hypervisor import Hypervisor, HypervisorConfig, HypervisorStats
+from .isolation import IsolationAction, IsolationManager, IsolationPolicy
+from .memory import (
+    Allocation,
+    FootprintSample,
+    HYPERVISOR_BASE_MB,
+    HYPERVISOR_PER_VM_MB,
+    MemoryAccountant,
+    PlacementPolicy,
+)
+from .objects import (
+    CATEGORY_PROFILES,
+    CategoryProfile,
+    HypervisorObject,
+    ObjectCatalog,
+    SENSITIVE_CATEGORIES,
+    TOTAL_OBJECTS,
+)
+from .vm import ACTIVE_STATES, VirtualMachine, VMState, make_vm_fleet
+from .affinity import (
+    AffinityAssignment,
+    AffinityPlanner,
+    naive_balanced_plan,
+)
+
+from .qos import (
+    QoSGuard,
+    QoSRequirement,
+    QoSViolation,
+    requirement_from_sla,
+)
+
+__all__ = [
+    "QoSGuard", "QoSRequirement", "QoSViolation", "requirement_from_sla",
+    "AffinityAssignment", "AffinityPlanner", "naive_balanced_plan",
+    "CheckpointCostModel", "CheckpointManager", "CheckpointStats",
+    "FaultInjectionCampaign", "Figure4Result", "InjectionOutcome",
+    "InjectionReport", "LoadComparisonRow", "run_figure4_campaign",
+    "Hypervisor", "HypervisorConfig", "HypervisorStats",
+    "IsolationAction", "IsolationManager", "IsolationPolicy",
+    "Allocation", "FootprintSample", "HYPERVISOR_BASE_MB",
+    "HYPERVISOR_PER_VM_MB", "MemoryAccountant", "PlacementPolicy",
+    "CATEGORY_PROFILES", "CategoryProfile", "HypervisorObject",
+    "ObjectCatalog", "SENSITIVE_CATEGORIES", "TOTAL_OBJECTS",
+    "ACTIVE_STATES", "VirtualMachine", "VMState", "make_vm_fleet",
+]

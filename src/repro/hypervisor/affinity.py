@@ -1,0 +1,154 @@
+"""EOP-aware vCPU placement (heterogeneity-exploiting affinity).
+
+The default hypervisor scheduler balances VM count per core; with
+per-core EOPs the cores are *not* interchangeable — a strong core runs
+the same work at a lower voltage, and a stress-heavy guest on a weak
+core burns the whole margin.  The affinity planner assigns VMs to cores
+minimising total power while respecting each pairing's failure budget,
+realising the "treat heterogeneity as an opportunity" idea at the
+scheduler level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.eop import OperatingPoint
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..hardware.chip import ChipModel
+from .vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class AffinityAssignment:
+    """One VM→core pairing with its predicted operating cost."""
+
+    vm_name: str
+    core_id: int
+    point: OperatingPoint
+    relative_power: float
+    failure_probability: float
+
+
+class AffinityPlanner:
+    """Greedy minimum-power assignment of VMs to heterogeneous cores.
+
+    For every (VM, core) pair the planner computes the deepest safe
+    voltage (the core's crash voltage under the VM's stress profile plus
+    a guard margin) and the resulting relative power; assignment then
+    proceeds greedily from the globally cheapest pairing, one VM per
+    pass, at most ``vms_per_core`` guests per core.
+
+    Greedy is within a few percent of optimal for this matrix shape and
+    runs in O(V·C·log(V·C)) — suitable for a scheduler hot path.
+    """
+
+    def __init__(self, chip: ChipModel, guard_margin_v: float = 0.010,
+                 failure_budget: float = 1e-4,
+                 vms_per_core: int = 2) -> None:
+        if guard_margin_v < 0:
+            raise ConfigurationError("guard margin must be >= 0")
+        if not 0 < failure_budget < 1:
+            raise ConfigurationError("failure budget must be in (0, 1)")
+        if vms_per_core < 1:
+            raise ConfigurationError("vms_per_core must be >= 1")
+        self.chip = chip
+        self.guard_margin_v = guard_margin_v
+        self.failure_budget = failure_budget
+        self.vms_per_core = vms_per_core
+
+    def pairing_cost(self, vm: VirtualMachine,
+                     core_id: int) -> Optional[AffinityAssignment]:
+        """The safe point and cost of running ``vm`` on ``core_id``.
+
+        Returns ``None`` when no safe point within the failure budget
+        exists below nominal (the pairing then runs at nominal, which is
+        always admissible).
+        """
+        core = self.chip.core(core_id)
+        if core.isolated:
+            return None
+        nominal = self.chip.spec.nominal
+        crash_v = core.crash_voltage_v(vm.workload.profile)
+        safe_v = min(nominal.voltage_v, crash_v + self.guard_margin_v)
+        point = nominal.with_voltage(safe_v)
+        pfail = core.crash_probability(point, vm.workload.profile)
+        if pfail > self.failure_budget:
+            point = nominal
+            pfail = core.crash_probability(nominal, vm.workload.profile)
+        relative_power = self.chip.power.relative_dynamic_power(
+            point, nominal)
+        return AffinityAssignment(
+            vm_name=vm.name, core_id=core_id, point=point,
+            relative_power=relative_power, failure_probability=pfail,
+        )
+
+    def plan(self, vms: Sequence[VirtualMachine],
+             ) -> List[AffinityAssignment]:
+        """Assign every VM to a core, minimising total relative power."""
+        if not vms:
+            return []
+        active_cores = [c.core_id for c in self.chip.active_cores()]
+        if not active_cores:
+            raise SchedulingError("no active cores to plan onto")
+        capacity = len(active_cores) * self.vms_per_core
+        if len(vms) > capacity:
+            raise SchedulingError(
+                f"{len(vms)} VMs exceed capacity {capacity} "
+                f"({len(active_cores)} cores x {self.vms_per_core})"
+            )
+
+        candidates: List[AffinityAssignment] = []
+        for vm in vms:
+            for core_id in active_cores:
+                pairing = self.pairing_cost(vm, core_id)
+                if pairing is not None:
+                    candidates.append(pairing)
+        candidates.sort(key=lambda a: (a.relative_power, a.vm_name,
+                                       a.core_id))
+
+        load: Dict[int, int] = {core_id: 0 for core_id in active_cores}
+        placed: Dict[str, AffinityAssignment] = {}
+        for candidate in candidates:
+            if candidate.vm_name in placed:
+                continue
+            if load[candidate.core_id] >= self.vms_per_core:
+                continue
+            placed[candidate.vm_name] = candidate
+            load[candidate.core_id] += 1
+        missing = [vm.name for vm in vms if vm.name not in placed]
+        if missing:
+            raise SchedulingError(
+                f"could not place VMs: {', '.join(missing)}"
+            )
+        return [placed[vm.name] for vm in vms]
+
+    def total_relative_power(self,
+                             plan: Sequence[AffinityAssignment]) -> float:
+        """Sum of the plan's per-pairing relative powers."""
+        return sum(a.relative_power for a in plan)
+
+
+def naive_balanced_plan(planner: AffinityPlanner,
+                        vms: Sequence[VirtualMachine],
+                        ) -> List[AffinityAssignment]:
+    """The heterogeneity-oblivious baseline: round-robin over cores.
+
+    Each pairing still gets its own safe point (the hypervisor always
+    characterises), but the *assignment* ignores which core suits which
+    VM — isolating the value of affinity itself.
+    """
+    active_cores = [c.core_id for c in planner.chip.active_cores()]
+    if not active_cores:
+        raise SchedulingError("no active cores")
+    plan = []
+    for i, vm in enumerate(vms):
+        core_id = active_cores[i % len(active_cores)]
+        pairing = planner.pairing_cost(vm, core_id)
+        if pairing is None:
+            raise SchedulingError(
+                f"core {core_id} unavailable for {vm.name}"
+            )
+        plan.append(pairing)
+    return plan

@@ -1,0 +1,379 @@
+"""The UniServer hypervisor: EOP control, error masking, VM management.
+
+Paper Section 4.A.  The hypervisor (KVM-like, symmetric) is the layer that
+
+* sets the system at a "just-right configuration" from the margins the
+  StressLog characterised and the Predictor endorses, within the failure
+  budget the SLAs allow;
+* offers VMs "a reliable virtual execution environment on top of
+  potentially unreliable hardware": correctable errors are logged,
+  VM-killing faults are masked by restarting the victim VM, and the
+  hypervisor's own state lives in the reliable memory domain so DRAM
+  relaxation cannot wedge the host;
+* isolates cores and domains with high error rates (via
+  :class:`~repro.hypervisor.isolation.IsolationManager`).
+
+The execution model is tick-based on the simulation clock: each tick runs
+every active VM for a time slice on its assigned core at that core's
+operating point, samples crash/ECC/DRAM-retention faults from the
+hardware models, and applies the masking policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.clock import SimClock
+from ..core.eop import NOMINAL_REFRESH_INTERVAL_S, OperatingPoint
+from ..core.events import (
+    ConfigChangeEvent,
+    CorrectableErrorEvent,
+    CrashEvent,
+    EventBus,
+    UncorrectableErrorEvent,
+)
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..daemons.infovector import MarginVector
+from ..hardware.faults import FaultClass, FaultOrigin, FaultRecord
+from ..hardware.platform import ServerPlatform
+from .memory import MemoryAccountant, PlacementPolicy
+from .vm import VirtualMachine, VMState
+
+
+@dataclass(frozen=True)
+class HypervisorConfig:
+    """Policy knobs of the hypervisor."""
+
+    #: Per-run failure budget a characterised point must meet before the
+    #: hypervisor adopts it.
+    failure_budget: float = 1e-4
+    #: Mask VM-fatal faults by restarting the victim VM.
+    restart_failed_vms: bool = True
+    #: Keep hypervisor state in the reliable memory domain.
+    use_reliable_domain: bool = True
+    #: Place VMs on cores EOP-aware (affinity planner) instead of
+    #: least-loaded: strong cores take the stress-heavy guests.
+    use_affinity: bool = False
+    #: Scheduler time slice (seconds of simulated time per tick).
+    tick_s: float = 1.0
+    #: Fraction of a tick a VM effectively executes (scheduling overhead).
+    efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0 < self.failure_budget < 1:
+            raise ConfigurationError("failure budget must be in (0, 1)")
+        if self.tick_s <= 0:
+            raise ConfigurationError("tick must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+
+
+@dataclass
+class HypervisorStats:
+    """Counters of hypervisor activity."""
+
+    ticks: int = 0
+    vm_crashes_masked: int = 0
+    vm_sdc_events: int = 0
+    correctable_errors: int = 0
+    host_crashes: int = 0
+    margin_applications: int = 0
+    energy_j: float = 0.0
+
+
+class Hypervisor:
+    """A symmetric, error-resilient hypervisor for one platform."""
+
+    def __init__(self, platform: ServerPlatform, clock: SimClock,
+                 bus: Optional[EventBus] = None,
+                 config: Optional[HypervisorConfig] = None,
+                 seed: int = 0) -> None:
+        self.platform = platform
+        self.clock = clock
+        self.bus = bus or EventBus()
+        self.config = config or HypervisorConfig()
+        self.placement = PlacementPolicy(
+            platform.memory,
+            use_reliable_domain=self.config.use_reliable_domain,
+        )
+        self.accountant = MemoryAccountant()
+        self.stats = HypervisorStats()
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._assignments: Dict[str, int] = {}
+        self._rng = np.random.default_rng(seed)
+        self._crashed = False
+        self._booted = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the host is down (critical state corrupted)."""
+        return self._crashed
+
+    def boot(self) -> None:
+        """Bring the hypervisor up: place its own state in memory."""
+        if self._booted:
+            return
+        footprint = self.accountant.hypervisor_footprint_mb(0)
+        self.placement.place("hypervisor", footprint, critical=True)
+        self._booted = True
+
+    def reboot(self) -> None:
+        """Recover from a host crash; running VMs are lost and restarted."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        for vm in self._vms.values():
+            if vm.is_active:
+                vm.fail()
+            if vm.state is VMState.FAILED and self.config.restart_failed_vms:
+                vm.restart()
+
+    # -- VM management ---------------------------------------------------------
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        """All VMs known to the hypervisor."""
+        return list(self._vms.values())
+
+    def vm(self, name: str) -> VirtualMachine:
+        """One VM by name."""
+        if name not in self._vms:
+            raise KeyError(f"no VM named {name!r}")
+        return self._vms[name]
+
+    def active_vms(self) -> List[VirtualMachine]:
+        """VMs currently occupying resources."""
+        return [vm for vm in self._vms.values() if vm.is_active]
+
+    def _core_load(self) -> Dict[int, int]:
+        active = self.platform.chip.active_cores()
+        load: Dict[int, int] = {core.core_id: 0 for core in active}
+        for vm_name, core_id in self._assignments.items():
+            if core_id in load and self._vms[vm_name].is_active:
+                load[core_id] += 1
+        return load
+
+    def _pick_core(self, vm: Optional[VirtualMachine] = None) -> int:
+        """Choose a core for a VM.
+
+        Default policy: least-loaded active core.  With
+        ``config.use_affinity`` (and a VM to inspect), ties of load are
+        broken EOP-aware: the core whose crash voltage under this VM's
+        stress profile is lowest — the strongest core for this guest.
+        """
+        load = self._core_load()
+        if not load:
+            raise SchedulingError("no active cores available")
+        if vm is None or not self.config.use_affinity:
+            return min(load, key=lambda c: (load[c], c))
+        profile = vm.workload.profile
+
+        def affinity_key(core_id: int):
+            """Sort key: load, then crash voltage, then id."""
+            crash_v = self.platform.chip.core(core_id).crash_voltage_v(
+                profile)
+            return (load[core_id], crash_v, core_id)
+
+        return min(load, key=affinity_key)
+
+    def create_vm(self, vm: VirtualMachine) -> None:
+        """Admit and start a VM: place memory, assign a core."""
+        if not self._booted:
+            raise ConfigurationError("boot the hypervisor first")
+        if vm.name in self._vms:
+            raise ConfigurationError(f"VM {vm.name!r} already exists")
+        self.placement.place(vm.name, vm.guest_os_mb
+                             + vm.workload.demand.memory_mb)
+        self._vms[vm.name] = vm
+        self._assignments[vm.name] = self._pick_core(vm)
+        vm.start()
+
+    def destroy_vm(self, name: str) -> None:
+        """Tear a VM down and free its memory."""
+        vm = self.vm(name)
+        if vm.state is VMState.RUNNING:
+            vm.pause()
+        self.placement.release(name)
+        del self._vms[name]
+        self._assignments.pop(name, None)
+
+    def detach_vm(self, name: str) -> VirtualMachine:
+        """Remove a VM without failing it (for migration to another host)."""
+        vm = self.vm(name)
+        self.placement.release(name)
+        del self._vms[name]
+        self._assignments.pop(name, None)
+        return vm
+
+    # -- EOP configuration --------------------------------------------------------
+
+    def apply_margins(self, margins: MarginVector) -> List[str]:
+        """Adopt characterised safe points that fit the failure budget.
+
+        Returns the components whose configuration changed.  A margin with
+        failure probability above the budget is skipped — the component
+        stays at its current (safer) point.
+        """
+        changed: List[str] = []
+        for margin in margins.margins:
+            if margin.failure_probability > self.config.failure_budget:
+                continue
+            component = margin.component
+            if component.startswith("core"):
+                core_id = int(component[len("core"):])
+                old = self.platform.core_point(core_id)
+                new = margin.safe_point.with_refresh(old.refresh_interval_s)
+                self.platform.set_core_point(core_id, new)
+                self.bus.publish(ConfigChangeEvent(
+                    timestamp=self.clock.now, source="hypervisor",
+                    component=component, old_point=old.describe(),
+                    new_point=new.describe(),
+                ))
+                changed.append(component)
+            elif component in self.platform.memory:
+                domain = self.platform.memory.domain(component)
+                old_interval = domain.refresh_interval_s
+                domain.set_refresh_interval(
+                    margin.safe_point.refresh_interval_s)
+                if domain.refresh_interval_s != old_interval:
+                    changed.append(component)
+        if changed:
+            self.stats.margin_applications += 1
+        return changed
+
+    # -- the execution engine --------------------------------------------------------
+
+    def _record_fault(self, fault_class: FaultClass, origin: FaultOrigin,
+                      component: str, detail: str = "") -> None:
+        self.platform.faults.record(FaultRecord(
+            timestamp=self.clock.now, fault_class=fault_class,
+            origin=origin, component=component, detail=detail,
+        ))
+
+    def _domain_error_rate_per_s(self, domain) -> float:
+        """Consumed retention-error rate of a relaxed domain.
+
+        Weak cells flip once per refresh interval; an error only matters
+        when the affected page is allocated and its data actually read.
+        """
+        ber = domain.ber()
+        if ber <= 0:
+            return 0.0
+        used_mb = sum(a.size_mb for a in self.placement.allocations
+                      if a.domain == domain.name)
+        occupancy = min(1.0, used_mb / (domain.capacity_gb * 1024.0))
+        consumed_fraction = 0.5 * occupancy   # vulnerable + actually read
+        weak_cells = ber * domain.capacity_bits
+        return weak_cells * consumed_fraction / domain.refresh_interval_s
+
+    def _handle_dram_errors(self, dt_s: float) -> None:
+        for domain in self.platform.memory.relaxed_domains():
+            rate = self._domain_error_rate_per_s(domain)
+            n_errors = int(self._rng.poisson(rate * dt_s))
+            for _ in range(n_errors):
+                if self.placement.error_hits_critical(domain.name, self._rng):
+                    # Retention error in hypervisor/kernel state: host down.
+                    self._crashed = True
+                    self.stats.host_crashes += 1
+                    self._record_fault(FaultClass.CRASH, FaultOrigin.DRAM,
+                                       domain.name, "critical state hit")
+                    self.bus.publish(CrashEvent(
+                        timestamp=self.clock.now, source="hypervisor",
+                        component=domain.name,
+                        operating_point=(
+                            f"refresh {domain.refresh_interval_s:.2f} s"),
+                    ))
+                    return
+                # VM data hit: a silent corruption inside one guest.
+                self.stats.vm_sdc_events += 1
+                self._record_fault(
+                    FaultClass.SILENT_DATA_CORRUPTION, FaultOrigin.DRAM,
+                    domain.name, "guest page",
+                )
+
+    def tick(self) -> None:
+        """Advance the machine by one scheduler tick."""
+        if not self._booted:
+            raise ConfigurationError("boot the hypervisor first")
+        if self._crashed:
+            return
+        dt = self.config.tick_s
+        self.stats.ticks += 1
+        # Account memory at the slice start, while completed-last-tick VMs
+        # have already been replaced by the management layer.
+        self._sample_memory()
+
+        for vm in list(self._vms.values()):
+            if vm.state is not VMState.RUNNING:
+                continue
+            core_id = self._assignments[vm.name]
+            core = self.platform.chip.core(core_id)
+            if core.isolated:
+                core_id = self._pick_core(vm)
+                self._assignments[vm.name] = core_id
+                core = self.platform.chip.core(core_id)
+            point = self.platform.core_point(core_id)
+            # Phase-aware: a guest entering a droop-heavy phase becomes
+            # riskier mid-run (stationary workloads return their single
+            # profile).
+            profile = vm.workload.profile_at(vm.progress)
+
+            crash_p = core.crash_probability(point, profile)
+            if self._rng.random() < crash_p:
+                # The core glitched under this VM's stress: kill and mask.
+                vm.fail()
+                self.stats.vm_crashes_masked += 1
+                self._record_fault(FaultClass.CRASH, FaultOrigin.CPU_CORE,
+                                   f"core{core_id}", f"vm {vm.name}")
+                self.bus.publish(CrashEvent(
+                    timestamp=self.clock.now, source="hypervisor",
+                    component=f"core{core_id}",
+                    operating_point=point.describe(),
+                ))
+                if self.config.restart_failed_vms:
+                    vm.restart()
+                continue
+
+            crash_v = core.crash_voltage_v(profile, point.frequency_hz)
+            cache_result = self.platform.chip.cache.run(
+                point.voltage_v, crash_v, profile)
+            if cache_result.correctable:
+                self.stats.correctable_errors += cache_result.correctable
+                self._record_fault(FaultClass.CORRECTABLE, FaultOrigin.CACHE,
+                                   f"core{core_id}",
+                                   f"{cache_result.correctable} corrected")
+                self.bus.publish(CorrectableErrorEvent(
+                    timestamp=self.clock.now, source="hypervisor",
+                    component=f"core{core_id}",
+                    detail=f"{cache_result.correctable} SECDED corrections",
+                ))
+
+            cycles = dt * point.frequency_hz * self.config.efficiency
+            vm.execute(cycles)
+            self.stats.energy_j += self.platform.chip.power.total_power_w(
+                point, activity=profile.activity_factor,
+                temperature_c=self.platform.chip.thermal.temperature_c,
+            ) * dt
+
+        self._handle_dram_errors(dt)
+
+    def _sample_memory(self) -> None:
+        active = self.active_vms()
+        vm_mb = sum(vm.guest_os_mb for vm in active)
+        app_mb = sum(vm.memory_usage_mb() - vm.guest_os_mb for vm in active)
+        self.accountant.sample(self.clock.now, len(active), vm_mb, app_mb)
+
+    def run(self, duration_s: float) -> None:
+        """Run the tick loop for a stretch of simulated time."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be non-negative")
+        n_ticks = int(duration_s / self.config.tick_s)
+        for _ in range(n_ticks):
+            if self._crashed:
+                break
+            self.tick()

@@ -1,0 +1,206 @@
+"""Hypervisor memory management and reliable-domain placement.
+
+Two paper results live here:
+
+* **Figure 3** — the hypervisor's memory footprint stays below 7 % of the
+  total utilized memory while four LDBC VMs run, which "dictates placing
+  the whole Hypervisor in a reliable-memory (operated at nominal V-F-R)
+  domain can help ensure non-disruptive operation with low cost".
+  :class:`MemoryAccountant` tracks hypervisor/VM/application footprints
+  over time and reports the fraction.
+
+* **Reliable-domain placement** — :class:`PlacementPolicy` allocates the
+  hypervisor (and any structures marked critical) into the reliable
+  refresh domain and VM pages into relaxed domains, and answers the
+  question the resilience ablation (A3) asks: what is exposed when an
+  error lands in a given domain?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..hardware.dram import DramSystem, MemoryDomain
+
+#: Default hypervisor resident footprint: base plus per-VM bookkeeping
+#: (page tables, virtio queues, emulation state).
+HYPERVISOR_BASE_MB = 200.0
+HYPERVISOR_PER_VM_MB = 40.0
+
+
+@dataclass(frozen=True)
+class FootprintSample:
+    """Memory accounting snapshot at one instant."""
+
+    timestamp: float
+    hypervisor_mb: float
+    vm_mb: float
+    application_mb: float
+
+    @property
+    def total_mb(self) -> float:
+        """Hypervisor plus VM plus application megabytes."""
+        return self.hypervisor_mb + self.vm_mb + self.application_mb
+
+    @property
+    def hypervisor_fraction(self) -> float:
+        """The Figure 3 red line: hypervisor share of utilized memory."""
+        total = self.total_mb
+        return self.hypervisor_mb / total if total else 0.0
+
+
+class MemoryAccountant:
+    """Tracks hypervisor/VM/application footprints over a run (Figure 3)."""
+
+    def __init__(self, base_mb: float = HYPERVISOR_BASE_MB,
+                 per_vm_mb: float = HYPERVISOR_PER_VM_MB) -> None:
+        if base_mb < 0 or per_vm_mb < 0:
+            raise ConfigurationError("footprint parameters must be >= 0")
+        self.base_mb = base_mb
+        self.per_vm_mb = per_vm_mb
+        self._samples: List[FootprintSample] = []
+
+    def hypervisor_footprint_mb(self, n_vms: int) -> float:
+        """Hypervisor resident size with ``n_vms`` active VMs."""
+        if n_vms < 0:
+            raise ConfigurationError("n_vms must be non-negative")
+        return self.base_mb + self.per_vm_mb * n_vms
+
+    def sample(self, timestamp: float, n_vms: int, vm_mb: float,
+               application_mb: float) -> FootprintSample:
+        """Record one accounting snapshot."""
+        snap = FootprintSample(
+            timestamp=timestamp,
+            hypervisor_mb=self.hypervisor_footprint_mb(n_vms),
+            vm_mb=vm_mb,
+            application_mb=application_mb,
+        )
+        self._samples.append(snap)
+        return snap
+
+    @property
+    def samples(self) -> List[FootprintSample]:
+        """All recorded snapshots, in order."""
+        return list(self._samples)
+
+    def max_hypervisor_fraction(self) -> float:
+        """Peak hypervisor share across the run (paper: always < 7 %)."""
+        if not self._samples:
+            raise ConfigurationError("no samples recorded")
+        return max(s.hypervisor_fraction for s in self._samples)
+
+    def series(self) -> List[Tuple[float, float, float, float, float]]:
+        """(t, hypervisor, vm, app, fraction) rows for rendering Figure 3."""
+        return [
+            (s.timestamp, s.hypervisor_mb, s.vm_mb, s.application_mb,
+             s.hypervisor_fraction)
+            for s in self._samples
+        ]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One memory allocation placed into a refresh domain."""
+
+    owner: str
+    size_mb: float
+    domain: str
+    critical: bool
+
+
+class PlacementPolicy:
+    """Places allocations across reliable and relaxed refresh domains.
+
+    Critical allocations (the hypervisor itself, kernel code/stack) go to
+    the reliable domain; everything else fills the relaxed domains.  With
+    ``use_reliable_domain=False`` the policy degenerates to spreading
+    everything across relaxed memory — the ablation configuration showing
+    why the paper isolates kernel state.
+    """
+
+    def __init__(self, memory: DramSystem,
+                 use_reliable_domain: bool = True) -> None:
+        self.memory = memory
+        self.use_reliable_domain = use_reliable_domain
+        self._allocations: List[Allocation] = []
+
+    @property
+    def allocations(self) -> List[Allocation]:
+        """All live allocations."""
+        return list(self._allocations)
+
+    def _domain_usage_mb(self, domain_name: str) -> float:
+        return sum(a.size_mb for a in self._allocations
+                   if a.domain == domain_name)
+
+    def _capacity_left_mb(self, domain: MemoryDomain) -> float:
+        return domain.capacity_gb * 1024.0 - self._domain_usage_mb(domain.name)
+
+    def place(self, owner: str, size_mb: float,
+              critical: bool = False) -> Allocation:
+        """Place one allocation; returns the placement decision."""
+        if size_mb <= 0:
+            raise ConfigurationError("allocation size must be positive")
+        reliable = self.memory.reliable_domain()
+        candidates: List[MemoryDomain]
+        if critical and self.use_reliable_domain and reliable is not None:
+            candidates = [reliable]
+        else:
+            candidates = [d for d in self.memory.domains()
+                          if not (d.reliable and self.use_reliable_domain)]
+            if not candidates:
+                candidates = self.memory.domains()
+        # First-fit by remaining capacity, preferring the emptiest domain.
+        candidates = sorted(candidates, key=self._capacity_left_mb,
+                            reverse=True)
+        target = candidates[0]
+        if self._capacity_left_mb(target) < size_mb:
+            raise ConfigurationError(
+                f"out of memory placing {size_mb:.0f} MB for {owner!r}"
+            )
+        allocation = Allocation(
+            owner=owner, size_mb=size_mb, domain=target.name,
+            critical=critical,
+        )
+        self._allocations.append(allocation)
+        return allocation
+
+    def release(self, owner: str) -> int:
+        """Free every allocation owned by ``owner``; returns the count."""
+        kept = [a for a in self._allocations if a.owner != owner]
+        freed = len(self._allocations) - len(kept)
+        self._allocations = kept
+        return freed
+
+    def critical_exposure_mb(self) -> float:
+        """Critical megabytes sitting in *relaxed* domains.
+
+        Zero when the reliable-domain policy is active and intact; the
+        A3 ablation shows this growing (and crashes following) when the
+        policy is disabled.
+        """
+        relaxed_names = {d.name for d in self.memory.relaxed_domains()}
+        return sum(
+            a.size_mb for a in self._allocations
+            if a.critical and a.domain in relaxed_names
+        )
+
+    def error_hits_critical(self, domain_name: str,
+                            rng: np.random.Generator) -> bool:
+        """Whether a bit error in ``domain_name`` lands on critical state.
+
+        The probability is the critical share of the domain's *used*
+        memory — an error in an untouched page is harmless.
+        """
+        used = self._domain_usage_mb(domain_name)
+        if used <= 0:
+            return False
+        critical = sum(
+            a.size_mb for a in self._allocations
+            if a.domain == domain_name and a.critical
+        )
+        return bool(rng.random() < critical / used)

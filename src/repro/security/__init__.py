@@ -1,0 +1,44 @@
+"""EOP-specific security-threat analysis and low-cost countermeasures."""
+
+from .countermeasures import (
+    COUNTERMEASURE_CATALOG,
+    Countermeasure,
+    INTERFACE_AUTH,
+    MitigationPlan,
+    REFRESH_GUARD,
+    SENSOR_QUANTIZER,
+    STRESS_THROTTLER,
+    StressThrottler,
+    plan_countermeasures,
+    residual_risk,
+)
+from .threats import (
+    MARGIN_INTERFACE_ABUSE,
+    NodeExposure,
+    RETENTION_ABUSE,
+    RiskEntry,
+    SENSOR_SIDE_CHANNEL,
+    STRESS_ATTACK,
+    THREAT_CATALOG,
+    Threat,
+    ThreatAnalyzer,
+    looks_like_stress_attack,
+)
+
+from .sidechannel import (
+    AttackResult,
+    PhaseInferenceAttack,
+    attack_accuracy,
+    threshold_classify,
+)
+
+__all__ = [
+    "AttackResult", "PhaseInferenceAttack", "attack_accuracy", "threshold_classify",
+    "COUNTERMEASURE_CATALOG", "Countermeasure", "INTERFACE_AUTH",
+    "MitigationPlan", "REFRESH_GUARD", "SENSOR_QUANTIZER",
+    "STRESS_THROTTLER", "StressThrottler", "plan_countermeasures",
+    "residual_risk",
+    "MARGIN_INTERFACE_ABUSE", "NodeExposure", "RETENTION_ABUSE",
+    "RiskEntry", "SENSOR_SIDE_CHANNEL", "STRESS_ATTACK", "THREAT_CATALOG",
+    "Threat", "ThreatAnalyzer", "looks_like_stress_attack",
+]

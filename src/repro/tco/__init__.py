@@ -1,0 +1,48 @@
+"""Total-Cost-of-Ownership tool and edge-vs-cloud deployment model."""
+
+from .edge import (
+    CLOUD,
+    EDGE,
+    DeploymentLatency,
+    DvfsCurve,
+    EdgeServiceModel,
+    ServicePoint,
+)
+from .model import (
+    DatacenterSpec,
+    EDGE_SITE,
+    HOURS_PER_YEAR,
+    ServerSpec,
+    TCOBreakdown,
+    TCOModel,
+    apply_energy_efficiency,
+    apply_yield_recovery,
+)
+from .report import (
+    BASELINE_ARM_SERVER,
+    EnergyEfficiencySources,
+    Table3Projection,
+    project_table3,
+)
+from .exploration import (
+    AGGRESSIVE_EOP_POLICY,
+    CONSERVATIVE_POLICY,
+    DEFAULT_POLICIES,
+    DesignPoint,
+    DesignSpaceExplorer,
+    MODERATE_EOP_POLICY,
+    MarginPolicy,
+    cheapest_meeting_availability,
+    cost_availability_pareto,
+)
+
+__all__ = [
+    "AGGRESSIVE_EOP_POLICY", "CONSERVATIVE_POLICY", "DEFAULT_POLICIES", "DesignPoint", "DesignSpaceExplorer", "MODERATE_EOP_POLICY", "MarginPolicy", "cheapest_meeting_availability", "cost_availability_pareto",
+    "CLOUD", "EDGE", "DeploymentLatency", "DvfsCurve", "EdgeServiceModel",
+    "ServicePoint",
+    "DatacenterSpec", "EDGE_SITE", "HOURS_PER_YEAR", "ServerSpec",
+    "TCOBreakdown", "TCOModel", "apply_energy_efficiency",
+    "apply_yield_recovery",
+    "BASELINE_ARM_SERVER", "EnergyEfficiencySources", "Table3Projection",
+    "project_table3",
+]

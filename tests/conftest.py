@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.events import EventBus
+from repro.hardware import (
+    ChipModel,
+    build_uniserver_node,
+    intel_i5_4200u_spec,
+    intel_i7_3970x_spec,
+)
+from repro.workloads import spec_suite, virus_suite
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+@pytest.fixture
+def i5_chip():
+    return ChipModel(intel_i5_4200u_spec(), seed=11)
+
+
+@pytest.fixture
+def i7_chip():
+    return ChipModel(intel_i7_3970x_spec(), seed=22)
+
+
+@pytest.fixture
+def node_platform():
+    return build_uniserver_node()
+
+
+@pytest.fixture
+def spec_benchmarks():
+    return spec_suite()
+
+
+@pytest.fixture
+def viruses():
+    return virus_suite()

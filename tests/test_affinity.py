@@ -1,0 +1,106 @@
+"""Tests for EOP-aware vCPU affinity planning."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, SchedulingError
+from repro.hardware import ChipModel, arm_server_soc_spec
+from repro.hypervisor.affinity import (
+    AffinityPlanner,
+    naive_balanced_plan,
+)
+from repro.hypervisor.vm import VirtualMachine
+from repro.workloads import spec_workload
+
+
+@pytest.fixture
+def chip():
+    return ChipModel(arm_server_soc_spec(), seed=3)
+
+
+@pytest.fixture
+def planner(chip):
+    return AffinityPlanner(chip)
+
+
+def fleet(names_and_workloads):
+    return [
+        VirtualMachine(name=name, workload=spec_workload(workload))
+        for name, workload in names_and_workloads
+    ]
+
+
+class TestPairing:
+    def test_pairing_point_is_safe(self, planner):
+        vm = fleet([("a", "zeusmp")])[0]
+        pairing = planner.pairing_cost(vm, 0)
+        assert pairing is not None
+        assert pairing.failure_probability <= planner.failure_budget
+        core = planner.chip.core(0)
+        assert pairing.point.voltage_v >= \
+            core.crash_voltage_v(vm.workload.profile)
+
+    def test_strong_core_gets_deeper_point(self, planner, chip):
+        """The chip's strongest core supports a lower voltage than its
+        weakest for the same guest."""
+        vm = fleet([("a", "hmmer")])[0]
+        deltas = chip.spec.core_deltas_v
+        strong = deltas.index(min(deltas))
+        weak = deltas.index(max(deltas))
+        strong_pairing = planner.pairing_cost(vm, strong)
+        weak_pairing = planner.pairing_cost(vm, weak)
+        assert strong_pairing.point.voltage_v < weak_pairing.point.voltage_v
+
+    def test_isolated_core_unavailable(self, planner, chip):
+        chip.core(0).isolate()
+        vm = fleet([("a", "mcf")])[0]
+        assert planner.pairing_cost(vm, 0) is None
+
+
+class TestPlanning:
+    def test_plan_places_every_vm(self, planner):
+        vms = fleet([("a", "mcf"), ("b", "zeusmp"), ("c", "hmmer"),
+                     ("d", "namd")])
+        plan = planner.plan(vms)
+        assert [a.vm_name for a in plan] == ["a", "b", "c", "d"]
+
+    def test_plan_respects_core_capacity(self, chip):
+        planner = AffinityPlanner(chip, vms_per_core=1)
+        vms = fleet([(f"vm{i}", "mcf") for i in range(chip.n_cores)])
+        plan = planner.plan(vms)
+        cores = [a.core_id for a in plan]
+        assert len(set(cores)) == chip.n_cores  # one per core
+
+    def test_over_capacity_rejected(self, chip):
+        planner = AffinityPlanner(chip, vms_per_core=1)
+        vms = fleet([(f"vm{i}", "mcf") for i in range(chip.n_cores + 1)])
+        with pytest.raises(SchedulingError):
+            planner.plan(vms)
+
+    def test_empty_plan(self, planner):
+        assert planner.plan([]) == []
+
+    def test_affinity_beats_naive_balance(self, planner):
+        """The point of the feature: heterogeneity-aware placement burns
+        less power than round-robin for a mixed fleet."""
+        vms = fleet([("a", "zeusmp"), ("b", "mcf"), ("c", "namd"),
+                     ("d", "gobmk"), ("e", "milc"), ("f", "hmmer"),
+                     ("g", "h264ref"), ("h", "bzip2")])
+        smart = planner.plan(vms)
+        naive = naive_balanced_plan(planner, vms)
+        assert planner.total_relative_power(smart) < \
+            planner.total_relative_power(naive)
+
+    def test_no_active_cores_rejected(self, chip):
+        for core in chip.cores:
+            core.isolate()
+        planner = AffinityPlanner(chip)
+        with pytest.raises(SchedulingError):
+            planner.plan(fleet([("a", "mcf")]))
+
+    def test_validation(self, chip):
+        with pytest.raises(ConfigurationError):
+            AffinityPlanner(chip, guard_margin_v=-1.0)
+        with pytest.raises(ConfigurationError):
+            AffinityPlanner(chip, failure_budget=0.0)
+        with pytest.raises(ConfigurationError):
+            AffinityPlanner(chip, vms_per_core=0)

@@ -1,0 +1,102 @@
+"""Tests for analysis helpers (stats and ASCII rendering)."""
+
+import pytest
+
+from repro.analysis import (
+    exponential_moving_average,
+    geometric_mean,
+    quantize,
+    render_bar_chart,
+    render_histogram,
+    render_series,
+    render_table,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestStats:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.range == 3.0
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_quantize_snaps_to_grid(self):
+        assert quantize(0.0123, 0.005) == pytest.approx(0.010)
+        assert quantize(0.0126, 0.005) == pytest.approx(0.015)
+        with pytest.raises(ValueError):
+            quantize(1.0, 0.0)
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_wilson_zero_successes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+    def test_ema_smoothing(self):
+        smoothed = exponential_moving_average([0.0, 10.0], alpha=0.5)
+        assert smoothed == [0.0, 5.0]
+        with pytest.raises(ValueError):
+            exponential_moving_average([1.0], alpha=0.0)
+
+
+class TestRendering:
+    def test_table_contains_cells(self):
+        text = render_table("Title", ["name", "value"],
+                            [["alpha", 1.5], ["beta", 2]])
+        assert "Title" in text
+        assert "alpha" in text and "1.5" in text
+        assert text.count("+") >= 8  # grid borders
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a", "b"], [["only-one"]])
+
+    def test_bar_chart_scales_to_max(self):
+        text = render_bar_chart("Chart", ["x", "y"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in render_bar_chart("C", [], [])
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart("C", ["a"], [1.0, 2.0])
+
+    def test_histogram_labels_ranges(self):
+        text = render_histogram("H", [0.0, 0.5, 1.0], [3, 7])
+        assert "[0.000, 0.500)" in text
+
+    def test_histogram_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_histogram("H", [0.0, 1.0], [1, 2])
+
+    def test_series_lists_points(self):
+        text = render_series("S", "x", "y", [(1.0, 2.0), (3.0, 4.0)])
+        assert "S" in text and "2" in text and "4" in text

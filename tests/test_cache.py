@@ -1,0 +1,107 @@
+"""Tests for the cache SECDED error model."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.cache import CacheModel, CacheParameters
+from repro.hardware.ecc import DecodeStatus
+from repro.hardware.faults import FaultClass
+from repro.workloads.base import StressProfile
+
+
+def pressure_profile(cache=0.5):
+    return StressProfile(
+        droop_intensity=0.5, core_sensitivity=0.5, activity_factor=0.5,
+        cache_pressure=cache, dram_pressure=0.5,
+    )
+
+
+class TestExpectedErrors:
+    def test_expected_count_decays_with_headroom(self):
+        cache = CacheModel()
+        crash = 0.75
+        counts = [cache.expected_errors(crash + h, crash)
+                  for h in (0.002, 0.006, 0.012, 0.020)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_onset_margin_calibration(self):
+        """Expected count crosses 1 at the configured onset margin."""
+        params = CacheParameters(onset_margin_v=0.011)
+        cache = CacheModel(params)
+        at_onset = cache.expected_errors(0.75 + 0.011, 0.75)
+        assert at_onset == pytest.approx(1.0, rel=0.01)
+
+    def test_below_crash_saturates(self):
+        params = CacheParameters(max_errors_per_run=500)
+        cache = CacheModel(params)
+        assert cache.expected_errors(0.70, 0.75) == 500.0
+
+    def test_cache_pressure_scales_exposure(self):
+        cache = CacheModel()
+        low = cache.expected_errors(0.755, 0.75, pressure_profile(0.0))
+        high = cache.expected_errors(0.755, 0.75, pressure_profile(1.0))
+        assert high > low
+
+
+class TestRunSampling:
+    def test_non_reporting_platform_shows_nothing(self):
+        """The i7-3970X row of Table 2: no ECC events exposed."""
+        cache = CacheModel(CacheParameters(ecc_reporting=False))
+        result = cache.run(0.751, 0.75, pressure_profile())
+        assert result.correctable == 0 and result.uncorrectable == 0
+
+    def test_far_above_crash_is_clean(self):
+        cache = CacheModel(seed=1)
+        result = cache.run(0.95, 0.75)
+        assert result.total == 0
+
+    def test_near_crash_produces_errors(self):
+        cache = CacheModel(seed=2)
+        totals = [cache.run(0.752, 0.75).total for _ in range(50)]
+        assert max(totals) >= 1
+
+    def test_deterministic_given_seed(self):
+        a = [CacheModel(seed=3).run(0.755, 0.75).total for _ in range(1)]
+        b = [CacheModel(seed=3).run(0.755, 0.75).total for _ in range(1)]
+        assert a == b
+
+    def test_double_bit_fraction_zero_means_all_correctable(self):
+        cache = CacheModel(CacheParameters(double_bit_fraction=0.0), seed=4)
+        result = cache.run(0.751, 0.75)
+        assert result.uncorrectable == 0
+
+
+class TestFaultRecords:
+    def test_records_match_counts(self):
+        cache = CacheModel(seed=5)
+        result = cache.run(0.7505, 0.75)
+        records = cache.fault_records(result, timestamp=1.0,
+                                      component="core0")
+        ce = [r for r in records if r.fault_class is FaultClass.CORRECTABLE]
+        ue = [r for r in records
+              if r.fault_class is FaultClass.UNCORRECTABLE]
+        assert len(ce) == result.correctable
+        assert len(ue) == result.uncorrectable
+
+
+class TestSecdedDemo:
+    def test_single_flip_is_corrected(self):
+        cache = CacheModel()
+        result = cache.demonstrate_secded(0xDEAD, flip_bits=(5,))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 0xDEAD
+
+    def test_double_flip_is_uncorrectable(self):
+        cache = CacheModel()
+        result = cache.demonstrate_secded(0xDEAD, flip_bits=(5, 17))
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheParameters(onset_margin_v=0.0)
+        with pytest.raises(ConfigurationError):
+            CacheParameters(double_bit_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            CacheParameters(max_errors_per_run=0)

@@ -1,0 +1,202 @@
+"""Calibration tests: the Section 6 campaigns must reproduce the paper.
+
+These are the headline reproduction checks — each asserts the *shape* of
+a paper result (see EXPERIMENTS.md for the exact paper-vs-measured
+numbers).
+"""
+
+import pytest
+
+from repro.characterization import (
+    COMMERCIAL_DRAM_BER_TARGET,
+    RefreshRelaxationCampaign,
+    UndervoltingCampaign,
+    refresh_share_vs_density,
+    run_population_study,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.hardware import (
+    ChipModel,
+    intel_i5_4200u_spec,
+    intel_i7_3970x_spec,
+    standard_server_memory,
+)
+from repro.hardware.ecc import SECDED_BER_CAPABILITY
+from repro.workloads import spec_suite
+
+
+@pytest.fixture(scope="module")
+def i5_campaign():
+    chip = ChipModel(intel_i5_4200u_spec(), seed=11)
+    return UndervoltingCampaign(chip, spec_suite()).run()
+
+
+@pytest.fixture(scope="module")
+def i7_campaign():
+    chip = ChipModel(intel_i7_3970x_spec(), seed=22)
+    return UndervoltingCampaign(chip, spec_suite()).run()
+
+
+class TestTable2I5:
+    """Paper Table 2, i5-4200U column: crash -10 %..-11.2 %,
+    core-to-core 0 %..2.7 %, ECC errors 1..17."""
+
+    def test_crash_offset_range(self, i5_campaign):
+        low, high = i5_campaign.crash_offset_range()
+        assert low == pytest.approx(0.100, abs=0.008)
+        assert high == pytest.approx(0.112, abs=0.008)
+
+    def test_core_to_core_range(self, i5_campaign):
+        low, high = i5_campaign.core_variation_range()
+        assert low == pytest.approx(0.0, abs=0.004)
+        assert high == pytest.approx(0.027, abs=0.006)
+
+    def test_ecc_errors_exposed(self, i5_campaign):
+        counts = i5_campaign.ecc_count_range()
+        assert counts is not None
+        low, high = counts
+        assert low == 1
+        assert 10 <= high <= 30
+
+    def test_ecc_onset_fifteen_millivolts_above_crash(self, i5_campaign):
+        margin = i5_campaign.mean_ecc_onset_margin_v()
+        assert margin == pytest.approx(0.015, abs=0.004)
+
+    def test_table_rows_render(self, i5_campaign):
+        rows = i5_campaign.table2_rows()
+        assert len(rows) == 3
+        assert rows[0][0].startswith("crash points")
+
+
+class TestTable2I7:
+    """Paper Table 2, i7-3970X column: crash -8.4 %..-15.4 %,
+    core-to-core 3.7 %..8 %, no ECC exposure."""
+
+    def test_crash_offset_range(self, i7_campaign):
+        low, high = i7_campaign.crash_offset_range()
+        assert low == pytest.approx(0.084, abs=0.008)
+        assert high == pytest.approx(0.154, abs=0.008)
+
+    def test_core_to_core_range(self, i7_campaign):
+        low, high = i7_campaign.core_variation_range()
+        assert low == pytest.approx(0.037, abs=0.008)
+        assert high == pytest.approx(0.080, abs=0.010)
+
+    def test_no_ecc_exposure(self, i7_campaign):
+        assert i7_campaign.ecc_count_range() is None
+        assert i7_campaign.mean_ecc_onset_margin_v() is None
+
+    def test_high_end_part_has_wider_variation(self, i5_campaign,
+                                               i7_campaign):
+        """The 6-core part exposes more heterogeneity than the 2-core."""
+        assert i7_campaign.core_variation_range()[1] > \
+            i5_campaign.core_variation_range()[1]
+
+
+class TestCampaignMechanics:
+    def test_three_runs_per_benchmark_core(self, i5_campaign):
+        assert len(i5_campaign.sweeps) == 8 * 2 * 3
+
+    def test_crash_voltages_quantised_to_step(self, i5_campaign):
+        for sweep in i5_campaign.sweeps[:10]:
+            steps = (i5_campaign.nominal_voltage_v
+                     - sweep.crash_voltage_v) / i5_campaign.step_v
+            assert steps == pytest.approx(round(steps), abs=1e-6)
+
+    def test_bad_configuration_rejected(self, i5_chip, spec_benchmarks):
+        with pytest.raises(ConfigurationError):
+            UndervoltingCampaign(i5_chip, spec_benchmarks, step_v=0.0)
+        with pytest.raises(ConfigurationError):
+            UndervoltingCampaign(i5_chip, spec_benchmarks,
+                                 runs_per_benchmark=0)
+
+
+class TestDramCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        memory = standard_server_memory(seed=5)
+        campaign = RefreshRelaxationCampaign(memory, "channel1")
+        return campaign.run()
+
+    def test_error_free_up_to_1500ms(self, result):
+        """Section 6.B: refresh can relax 64 ms -> 1.5 s with no errors."""
+        assert result.max_error_free_interval_s() >= 1.5
+
+    def test_five_second_ber_within_commercial_target(self, result):
+        step = result.step_at(5.0)
+        assert step.relaxation_factor == pytest.approx(78.1, abs=0.2)
+        assert 1e-10 < step.cumulative_ber < 3e-9
+        assert step.cumulative_ber <= COMMERCIAL_DRAM_BER_TARGET * 3
+        assert step.within_secded_capability
+
+    def test_secded_headroom_is_three_orders(self, result):
+        """Paper: SECDED handles up to 1e-6, three orders above the 5 s
+        BER."""
+        step = result.step_at(5.0)
+        assert SECDED_BER_CAPABILITY / step.cumulative_ber > 100
+
+    def test_refresh_power_saving_grows_with_interval(self, result):
+        savings = [result.refresh_power_saving_fraction(i)
+                   for i in (0.128, 0.512, 1.5, 5.0)]
+        assert savings == sorted(savings)
+        assert savings[-1] > 0.95
+
+    def test_campaign_restores_original_interval(self, result):
+        memory = standard_server_memory(seed=6)
+        campaign = RefreshRelaxationCampaign(memory, "channel2")
+        campaign.run()
+        assert memory.domain("channel2").refresh_interval_s == \
+            pytest.approx(0.064)
+
+    def test_reliable_domain_refused(self):
+        memory = standard_server_memory(seed=7)
+        with pytest.raises(ConfigurationError):
+            RefreshRelaxationCampaign(memory, "channel0")
+
+
+class TestRefreshShareTable:
+    def test_shares_match_paper_anchors(self):
+        rows = refresh_share_vs_density()
+        by_density = {row.density_gbit: row for row in rows}
+        assert by_density[2.0].refresh_share_nominal == pytest.approx(
+            0.09, abs=0.005)
+        assert by_density[32.0].refresh_share_nominal >= 0.34
+
+    def test_relaxation_nearly_eliminates_share(self):
+        rows = refresh_share_vs_density(relaxed_interval_s=1.5)
+        assert all(row.refresh_share_relaxed < 0.03 for row in rows)
+        assert all(
+            row.refresh_share_relaxed < row.refresh_share_nominal / 10
+            for row in rows
+        )
+
+
+class TestPopulationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_population_study(n_chips=800, n_cores=8, seed=42)
+
+    def test_population_spreads_over_bins(self, study):
+        counts = study.bin_counts()
+        occupied = [name for name, n in counts.items() if n > 0]
+        assert len(occupied) >= 4
+
+    def test_yield_loss_exists(self, study):
+        assert study.classical_yield() < 1.0
+
+    def test_uniserver_recovers_discards(self, study):
+        assert study.recoverable_discard_fraction() > 0.3
+
+    def test_margin_waste_is_significant(self, study):
+        """Worst-part provisioning wastes a few percent of voltage on the
+        average core — the margin UniServer reclaims."""
+        assert study.per_core_margin_waste() > 0.02
+
+    def test_histogram_covers_population(self, study):
+        counts, edges = study.vmin_factor_histogram()
+        assert counts.sum() == study.n_chips
+        assert len(edges) == len(counts) + 1
+
+    def test_small_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_population_study(n_chips=5)

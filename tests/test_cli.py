@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("quickstart", "characterize", "refresh",
+                        "figure4", "population", "tco", "edge",
+                        "validate"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_characterize_chip_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["characterize", "--chip", "i7"])
+        assert args.chip == "i7"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["characterize", "--chip", "pentium"])
+
+
+class TestCommands:
+    def test_tco_prints_table(self, capsys):
+        assert main(["tco"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Scaling" in out
+
+    def test_edge_prints_savings(self, capsys):
+        assert main(["edge"]) == 0
+        out = capsys.readouterr().out
+        assert "edge" in out and "energy" in out
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_population_small_run(self, capsys):
+        assert main(["population", "--chips", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "100-chip population" in out
+        assert "classical yield" in out
+
+    def test_characterize_i5(self, capsys):
+        assert main(["characterize", "--chip", "i5"]) == 0
+        out = capsys.readouterr().out
+        assert "i5-4200U" in out
+        assert "crash points" in out
+        assert "ECC onset" in out
+
+    def test_refresh_sweep(self, capsys):
+        assert main(["refresh"]) == 0
+        out = capsys.readouterr().out
+        assert "error-free up to 1.5 s" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "load amplification" in out
+        assert "fs" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "adopted" in out and "saving" in out

@@ -1,0 +1,102 @@
+"""Tests for the discrete-event simulation clock."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError
+
+
+class TestScheduling:
+    def test_advance_executes_due_events_in_order(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule_at(2.0, lambda: seen.append("b"))
+        clock.schedule_at(1.0, lambda: seen.append("a"))
+        clock.schedule_at(3.0, lambda: seen.append("c"))
+        executed = clock.advance_to(2.5)
+        assert seen == ["a", "b"]
+        assert executed == 2
+        assert clock.now == 2.5
+
+    def test_same_time_events_run_in_insertion_order(self):
+        clock = SimClock()
+        seen = []
+        for tag in "xyz":
+            clock.schedule_at(1.0, lambda t=tag: seen.append(t))
+        clock.advance_to(1.0)
+        assert seen == ["x", "y", "z"]
+
+    def test_schedule_after_is_relative(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        fired = []
+        clock.schedule_after(5.0, lambda: fired.append(clock.now))
+        clock.advance_by(5.0)
+        assert fired == [15.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.schedule_at(4.0, lambda: None)
+
+    def test_cannot_advance_backwards(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(4.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().schedule_after(-1.0, lambda: None)
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self):
+        clock = SimClock()
+        times = []
+        clock.schedule_every(2.0, lambda: times.append(clock.now))
+        clock.advance_to(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_periodic_respects_until(self):
+        clock = SimClock()
+        times = []
+        clock.schedule_every(1.0, lambda: times.append(clock.now), until=3.0)
+        clock.advance_to(10.0)
+        assert times == [1.0, 2.0, 3.0]
+        assert clock.pending() == 0
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().schedule_every(0.0, lambda: None)
+
+
+class TestRunUntilIdle:
+    def test_drains_queue(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule_at(1.0, lambda: seen.append(1))
+        clock.schedule_at(5.0, lambda: seen.append(5))
+        executed = clock.run_until_idle()
+        assert executed == 2
+        assert clock.now == 5.0
+
+    def test_guards_against_unbounded_periodics(self):
+        clock = SimClock()
+        clock.schedule_every(1.0, lambda: None)
+        with pytest.raises(ConfigurationError):
+            clock.run_until_idle(max_events=100)
+
+    def test_events_scheduled_by_events_run(self):
+        clock = SimClock()
+        seen = []
+
+        def first():
+            seen.append("first")
+            clock.schedule_after(1.0, lambda: seen.append("second"))
+
+        clock.schedule_at(1.0, first)
+        clock.run_until_idle()
+        assert seen == ["first", "second"]
+        assert clock.now == 2.0

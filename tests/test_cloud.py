@@ -1,0 +1,168 @@
+"""Tests for the cloud controller and failure prediction."""
+
+import pytest
+
+from repro.cloudmgr import (
+    CloudController,
+    ComputeNode,
+    LearnedFailurePredictor,
+    ThresholdFailurePredictor,
+    node_features,
+)
+from repro.cloudmgr.sla import BRONZE, SILVER
+from repro.cloudmgr.telemetry import TelemetryService
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError, PredictionError
+from repro.hypervisor.vm import VirtualMachine
+from repro.workloads import spec_workload
+
+
+def make_cloud(n_nodes=3, proactive=True):
+    clock = SimClock()
+    nodes = [ComputeNode(f"node{i}", clock, seed=i) for i in range(n_nodes)]
+    return CloudController(clock, nodes, proactive_migration=proactive)
+
+
+def make_vm(name, cycles=1e11):
+    return VirtualMachine(name=name,
+                          workload=spec_workload("hmmer",
+                                                 duration_cycles=cycles))
+
+
+class TestControllerBasics:
+    def test_launch_places_and_tracks(self):
+        cloud = make_cloud()
+        placement = cloud.launch(make_vm("vm0"), SILVER)
+        assert placement.node in cloud.nodes
+        assert "vm0" in cloud.tracker.tracked_vms()
+        assert cloud.locate("vm0").name == placement.node
+
+    def test_vms_complete_and_are_reaped(self):
+        cloud = make_cloud()
+        cloud.launch(make_vm("vm0", cycles=5e9), BRONZE)
+        cloud.run(10.0)
+        assert cloud.stats.completed == 1
+        with pytest.raises(KeyError):
+            cloud.locate("vm0")
+
+    def test_fleet_availability_high_on_healthy_rack(self):
+        cloud = make_cloud()
+        for i in range(4):
+            cloud.launch(make_vm(f"vm{i}", cycles=1e11), SILVER)
+        cloud.run(30.0)
+        assert cloud.fleet_availability() > 0.99
+
+    def test_energy_accumulates(self):
+        cloud = make_cloud()
+        cloud.launch(make_vm("vm0"), SILVER)
+        cloud.run(10.0)
+        assert cloud.stats.energy_j > 0
+
+    def test_duplicate_node_names_rejected(self):
+        clock = SimClock()
+        nodes = [ComputeNode("same", clock), ComputeNode("same", clock)]
+        with pytest.raises(ConfigurationError):
+            CloudController(clock, nodes)
+
+    def test_describe_mentions_nodes(self):
+        cloud = make_cloud(n_nodes=2)
+        text = cloud.describe()
+        assert "node0" in text and "node1" in text
+
+
+class TestCrashRecovery:
+    def test_crashed_node_recovers_after_delay(self):
+        cloud = make_cloud(n_nodes=2)
+        cloud.node_recovery_s = 5.0
+        node = cloud.nodes["node0"]
+        node.hypervisor._crashed = True
+        cloud.run(10.0)
+        assert cloud.stats.node_crashes == 1
+        assert not node.hypervisor.crashed
+
+
+class TestThresholdPredictor:
+    def test_healthy_node_is_low_risk(self):
+        clock = SimClock()
+        node = ComputeNode("n0", clock)
+        assessment = ThresholdFailurePredictor().assess(
+            node, TelemetryService())
+        assert not assessment.at_risk
+        assert assessment.reason == "healthy"
+
+    def test_aggressive_margins_raise_risk(self):
+        clock = SimClock()
+        node = ComputeNode("n0", clock)
+        nominal = node.platform.chip.spec.nominal
+        node.platform.set_all_core_points(
+            nominal.with_voltage(nominal.voltage_v * 0.7))
+        assessment = ThresholdFailurePredictor().assess(
+            node, TelemetryService())
+        assert assessment.risk > 0.2
+        assert "margin" in assessment.reason
+
+    def test_feature_vector_shape(self):
+        clock = SimClock()
+        node = ComputeNode("n0", clock)
+        features = node_features(node, TelemetryService())
+        assert features.shape == (5,)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdFailurePredictor(threshold=0.0)
+
+
+class TestLearnedPredictor:
+    def test_train_and_assess(self):
+        clock = SimClock()
+        telemetry = TelemetryService()
+        predictor = LearnedFailurePredictor()
+        healthy = ComputeNode("h", clock, seed=1)
+        risky = ComputeNode("r", clock, seed=2)
+        nominal = risky.platform.chip.spec.nominal
+        risky.platform.set_all_core_points(
+            nominal.with_voltage(nominal.voltage_v * 0.7))
+        for _ in range(10):
+            predictor.observe(healthy, telemetry,
+                              failed_within_horizon=False)
+            predictor.observe(risky, telemetry, failed_within_horizon=True)
+        predictor.train()
+        assert predictor.assess(risky, telemetry).risk > \
+            predictor.assess(healthy, telemetry).risk
+
+    def test_needs_training_data(self):
+        predictor = LearnedFailurePredictor()
+        with pytest.raises(PredictionError):
+            predictor.train()
+
+    def test_assess_before_training_rejected(self):
+        clock = SimClock()
+        node = ComputeNode("n0", clock)
+        with pytest.raises(PredictionError):
+            LearnedFailurePredictor().assess(node, TelemetryService())
+
+
+class TestProactiveMigration:
+    def test_at_risk_node_is_evacuated(self):
+        cloud = make_cloud(n_nodes=3, proactive=True)
+        cloud.launch(make_vm("vm0", cycles=1e12), SILVER)
+        home = cloud.locate("vm0")
+        # Make the home node look doomed: deep undervolt on every core.
+        nominal = home.platform.chip.spec.nominal
+        home.platform.set_all_core_points(
+            nominal.with_voltage(nominal.voltage_v * 0.70))
+        # Within a few control steps the risk crosses the threshold
+        # (margin aggression plus the crashes the node starts logging).
+        cloud.run(5.0)
+        assert cloud.stats.evacuations >= 1
+        assert cloud.locate("vm0").name != home.name
+
+    def test_reactive_mode_leaves_vms_in_place(self):
+        cloud = make_cloud(n_nodes=3, proactive=False)
+        cloud.launch(make_vm("vm0", cycles=1e12), SILVER)
+        home = cloud.locate("vm0")
+        nominal = home.platform.chip.spec.nominal
+        home.platform.set_all_core_points(
+            nominal.with_voltage(nominal.voltage_v * 0.70))
+        cloud.run(5.0)
+        assert cloud.stats.evacuations == 0

@@ -1,0 +1,118 @@
+"""Integration tests for the full cross-layer UniServerNode."""
+
+import pytest
+
+from repro.core import UniServerNode
+from repro.core.exceptions import ConfigurationError
+from repro.hypervisor import make_vm_fleet
+from repro.workloads import spec_workload
+
+
+@pytest.fixture(scope="module")
+def deployed_node():
+    node = UniServerNode(seed=3)
+    node.pre_deploy()
+    node.deploy()
+    return node
+
+
+class TestDeploymentFlow:
+    def test_deploy_requires_characterisation(self):
+        node = UniServerNode()
+        with pytest.raises(ConfigurationError):
+            node.deploy()
+
+    def test_pre_deploy_characterises_everything(self):
+        node = UniServerNode(seed=1)
+        margins = node.pre_deploy()
+        n_cores = node.platform.chip.n_cores
+        n_relaxable = len(node.platform.memory.domains()) - 1
+        assert len(margins.margins) == n_cores + n_relaxable
+
+    def test_deploy_applies_margins(self):
+        node = UniServerNode(seed=2)
+        node.pre_deploy()
+        changed = node.deploy()
+        assert len(changed) > 0
+        nominal = node.platform.chip.spec.nominal
+        assert any(
+            node.platform.core_point(c.core_id).voltage_v
+            < nominal.voltage_v
+            for c in node.platform.chip.cores
+        )
+
+    def test_conservative_deploy_stays_nominal(self):
+        node = UniServerNode(seed=2)
+        node.pre_deploy()
+        changed = node.deploy(apply_margins=False)
+        assert changed == []
+        nominal = node.platform.chip.spec.nominal
+        assert all(
+            node.platform.core_point(c.core_id) == nominal
+            for c in node.platform.chip.cores
+        )
+
+    def test_vms_require_deployment(self):
+        node = UniServerNode()
+        vm = make_vm_fleet(spec_workload("mcf"), 1)[0]
+        with pytest.raises(ConfigurationError):
+            node.launch_vm(vm)
+
+
+class TestEnergyReport:
+    def test_eop_saves_energy(self, deployed_node):
+        report = deployed_node.energy_report()
+        assert report.saving_fraction > 0.10
+        assert report.eop_power_w < report.nominal_power_w
+
+    def test_report_does_not_disturb_configuration(self, deployed_node):
+        before = [
+            deployed_node.platform.core_point(c.core_id)
+            for c in deployed_node.platform.chip.cores
+        ]
+        deployed_node.energy_report()
+        after = [
+            deployed_node.platform.core_point(c.core_id)
+            for c in deployed_node.platform.chip.cores
+        ]
+        assert before == after
+
+
+class TestRuntimeLoop:
+    def test_vms_run_at_eop(self):
+        node = UniServerNode(seed=5)
+        node.pre_deploy()
+        node.deploy()
+        vms = make_vm_fleet(
+            spec_workload("hmmer", duration_cycles=5e10), 3)
+        for vm in vms:
+            node.launch_vm(vm)
+        node.run(30.0)
+        assert all(vm.executed_cycles > 0 for vm in vms)
+        assert not node.hypervisor.crashed
+
+    def test_snapshot_reflects_configuration(self, deployed_node):
+        snapshot = deployed_node.snapshot()
+        assert snapshot.node == deployed_node.platform.name
+        assert "core0" in snapshot.configuration
+
+    def test_recharacterize_appends_history(self):
+        node = UniServerNode(seed=6)
+        node.pre_deploy()
+        node.deploy()
+        node.recharacterize()
+        assert len(node.margin_history) == 2
+        assert node.margin_history[1].trigger == "on-demand"
+
+    def test_predictor_training_from_stresslog(self):
+        node = UniServerNode(seed=7)
+        node.pre_deploy()
+        node.deploy()
+        node.train_predictor()
+        workload = spec_workload("mcf")
+        nominal = node.platform.chip.spec.nominal
+        safe = node.predictor.predict_failure(nominal, workload.profile)
+        deep = node.predictor.predict_failure(
+            nominal.with_voltage(nominal.voltage_v * 0.72),
+            workload.profile)
+        assert deep > safe

@@ -1,0 +1,148 @@
+"""Tests for the DRAM retention model and refresh domains."""
+
+import pytest
+
+from repro.core.eop import NOMINAL_REFRESH_INTERVAL_S
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.dram import (
+    BITS_PER_GB,
+    Dimm,
+    DramSystem,
+    MemoryDomain,
+    RetentionModel,
+    standard_server_memory,
+)
+
+
+class TestRetentionModel:
+    def test_nominal_refresh_is_error_free(self):
+        """At 64 ms the BER is astronomically small."""
+        ber = RetentionModel().ber(NOMINAL_REFRESH_INTERVAL_S)
+        assert ber < 1e-18
+
+    def test_paper_five_second_ber(self):
+        """Section 6.B: at 5 s (78x nominal) cumulative BER ~ 1e-9."""
+        ber = RetentionModel().ber(5.0)
+        assert 3e-10 < ber < 3e-9
+
+    def test_paper_1500ms_unobservable(self):
+        """At 1.5 s the expected errors over an 8 GB DIMM test are << 1."""
+        ber = RetentionModel().ber(1.5)
+        expected_errors = ber * 8 * BITS_PER_GB
+        assert expected_errors < 0.2
+
+    def test_ber_monotone_in_interval(self):
+        model = RetentionModel()
+        bers = [model.ber(t) for t in (0.064, 0.5, 1.5, 5.0, 20.0)]
+        assert bers == sorted(bers)
+
+    def test_temperature_shortens_retention(self):
+        model = RetentionModel()
+        cool = model.ber(5.0, temperature_c=35.0)
+        hot = model.ber(5.0, temperature_c=55.0)
+        assert hot > model.ber(5.0) > cool
+
+    def test_max_interval_inversion_roundtrip(self):
+        model = RetentionModel()
+        interval = model.max_interval_for_ber(1e-9)
+        assert model.ber(interval) == pytest.approx(1e-9, rel=0.01)
+        assert 3.0 < interval < 8.0
+
+    def test_max_interval_respects_temperature(self):
+        model = RetentionModel()
+        cool = model.max_interval_for_ber(1e-9, temperature_c=35.0)
+        hot = model.max_interval_for_ber(1e-9, temperature_c=55.0)
+        assert cool > hot
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel().ber(0.0)
+        with pytest.raises(ConfigurationError):
+            RetentionModel().max_interval_for_ber(0.0)
+
+
+class TestMemoryDomain:
+    def _domain(self, reliable=False):
+        return MemoryDomain("d0", [Dimm(dimm_id=0)], reliable=reliable,
+                            seed=1)
+
+    def test_reliable_domain_refuses_relaxation(self):
+        domain = self._domain(reliable=True)
+        with pytest.raises(ConfigurationError):
+            domain.set_refresh_interval(1.5)
+
+    def test_reliable_domain_accepts_tightening(self):
+        domain = self._domain(reliable=True)
+        domain.set_refresh_interval(0.032)
+        assert domain.refresh_interval_s == 0.032
+
+    def test_relaxation_changes_power(self):
+        domain = self._domain()
+        nominal_power = domain.refresh_power_w()
+        domain.set_refresh_interval(1.5)
+        assert domain.refresh_power_w() < nominal_power / 20
+
+    def test_pattern_test_clean_at_nominal(self):
+        domain = self._domain()
+        assert domain.sample_pattern_errors(coverage=1.0, passes=4) == 0
+
+    def test_pattern_test_finds_errors_when_extreme(self):
+        domain = self._domain()
+        domain.set_refresh_interval(30.0)
+        errors = domain.sample_pattern_errors(coverage=1.0, passes=2)
+        assert errors > 0
+
+    def test_expected_errors_scale_with_coverage(self):
+        domain = self._domain()
+        domain.set_refresh_interval(5.0)
+        full = domain.expected_errors_per_pass(coverage=1.0)
+        half = domain.expected_errors_per_pass(coverage=0.5)
+        assert full == pytest.approx(2 * half)
+
+    def test_needs_at_least_one_dimm(self):
+        with pytest.raises(ConfigurationError):
+            MemoryDomain("empty", [])
+
+
+class TestDramSystem:
+    def test_standard_layout(self):
+        memory = standard_server_memory(n_channels=4, dimm_gb=8.0)
+        assert memory.capacity_gb == pytest.approx(32.0)
+        assert memory.reliable_domain().name == "channel0"
+        assert len(memory.domains()) == 4
+
+    def test_relax_all_spares_reliable(self):
+        memory = standard_server_memory()
+        changed = memory.relax_all(1.5)
+        assert "channel0" not in changed
+        assert len(memory.relaxed_domains()) == 3
+        assert memory.reliable_domain().refresh_interval_s == \
+            NOMINAL_REFRESH_INTERVAL_S
+
+    def test_relax_all_can_override_reliable_for_ablation(self):
+        memory = standard_server_memory()
+        changed = memory.relax_all(1.5, keep_reliable_nominal=False)
+        assert "channel0" in changed
+        assert memory.domain("channel0").refresh_interval_s == 1.5
+
+    def test_relaxation_reduces_total_power(self):
+        memory = standard_server_memory()
+        before = memory.total_power_w()
+        memory.relax_all(1.5)
+        assert memory.total_power_w() < before
+
+    def test_duplicate_domain_names_rejected(self):
+        d = [MemoryDomain("x", [Dimm(dimm_id=0)]),
+             MemoryDomain("x", [Dimm(dimm_id=1)])]
+        with pytest.raises(ConfigurationError):
+            DramSystem(d)
+
+    def test_unknown_domain_lookup(self):
+        memory = standard_server_memory()
+        with pytest.raises(KeyError):
+            memory.domain("channel9")
+
+    def test_contains(self):
+        memory = standard_server_memory()
+        assert "channel1" in memory
+        assert "nope" not in memory

@@ -1,0 +1,118 @@
+"""Tests for the Hamming SECDED(72, 64) implementation.
+
+These exercise *code properties*, not model assumptions: every single-bit
+flip must be corrected at its exact position, every double-bit flip must
+be flagged uncorrectable, and clean words must decode clean.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.ecc import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeStatus,
+    decode,
+    encode,
+    inject_bit_flips,
+    secded_word_failure_probability,
+)
+
+WORDS = st.integers(min_value=0, max_value=2 ** DATA_BITS - 1)
+BITS = st.integers(min_value=0, max_value=CODEWORD_BITS - 1)
+
+
+class TestEncode:
+    def test_rejects_out_of_range_data(self):
+        with pytest.raises(ConfigurationError):
+            encode(2 ** 64)
+        with pytest.raises(ConfigurationError):
+            encode(-1)
+
+    def test_codeword_fits_72_bits(self):
+        for word in (0, 1, 2 ** 64 - 1, 0xDEADBEEFCAFEBABE):
+            assert 0 <= encode(word) < 2 ** CODEWORD_BITS
+
+    @given(WORDS)
+    @settings(max_examples=50)
+    def test_clean_roundtrip(self, word):
+        result = decode(encode(word))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == word
+
+    def test_distinct_words_have_distinct_codewords(self):
+        seen = {encode(w) for w in range(512)}
+        assert len(seen) == 512
+
+
+class TestSingleBitErrors:
+    def test_every_position_is_corrected(self):
+        word = 0xA5A5A5A5A5A5A5A5
+        codeword = encode(word)
+        for bit in range(CODEWORD_BITS):
+            corrupted = inject_bit_flips(codeword, [bit])
+            result = decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED, f"bit {bit}"
+            assert result.data == word, f"bit {bit}"
+            assert result.flipped_bit == bit
+
+    @given(WORDS, BITS)
+    @settings(max_examples=100)
+    def test_random_single_flip_corrected(self, word, bit):
+        corrupted = inject_bit_flips(encode(word), [bit])
+        result = decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+
+
+class TestDoubleBitErrors:
+    @given(WORDS, st.tuples(BITS, BITS).filter(lambda t: t[0] != t[1]))
+    @settings(max_examples=100)
+    def test_double_flip_detected_not_miscorrected(self, word, bits):
+        corrupted = inject_bit_flips(encode(word), list(bits))
+        result = decode(corrupted)
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+    def test_exhaustive_double_flips_on_one_word(self):
+        codeword = encode(0x0123456789ABCDEF)
+        for i in range(0, CODEWORD_BITS, 7):
+            for j in range(i + 1, CODEWORD_BITS, 5):
+                result = decode(inject_bit_flips(codeword, [i, j]))
+                assert result.status is DecodeStatus.UNCORRECTABLE
+
+
+class TestInjection:
+    def test_flip_is_involutive(self):
+        codeword = encode(42)
+        once = inject_bit_flips(codeword, [13])
+        twice = inject_bit_flips(once, [13])
+        assert twice == codeword
+
+    def test_rejects_out_of_range_bit(self):
+        with pytest.raises(ConfigurationError):
+            inject_bit_flips(encode(0), [72])
+
+
+class TestFailureProbability:
+    def test_zero_ber_is_zero(self):
+        assert secded_word_failure_probability(0.0) == 0.0
+
+    def test_monotone_in_ber(self):
+        probs = [secded_word_failure_probability(b)
+                 for b in (1e-9, 1e-7, 1e-5, 1e-3)]
+        assert probs == sorted(probs)
+
+    def test_small_ber_scales_quadratically(self):
+        p1 = secded_word_failure_probability(1e-6)
+        p2 = secded_word_failure_probability(2e-6)
+        assert p2 / p1 == pytest.approx(4.0, rel=0.01)
+
+    def test_rejects_non_probability(self):
+        with pytest.raises(ConfigurationError):
+            secded_word_failure_probability(1.5)
+
+    def test_decode_rejects_out_of_range_codeword(self):
+        with pytest.raises(ConfigurationError):
+            decode(2 ** CODEWORD_BITS)

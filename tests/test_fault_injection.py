@@ -1,0 +1,102 @@
+"""Tests for the Figure 4 fault-injection campaign."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hypervisor.checkpoint import CheckpointManager
+from repro.hypervisor.fault_injection import (
+    FaultInjectionCampaign,
+    run_figure4_campaign,
+)
+from repro.hypervisor.objects import ObjectCatalog, TOTAL_OBJECTS
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_figure4_campaign(seed=7)
+
+
+class TestCampaignMechanics:
+    def test_every_object_injected_five_times(self, figure4):
+        report = figure4.loaded_report
+        assert report.total_injections == TOTAL_OBJECTS * 5
+
+    def test_deterministic_given_seed(self):
+        a = FaultInjectionCampaign(seed=3).run(loaded=True)
+        b = FaultInjectionCampaign(seed=3).run(loaded=True)
+        assert a.fatal_by_category == b.fatal_by_category
+
+    def test_all_categories_reported(self, figure4):
+        assert set(figure4.loaded_report.fatal_by_category) == \
+            set(ObjectCatalog().categories())
+
+    def test_executions_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjectionCampaign().run(loaded=True, executions=0)
+
+
+class TestFigure4Shape:
+    def test_load_amplification_is_order_of_magnitude(self, figure4):
+        """Paper: 'an order of magnitude more Hypervisor crashes in the
+        presence of active VMs'."""
+        amplification = figure4.load_amplification()
+        assert 5.0 < amplification < 30.0
+
+    def test_fs_kernel_mm_net_are_most_sensitive(self, figure4):
+        assert set(figure4.sensitive_categories(4)) == \
+            {"fs", "kernel", "mm", "net"}
+
+    def test_sensitivity_is_load_invariant(self, figure4):
+        """Paper: 'the sensitive data structures appear to be the same,
+        irrespective of the load'."""
+        assert figure4.sensitivity_is_load_invariant(4)
+
+    def test_init_and_vdso_are_nearly_inert(self, figure4):
+        loaded = figure4.loaded_report.fatal_by_category
+        assert loaded["init"] < loaded["fs"] / 20
+        assert loaded["vdso"] < loaded["fs"] / 20
+
+    def test_loaded_failures_scale_matches_paper_axis(self, figure4):
+        """Figure 4's left axis tops out around 3 500 (fs with load)."""
+        fs_loaded = figure4.loaded_report.fatal_by_category["fs"]
+        assert 2500 < fs_loaded < 4000
+
+    def test_unloaded_failures_scale_matches_paper_axis(self, figure4):
+        """Figure 4's right axis tops out around 250."""
+        worst_unloaded = max(
+            figure4.unloaded_report.fatal_by_category.values())
+        assert 100 < worst_unloaded < 400
+
+    def test_crucial_marking_only_from_fatal_outcomes(self, figure4):
+        report = figure4.loaded_report
+        catalog = ObjectCatalog(seed=7)
+        for object_id in list(report.crucial_objects)[:200]:
+            assert catalog.get(object_id).crucial
+
+    def test_fatal_rate_per_category(self, figure4):
+        report = figure4.loaded_report
+        assert report.fatal_rate("fs") > report.fatal_rate("vdso")
+        assert 0 <= report.fatal_rate() <= 1
+
+
+class TestCheckpointProtection:
+    def test_checkpoints_eliminate_protected_fatalities(self):
+        """Selective checkpointing converts fs/kernel/mm/net fatal
+        outcomes into recoveries (the A3 resilience mechanism)."""
+        catalog = ObjectCatalog(seed=11)
+        campaign = FaultInjectionCampaign(catalog=catalog, seed=11)
+        unprotected = campaign.run(loaded=True)
+        protected = campaign.run(
+            loaded=True,
+            checkpoints=CheckpointManager(catalog))
+        assert protected.total_fatal < unprotected.total_fatal * 0.35
+        assert protected.total_recovered > 0
+        for category in ("fs", "kernel", "mm", "net"):
+            assert protected.fatal_by_category[category] == 0
+
+    def test_unprotected_categories_still_fail(self):
+        catalog = ObjectCatalog(seed=11)
+        campaign = FaultInjectionCampaign(catalog=catalog, seed=11)
+        protected = campaign.run(
+            loaded=True, checkpoints=CheckpointManager(catalog))
+        assert protected.fatal_by_category["drivers"] > 0

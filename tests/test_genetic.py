@@ -1,0 +1,134 @@
+"""Tests for the GA stress-virus generator."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware import ChipModel, intel_i7_3970x_spec
+from repro.workloads import spec_suite
+from repro.workloads.genetic import (
+    GAConfig,
+    GENOME_LENGTH,
+    VirusEvolver,
+    crash_voltage_fitness,
+    evolve_virus_for_chip,
+    genome_to_profile,
+    genome_to_workload,
+    physical_genome_to_profile,
+)
+
+
+class TestGenomeMapping:
+    def test_profile_fields_stay_in_bounds(self):
+        for genome in ([0.0] * 6, [1.0] * 6, [0.3, 0.9, 0.1, 0.7, 0.5, 0.2]):
+            profile = genome_to_profile(genome)
+            for value in (profile.droop_intensity, profile.core_sensitivity,
+                          profile.activity_factor, profile.cache_pressure,
+                          profile.dram_pressure):
+                assert 0.0 <= value <= 1.0
+
+    def test_aligned_burst_maximises_droop(self):
+        worst = genome_to_profile([1, 1, 1, 0, 0, 0])
+        assert worst.droop_intensity == pytest.approx(1.0)
+
+    def test_branchiness_dilutes_stress(self):
+        lean = genome_to_profile([1, 1, 1, 0, 0, 0.0])
+        branchy = genome_to_profile([1, 1, 1, 0, 0, 1.0])
+        assert branchy.droop_intensity < lean.droop_intensity
+        assert branchy.core_sensitivity < lean.core_sensitivity
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            genome_to_profile([0.5] * 4)
+
+    def test_workload_wrapper(self):
+        w = genome_to_workload([0.5] * GENOME_LENGTH, name="v1")
+        assert w.name == "v1"
+        assert w.duration_cycles > 0
+
+
+class TestPhysicalMapping:
+    def test_physical_droop_monotone_in_alignment(self):
+        from repro.hardware.pdn import PdnModel
+        pdn = PdnModel()
+        droops = [
+            physical_genome_to_profile(
+                [1.0, align, 0.5, 0.2, 0.2, 0.0], pdn).droop_intensity
+            for align in (0.0, 0.5, 1.0)
+        ]
+        assert droops == sorted(droops)
+
+    def test_physical_agrees_with_abstract_at_extremes(self):
+        """At full burst, full alignment, no branches, both mappings
+        report worst-case droop."""
+        from repro.hardware.pdn import PdnModel
+        genome = [1.0, 1.0, 0.5, 0.2, 0.2, 0.0]
+        abstract = genome_to_profile(genome)
+        physical = physical_genome_to_profile(genome, PdnModel())
+        assert abstract.droop_intensity == pytest.approx(1.0)
+        assert physical.droop_intensity == pytest.approx(1.0, abs=0.01)
+
+    def test_non_droop_fields_identical(self):
+        from repro.hardware.pdn import PdnModel
+        genome = [0.7, 0.3, 0.8, 0.4, 0.6, 0.2]
+        abstract = genome_to_profile(genome)
+        physical = physical_genome_to_profile(genome, PdnModel())
+        assert physical.core_sensitivity == abstract.core_sensitivity
+        assert physical.activity_factor == abstract.activity_factor
+        assert physical.cache_pressure == abstract.cache_pressure
+
+    def test_wrong_length_rejected(self):
+        from repro.hardware.pdn import PdnModel
+        with pytest.raises(ConfigurationError):
+            physical_genome_to_profile([0.5] * 3, PdnModel())
+
+
+class TestEvolution:
+    def _evolver(self, **config):
+        chip = ChipModel(intel_i7_3970x_spec(), seed=1)
+        cfg = GAConfig(population_size=20, generations=15, **config)
+        return VirusEvolver(crash_voltage_fitness(chip), cfg, seed=5), chip
+
+    def test_elitist_history_is_monotone(self):
+        evolver, _ = self._evolver()
+        result = evolver.evolve()
+        assert result.history == sorted(result.history)
+
+    def test_deterministic_given_seed(self):
+        chip = ChipModel(intel_i7_3970x_spec(), seed=1)
+        cfg = GAConfig(population_size=16, generations=10)
+        a = VirusEvolver(crash_voltage_fitness(chip), cfg, seed=3).evolve()
+        b = VirusEvolver(crash_voltage_fitness(chip), cfg, seed=3).evolve()
+        assert a.best_genome == b.best_genome
+
+    def test_champion_beats_random_genomes(self):
+        evolver, chip = self._evolver()
+        result = evolver.evolve()
+        fitness = crash_voltage_fitness(chip)
+        import numpy as np
+        rng = np.random.default_rng(0)
+        random_scores = [
+            fitness(genome_to_profile(rng.random(GENOME_LENGTH)))
+            for _ in range(50)
+        ]
+        assert result.best_fitness >= max(random_scores)
+
+    def test_champion_outstresses_spec_suite(self):
+        """Section 3.B: the evolved virus reveals a worst case beyond any
+        real-life workload — its crash voltage exceeds every benchmark's."""
+        chip = ChipModel(intel_i7_3970x_spec(), seed=2)
+        virus = evolve_virus_for_chip(
+            chip, GAConfig(population_size=30, generations=25), seed=7)
+        fitness = crash_voltage_fitness(chip)
+        virus_crash = fitness(virus.profile)
+        spec_crashes = [fitness(w.profile) for w in spec_suite()]
+        assert virus_crash > max(spec_crashes)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GAConfig(population_size=1)
+        with pytest.raises(ConfigurationError):
+            GAConfig(generations=0)
+        with pytest.raises(ConfigurationError):
+            GAConfig(tournament_size=100)
+        with pytest.raises(ConfigurationError):
+            GAConfig(elite_count=40)

@@ -1,0 +1,137 @@
+"""Tests for the HealthLog daemon and info vectors."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.events import (
+    AnomalyEvent,
+    CorrectableErrorEvent,
+    CrashEvent,
+    EventBus,
+    SensorEvent,
+    UncorrectableErrorEvent,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.daemons.healthlog import HealthLog, HealthLogConfig
+from repro.daemons.infovector import InfoVector
+from repro.hardware import build_uniserver_node
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock()
+    bus = EventBus()
+    platform = build_uniserver_node()
+    hl = HealthLog(platform, bus, clock,
+                   HealthLogConfig(error_threshold=3, error_window_s=100.0))
+    return clock, bus, platform, hl
+
+
+def push_error(bus, clock, component="core0", n=1):
+    for _ in range(n):
+        bus.publish(CorrectableErrorEvent(
+            timestamp=clock.now, source="hw", component=component,
+            detail="test"))
+
+
+class TestEventDriven:
+    def test_errors_land_in_ledger_and_logfile(self, setup):
+        clock, bus, platform, hl = setup
+        push_error(bus, clock, n=2)
+        assert len(hl.ledger) == 2
+        assert any("correctable" in line for line in hl.logfile)
+
+    def test_crash_events_recorded(self, setup):
+        clock, bus, platform, hl = setup
+        bus.publish(CrashEvent(timestamp=0.0, source="hw",
+                               component="core3",
+                               operating_point="0.8 V"))
+        snapshot = hl.snapshot()
+        assert snapshot.crashes == 1
+
+    def test_threshold_raises_anomaly_once(self, setup):
+        clock, bus, platform, hl = setup
+        anomalies = []
+        bus.subscribe(AnomalyEvent, anomalies.append)
+        push_error(bus, clock, n=5)
+        assert len(anomalies) == 1
+        assert anomalies[0].severity == "critical"
+        assert "core0" in anomalies[0].description
+
+    def test_flag_rearm_allows_second_anomaly(self, setup):
+        clock, bus, platform, hl = setup
+        anomalies = []
+        bus.subscribe(AnomalyEvent, anomalies.append)
+        push_error(bus, clock, n=3)
+        hl.clear_flag("core0")
+        push_error(bus, clock, n=3)
+        assert len(anomalies) == 2
+
+    def test_sensor_events_update_cache(self, setup):
+        clock, bus, platform, hl = setup
+        bus.publish(SensorEvent(timestamp=0.0, source="hw",
+                                sensor="temperature_c", value=61.5))
+        assert hl.snapshot().sensors["temperature_c"] == 61.5
+
+
+class TestPeriodicSampling:
+    def test_sampling_runs_on_clock(self, setup):
+        clock, bus, platform, hl = setup
+        hl.start()
+        clock.advance_by(5.0)
+        assert any("sample" in line for line in hl.logfile)
+        assert "voltage_v" in hl.snapshot().sensors
+
+    def test_start_is_idempotent(self, setup):
+        clock, bus, platform, hl = setup
+        hl.start()
+        hl.start()
+        clock.advance_by(3.0)
+        samples = [l for l in hl.logfile if "sample" in l]
+        assert len(samples) == 3  # one per second, not doubled
+
+
+class TestSnapshots:
+    def test_snapshot_counts_are_deltas(self, setup):
+        clock, bus, platform, hl = setup
+        push_error(bus, clock, n=2)
+        first = hl.snapshot()
+        assert first.correctable_errors == 2
+        second = hl.snapshot()
+        assert second.correctable_errors == 0
+        push_error(bus, clock, n=1)
+        assert hl.snapshot().correctable_errors == 1
+
+    def test_snapshot_has_full_configuration(self, setup):
+        clock, bus, platform, hl = setup
+        snapshot = hl.snapshot()
+        assert "core0" in snapshot.configuration
+        assert "channel0" in snapshot.configuration
+
+    def test_suspects_listed(self, setup):
+        clock, bus, platform, hl = setup
+        push_error(bus, clock, component="core5", n=4)
+        assert "core5" in hl.snapshot().suspect_components
+
+    def test_log_line_format(self, setup):
+        clock, bus, platform, hl = setup
+        push_error(bus, clock, n=1)
+        line = hl.snapshot().to_log_line()
+        assert line.startswith("t=")
+        assert "ce=1" in line
+        assert "cfg.core0=" in line
+
+
+class TestConfig:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HealthLogConfig(sampling_period_s=0)
+        with pytest.raises(ConfigurationError):
+            HealthLogConfig(error_threshold=0)
+
+    def test_logfile_is_bounded(self, setup):
+        clock, bus, platform, hl = setup
+        hl.config = HealthLogConfig(logfile_limit=10)
+        for i in range(50):
+            push_error(bus, clock, n=1)
+        assert len(hl.logfile) <= 50  # original config object frozen copy

@@ -1,0 +1,111 @@
+"""Tests for hypervisor memory accounting and reliable-domain placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware import standard_server_memory
+from repro.hypervisor.memory import (
+    FootprintSample,
+    MemoryAccountant,
+    PlacementPolicy,
+)
+
+
+class TestAccountant:
+    def test_footprint_grows_per_vm(self):
+        acc = MemoryAccountant(base_mb=200.0, per_vm_mb=40.0)
+        assert acc.hypervisor_footprint_mb(0) == 200.0
+        assert acc.hypervisor_footprint_mb(4) == 360.0
+
+    def test_fraction_computation(self):
+        sample = FootprintSample(timestamp=0.0, hypervisor_mb=100.0,
+                                 vm_mb=400.0, application_mb=500.0)
+        assert sample.hypervisor_fraction == pytest.approx(0.1)
+        assert sample.total_mb == 1000.0
+
+    def test_max_fraction_over_run(self):
+        acc = MemoryAccountant(base_mb=100.0, per_vm_mb=10.0)
+        acc.sample(0.0, 2, vm_mb=600.0, application_mb=1000.0)
+        acc.sample(1.0, 2, vm_mb=600.0, application_mb=200.0)
+        # Second sample has the smaller denominator => larger fraction.
+        assert acc.max_hypervisor_fraction() == pytest.approx(
+            120.0 / 920.0)
+
+    def test_series_rows(self):
+        acc = MemoryAccountant()
+        acc.sample(0.0, 1, 300.0, 500.0)
+        rows = acc.series()
+        assert len(rows) == 1
+        t, hyp, vm, app, frac = rows[0]
+        assert (t, vm, app) == (0.0, 300.0, 500.0)
+        assert frac == pytest.approx(hyp / (hyp + vm + app))
+
+    def test_no_samples_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            MemoryAccountant().max_hypervisor_fraction()
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryAccountant(base_mb=-1.0)
+
+
+class TestPlacement:
+    @pytest.fixture
+    def memory(self):
+        return standard_server_memory(n_channels=4, dimm_gb=8.0, seed=2)
+
+    def test_critical_goes_to_reliable_domain(self, memory):
+        policy = PlacementPolicy(memory)
+        allocation = policy.place("hypervisor", 400.0, critical=True)
+        assert allocation.domain == "channel0"
+        assert policy.critical_exposure_mb() == 0.0
+
+    def test_vm_memory_avoids_reliable_domain(self, memory):
+        policy = PlacementPolicy(memory)
+        for i in range(6):
+            allocation = policy.place(f"vm{i}", 1000.0)
+            assert allocation.domain != "channel0"
+
+    def test_disabled_policy_exposes_critical_state(self, memory):
+        """The A3 ablation configuration."""
+        policy = PlacementPolicy(memory, use_reliable_domain=False)
+        policy.place("hypervisor", 400.0, critical=True)
+        memory.relax_all(1.5, keep_reliable_nominal=False)
+        assert policy.critical_exposure_mb() > 0.0
+
+    def test_release_frees_allocations(self, memory):
+        policy = PlacementPolicy(memory)
+        policy.place("vm0", 1000.0)
+        policy.place("vm0", 500.0)
+        assert policy.release("vm0") == 2
+        assert policy.allocations == []
+
+    def test_out_of_memory_rejected(self, memory):
+        policy = PlacementPolicy(memory)
+        with pytest.raises(ConfigurationError):
+            policy.place("huge", 64 * 1024.0)  # 64 GB > any domain
+
+    def test_spreads_to_emptiest_domain(self, memory):
+        policy = PlacementPolicy(memory)
+        first = policy.place("vm0", 4000.0)
+        second = policy.place("vm1", 4000.0)
+        assert first.domain != second.domain
+
+    def test_error_hit_probability_tracks_critical_share(self, memory):
+        policy = PlacementPolicy(memory, use_reliable_domain=False)
+        policy.place("hypervisor", 1000.0, critical=True)
+        domain = policy.allocations[0].domain
+        rng = np.random.default_rng(0)
+        hits = sum(policy.error_hits_critical(domain, rng)
+                   for _ in range(500))
+        assert hits == 500  # only critical data in the domain
+
+    def test_error_in_unused_domain_is_harmless(self, memory):
+        policy = PlacementPolicy(memory)
+        rng = np.random.default_rng(0)
+        assert policy.error_hits_critical("channel2", rng) is False
+
+    def test_zero_size_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            PlacementPolicy(memory).place("x", 0.0)

@@ -1,0 +1,245 @@
+"""Tests for the hypervisor engine."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.eop import NOMINAL_REFRESH_INTERVAL_S, OperatingPoint
+from repro.core.exceptions import ConfigurationError
+from repro.daemons.infovector import ComponentMargin, MarginVector
+from repro.hardware import build_uniserver_node
+from repro.hypervisor import (
+    Hypervisor,
+    HypervisorConfig,
+    VirtualMachine,
+    VMState,
+    make_vm_fleet,
+)
+from repro.workloads import ldbc_workload, spec_workload
+
+
+@pytest.fixture
+def hv():
+    clock = SimClock()
+    platform = build_uniserver_node()
+    hypervisor = Hypervisor(platform, clock, seed=9)
+    hypervisor.boot()
+    return hypervisor
+
+
+def margin(component, point, pfail=1e-9, power=0.8):
+    return ComponentMargin(
+        component=component, safe_point=point,
+        failure_probability=pfail, relative_power=power,
+        stress_workload="virus",
+    )
+
+
+class TestLifecycle:
+    def test_boot_places_hypervisor_in_reliable_domain(self, hv):
+        allocations = hv.placement.allocations
+        assert len(allocations) == 1
+        assert allocations[0].critical
+        assert allocations[0].domain == "channel0"
+
+    def test_vm_requires_boot(self):
+        clock = SimClock()
+        hypervisor = Hypervisor(build_uniserver_node(), clock)
+        vm = VirtualMachine(name="vm0", workload=spec_workload("mcf"))
+        with pytest.raises(ConfigurationError):
+            hypervisor.create_vm(vm)
+
+    def test_create_and_destroy_vm(self, hv):
+        vm = VirtualMachine(name="vm0", workload=spec_workload("mcf"))
+        hv.create_vm(vm)
+        assert vm.state is VMState.RUNNING
+        assert len(hv.placement.allocations) == 2
+        hv.destroy_vm("vm0")
+        assert len(hv.placement.allocations) == 1
+        with pytest.raises(KeyError):
+            hv.vm("vm0")
+
+    def test_duplicate_vm_rejected(self, hv):
+        vm = VirtualMachine(name="vm0", workload=spec_workload("mcf"))
+        hv.create_vm(vm)
+        with pytest.raises(ConfigurationError):
+            hv.create_vm(VirtualMachine(name="vm0",
+                                        workload=spec_workload("mcf")))
+
+    def test_vms_spread_over_cores(self, hv):
+        for vm in make_vm_fleet(spec_workload("mcf"), 4):
+            hv.create_vm(vm)
+        cores = set(hv._assignments.values())
+        assert len(cores) == 4
+
+    def test_affinity_mode_prefers_strong_cores(self):
+        """With use_affinity, the first (stressful) guest lands on the
+        core with the lowest crash voltage for its profile."""
+        clock = SimClock()
+        platform = build_uniserver_node()
+        hv = Hypervisor(platform, clock,
+                        config=HypervisorConfig(use_affinity=True))
+        hv.boot()
+        vm = VirtualMachine(name="stressy",
+                            workload=spec_workload("zeusmp"))
+        hv.create_vm(vm)
+        chosen = hv._assignments["stressy"]
+        crash_of = {
+            core.core_id: core.crash_voltage_v(vm.workload.profile)
+            for core in platform.chip.cores
+        }
+        assert crash_of[chosen] == min(crash_of.values())
+
+
+class TestMarginApplication:
+    def test_safe_margins_adopted(self, hv):
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("core0", nominal.with_voltage(0.85)),),
+        )
+        changed = hv.apply_margins(vector)
+        assert changed == ["core0"]
+        assert hv.platform.core_point(0).voltage_v == pytest.approx(0.85)
+
+    def test_unsafe_margins_skipped(self, hv):
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("core0", nominal.with_voltage(0.75),
+                            pfail=0.5),),
+        )
+        assert hv.apply_margins(vector) == []
+        assert hv.platform.core_point(0) == nominal
+
+    def test_domain_margin_relaxes_refresh(self, hv):
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("channel1", nominal.with_refresh(1.5)),),
+        )
+        changed = hv.apply_margins(vector)
+        assert changed == ["channel1"]
+        assert hv.platform.memory.domain("channel1").refresh_interval_s \
+            == 1.5
+
+    def test_margin_preserves_core_refresh_field(self, hv):
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("core1",
+                            nominal.with_voltage(0.9).with_refresh(5.0)),),
+        )
+        hv.apply_margins(vector)
+        assert hv.platform.core_point(1).refresh_interval_s == \
+            NOMINAL_REFRESH_INTERVAL_S
+
+
+class TestExecution:
+    def test_vms_make_progress(self, hv):
+        vm = VirtualMachine(name="vm0",
+                            workload=spec_workload("mcf",
+                                                   duration_cycles=1e11))
+        hv.create_vm(vm)
+        for _ in range(10):
+            hv.tick()
+        assert vm.executed_cycles > 0
+        assert hv.stats.energy_j > 0
+
+    def test_vm_completes(self, hv):
+        vm = VirtualMachine(name="vm0",
+                            workload=spec_workload("mcf",
+                                                   duration_cycles=1e9))
+        hv.create_vm(vm)
+        hv.tick()
+        assert vm.state is VMState.COMPLETED
+
+    def test_masking_restarts_crashed_vms(self):
+        """At a recklessly deep point every run crashes; masking keeps
+        the VM population alive via restarts."""
+        clock = SimClock()
+        platform = build_uniserver_node()
+        hv = Hypervisor(platform, clock, seed=1)
+        hv.boot()
+        deep = platform.chip.spec.nominal.with_voltage(0.6)
+        platform.set_all_core_points(deep)
+        vm = VirtualMachine(name="vm0", workload=spec_workload("zeusmp"))
+        hv.create_vm(vm)
+        for _ in range(5):
+            hv.tick()
+        assert hv.stats.vm_crashes_masked > 0
+        assert vm.state is VMState.RUNNING
+        assert vm.restarts > 0
+
+    def test_no_restart_when_masking_disabled(self):
+        clock = SimClock()
+        platform = build_uniserver_node()
+        hv = Hypervisor(platform, clock,
+                        config=HypervisorConfig(restart_failed_vms=False),
+                        seed=1)
+        hv.boot()
+        platform.set_all_core_points(
+            platform.chip.spec.nominal.with_voltage(0.6))
+        vm = VirtualMachine(name="vm0", workload=spec_workload("zeusmp"))
+        hv.create_vm(vm)
+        for _ in range(20):
+            hv.tick()
+        assert vm.state is VMState.FAILED
+
+    def test_memory_sampled_each_tick(self, hv):
+        for vm in make_vm_fleet(ldbc_workload(), 2):
+            hv.create_vm(vm)
+        for _ in range(5):
+            hv.tick()
+        assert len(hv.accountant.samples) == 5
+
+
+class TestDramErrorHandling:
+    def _relaxed_hv(self, interval_s, use_reliable=True, seed=0):
+        clock = SimClock()
+        platform = build_uniserver_node()
+        config = HypervisorConfig(use_reliable_domain=use_reliable)
+        hv = Hypervisor(platform, clock, config=config, seed=seed)
+        hv.boot()
+        platform.memory.relax_all(interval_s,
+                                  keep_reliable_nominal=use_reliable)
+        return hv
+
+    def test_moderate_relaxation_is_quiet(self):
+        hv = self._relaxed_hv(1.5)
+        for vm in make_vm_fleet(ldbc_workload(), 2):
+            hv.create_vm(vm)
+        for _ in range(50):
+            hv.tick()
+        assert hv.stats.host_crashes == 0
+
+    def test_extreme_relaxation_with_reliable_domain_hits_vms_not_host(self):
+        hv = self._relaxed_hv(40.0, use_reliable=True, seed=3)
+        for vm in make_vm_fleet(ldbc_workload(scale_factor=8.0), 3):
+            hv.create_vm(vm)
+        for _ in range(200):
+            hv.tick()
+        assert hv.stats.vm_sdc_events > 0
+        assert hv.stats.host_crashes == 0
+
+    def test_extreme_relaxation_without_reliable_domain_crashes_host(self):
+        hv = self._relaxed_hv(40.0, use_reliable=False, seed=3)
+        for vm in make_vm_fleet(ldbc_workload(scale_factor=8.0), 3):
+            hv.create_vm(vm)
+        for _ in range(400):
+            hv.tick()
+            if hv.crashed:
+                break
+        assert hv.stats.host_crashes > 0
+
+    def test_reboot_recovers_host(self):
+        hv = self._relaxed_hv(40.0, use_reliable=False, seed=3)
+        for vm in make_vm_fleet(ldbc_workload(scale_factor=8.0), 3):
+            hv.create_vm(vm)
+        for _ in range(400):
+            hv.tick()
+            if hv.crashed:
+                break
+        assert hv.crashed
+        hv.reboot()
+        assert not hv.crashed
+        assert all(vm.state is VMState.RUNNING for vm in hv.vms)

@@ -1,0 +1,98 @@
+"""Tests for the layered monitoring interface (innovation iv)."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.events import EventBus
+from repro.core.interfaces import (
+    AccessDenied,
+    MonitoringInterface,
+    Scope,
+)
+from repro.daemons.healthlog import HealthLog
+from repro.hardware import build_uniserver_node
+
+
+@pytest.fixture
+def interface():
+    clock = SimClock()
+    bus = EventBus()
+    platform = build_uniserver_node()
+    healthlog = HealthLog(platform, bus, clock)
+    return MonitoringInterface(platform, healthlog)
+
+
+class TestHostScope:
+    def test_info_vector_host_only(self, interface):
+        vector = interface.info_vector(Scope.HOST)
+        assert vector.node == interface.platform.name
+        for scope in (Scope.CLOUD, Scope.GUEST):
+            with pytest.raises(AccessDenied):
+                interface.info_vector(scope)
+
+    def test_raw_sensor_host_only(self, interface):
+        reading = interface.raw_sensor(Scope.HOST, 0)
+        assert set(reading) == {"voltage_v", "temperature_c", "power_w",
+                                "frequency_hz"}
+        with pytest.raises(AccessDenied):
+            interface.raw_sensor(Scope.GUEST, 0)
+
+
+class TestCloudScope:
+    def test_node_status_for_cloud(self, interface):
+        status = interface.node_status(Scope.CLOUD)
+        assert status.mean_voltage_fraction == pytest.approx(1.0)
+        assert status.worst_refresh_relaxation == pytest.approx(1.0)
+
+    def test_node_status_denied_to_guests(self, interface):
+        with pytest.raises(AccessDenied):
+            interface.node_status(Scope.GUEST)
+
+    def test_node_status_reflects_relaxation(self, interface):
+        interface.platform.memory.domain("channel1")\
+            .set_refresh_interval(1.5)
+        status = interface.node_status(Scope.CLOUD)
+        assert status.worst_refresh_relaxation == pytest.approx(
+            1.5 / 0.064, rel=0.01)
+
+
+class TestGuestScope:
+    def test_guest_telemetry_is_quantised(self, interface):
+        telemetry = interface.guest_telemetry(Scope.GUEST)
+        bucket = MonitoringInterface.GUEST_POWER_BUCKET_W
+        band = MonitoringInterface.GUEST_TEMPERATURE_BAND_C
+        assert telemetry.power_bucket_w % bucket == 0
+        assert telemetry.temperature_band_c % band == 0
+
+    def test_guest_telemetry_hides_precision(self, interface):
+        """Quantisation is coarser than the raw sensor resolution."""
+        raw = interface.raw_sensor(Scope.HOST, 0)
+        telemetry = interface.guest_telemetry(Scope.GUEST)
+        # Raw power is not a multiple of the guest bucket in general.
+        assert telemetry.power_bucket_w <= interface.platform\
+            .total_power_w() + 1e-9
+
+    def test_any_scope_gets_guest_telemetry(self, interface):
+        for scope in Scope:
+            assert interface.guest_telemetry(scope).node == \
+                interface.platform.name
+
+
+class TestCapabilitiesAndAudit:
+    def test_capabilities_shrink_with_scope(self, interface):
+        host = set(interface.capabilities(Scope.HOST))
+        cloud = set(interface.capabilities(Scope.CLOUD))
+        guest = set(interface.capabilities(Scope.GUEST))
+        assert guest < cloud < host
+
+    def test_every_access_is_audited(self, interface):
+        interface.info_vector(Scope.HOST)
+        interface.node_status(Scope.CLOUD)
+        interface.guest_telemetry(Scope.GUEST)
+        scopes = [scope for _, scope, _ in interface.audit_log]
+        assert scopes == [Scope.HOST, Scope.CLOUD, Scope.GUEST]
+
+    def test_denied_access_not_audited(self, interface):
+        with pytest.raises(AccessDenied):
+            interface.info_vector(Scope.GUEST)
+        assert interface.audit_log == []

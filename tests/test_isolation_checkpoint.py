@@ -1,0 +1,144 @@
+"""Tests for resource isolation and selective checkpointing."""
+
+import pytest
+
+from repro.core.eop import NOMINAL_REFRESH_INTERVAL_S
+from repro.core.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    IsolationError,
+)
+from repro.hardware import build_uniserver_node
+from repro.hardware.faults import (
+    FaultClass,
+    FaultLedger,
+    FaultOrigin,
+    FaultRecord,
+)
+from repro.hypervisor.checkpoint import (
+    CheckpointCostModel,
+    CheckpointManager,
+)
+from repro.hypervisor.isolation import IsolationManager, IsolationPolicy
+from repro.hypervisor.objects import ObjectCatalog, SENSITIVE_CATEGORIES
+
+
+def fault(component, t=0.0, klass=FaultClass.CORRECTABLE):
+    return FaultRecord(timestamp=t, fault_class=klass,
+                       origin=FaultOrigin.CPU_CORE, component=component)
+
+
+class TestIsolation:
+    @pytest.fixture
+    def manager(self):
+        platform = build_uniserver_node()
+        return IsolationManager(
+            platform, IsolationPolicy(core_error_threshold=3,
+                                      domain_error_threshold=2,
+                                      window_s=100.0))
+
+    def test_core_isolated_above_threshold(self, manager):
+        ledger = FaultLedger()
+        for i in range(4):
+            ledger.record(fault("core2", t=float(i)))
+        actions = manager.review(ledger, now=10.0)
+        assert [a.resource for a in actions] == ["core2"]
+        assert manager.platform.chip.core(2).isolated
+
+    def test_below_threshold_no_action(self, manager):
+        ledger = FaultLedger()
+        ledger.record(fault("core2"))
+        assert manager.review(ledger, now=10.0) == []
+
+    def test_old_errors_outside_window_ignored(self, manager):
+        ledger = FaultLedger()
+        for i in range(5):
+            ledger.record(fault("core2", t=float(i)))
+        assert manager.review(ledger, now=500.0) == []
+
+    def test_domain_reverted_to_nominal(self, manager):
+        domain = manager.platform.memory.domain("channel1")
+        domain.set_refresh_interval(1.5)
+        ledger = FaultLedger()
+        for i in range(3):
+            ledger.record(fault("channel1", t=float(i)))
+        actions = manager.review(ledger, now=10.0)
+        assert any(a.kind == "domain" for a in actions)
+        assert domain.refresh_interval_s == NOMINAL_REFRESH_INTERVAL_S
+
+    def test_refuses_to_isolate_last_core(self, manager):
+        chip = manager.platform.chip
+        for core in chip.cores[:-1]:
+            core.isolate()
+        ledger = FaultLedger()
+        last = chip.cores[-1].core_id
+        for i in range(5):
+            ledger.record(fault(f"core{last}", t=float(i)))
+        with pytest.raises(IsolationError):
+            manager.review(ledger, now=10.0)
+
+    def test_release_core(self, manager):
+        manager.platform.chip.core(1).isolate()
+        manager.release_core(1)
+        assert not manager.platform.chip.core(1).isolated
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            IsolationPolicy(core_error_threshold=0)
+
+
+class TestCheckpoint:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return ObjectCatalog(seed=1)
+
+    def test_protects_sensitive_categories_by_default(self, catalog):
+        manager = CheckpointManager(catalog)
+        assert set(manager.protected_categories) == set(SENSITIVE_CATEGORIES)
+
+    def test_coverage_fraction_majority_of_crucial(self, catalog):
+        """The paper's clustering argument: a few categories cover most
+        crucial objects, making selective protection cheap."""
+        manager = CheckpointManager(catalog)
+        assert manager.coverage_fraction() > 0.6
+
+    def test_restore_requires_snapshot(self, catalog):
+        manager = CheckpointManager(catalog)
+        fs_object = catalog.objects_in("fs")[0]
+        with pytest.raises(CheckpointError):
+            manager.restore(fs_object.object_id)
+
+    def test_snapshot_then_restore(self, catalog):
+        manager = CheckpointManager(catalog)
+        manager.snapshot()
+        fs_object = catalog.objects_in("fs")[0]
+        assert manager.can_restore(fs_object.object_id)
+        cost = manager.restore(fs_object.object_id)
+        assert cost > 0
+        assert manager.stats.restores == 1
+
+    def test_unprotected_object_not_restorable(self, catalog):
+        manager = CheckpointManager(catalog)
+        manager.snapshot()
+        vdso_object = catalog.objects_in("vdso")[0]
+        assert manager.handle_corruption(vdso_object.object_id) is False
+
+    def test_protected_object_recovered(self, catalog):
+        manager = CheckpointManager(catalog)
+        manager.snapshot()
+        kernel_object = catalog.objects_in("kernel")[0]
+        assert manager.handle_corruption(kernel_object.object_id) is True
+
+    def test_memory_overhead_proportional_to_protected_bytes(self, catalog):
+        manager = CheckpointManager(catalog)
+        full = CheckpointManager(catalog,
+                                 protected_categories=catalog.categories())
+        assert full.memory_overhead_mb() > manager.memory_overhead_mb() > 0
+
+    def test_unknown_category_rejected_early(self, catalog):
+        with pytest.raises(KeyError):
+            CheckpointManager(catalog, protected_categories=("warp",))
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointCostModel(snapshot_s_per_mb=-1.0)

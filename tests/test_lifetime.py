@@ -1,0 +1,85 @@
+"""Tests for the lifetime/aging simulation."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.lifetime import LifetimeSimulator
+
+
+@pytest.fixture(scope="module")
+def periodic_result():
+    sim = LifetimeSimulator(recharacterize_every_months=3.0, seed=4)
+    return sim.run(years=5.0, epoch_months=6.0)
+
+
+@pytest.fixture(scope="module")
+def frozen_result():
+    sim = LifetimeSimulator(recharacterize_every_months=None, seed=4)
+    return sim.run(years=5.0, epoch_months=6.0)
+
+
+class TestAgingTrajectory:
+    def test_epochs_cover_the_lifetime(self, periodic_result):
+        assert len(periodic_result.epochs) == 10
+        assert periodic_result.final().age_years == pytest.approx(5.0)
+
+    def test_drift_grows_monotonically(self, periodic_result):
+        drifts = [e.mean_vmin_drift_mv for e in periodic_result.epochs]
+        assert drifts == sorted(drifts)
+        assert drifts[-1] > 5.0  # meaningful drift after 5 years
+
+    def test_drift_is_sublinear(self, periodic_result):
+        """BTI power law: the second half adds less than the first."""
+        drifts = [e.mean_vmin_drift_mv for e in periodic_result.epochs]
+        first_half = drifts[len(drifts) // 2 - 1]
+        assert drifts[-1] < 2 * first_half
+
+
+class TestRecharacterisationValue:
+    def test_periodic_keeps_node_safe(self, periodic_result):
+        assert periodic_result.first_unsafe_epoch(0.01) is None
+        assert periodic_result.final().crash_rate <= 0.01
+
+    def test_frozen_margins_go_unsafe(self, frozen_result):
+        unsafe = frozen_result.first_unsafe_epoch(0.01)
+        assert unsafe is not None
+        assert frozen_result.final().crash_rate > 0.01
+
+    def test_periodic_headroom_tracks_drift(self, periodic_result,
+                                            frozen_result):
+        assert periodic_result.final().mean_margin_headroom_mv > \
+            frozen_result.final().mean_margin_headroom_mv
+
+    def test_recharacterisation_counts(self, periodic_result,
+                                       frozen_result):
+        assert periodic_result.total_recharacterizations() > 5
+        assert frozen_result.total_recharacterizations() == 1
+
+    def test_safety_costs_a_little_power(self, periodic_result,
+                                         frozen_result):
+        """Tracking aging means retreating the margins: the safe node
+        runs slightly hotter than the frozen (unsafe) one."""
+        assert periodic_result.final().mean_relative_power >= \
+            frozen_result.final().mean_relative_power
+        # ...but stays far below nominal.
+        assert periodic_result.final().mean_relative_power < 0.85
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LifetimeSimulator(recharacterize_every_months=0.0)
+        with pytest.raises(ConfigurationError):
+            LifetimeSimulator(crash_trials_per_epoch=1)
+
+    def test_bad_run_arguments(self):
+        sim = LifetimeSimulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            sim.run(years=0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(years=1.0, epoch_months=0.0)
+
+    def test_empty_result_rejected(self):
+        from repro.core.lifetime import LifetimeResult
+        with pytest.raises(ConfigurationError):
+            LifetimeResult().final()

@@ -1,0 +1,104 @@
+"""Tests for the log-pattern failure predictor."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.daemons.logpattern import (
+    LogPatternPredictor,
+    template_of,
+)
+
+HEALTHY_LINES = [
+    f"t={i * 1.0:.3f} sample v=0.9{i % 7} temp=5{i % 4}.2 p=38.{i % 9}"
+    for i in range(200)
+]
+
+FAILURE_LINES = [
+    f"t={200 + i:.3f} uncorrectable channel2 double-bit at 0x{i:x}"
+    for i in range(20)
+] + [
+    f"t={220 + i:.3f} crash core{i % 8} watchdog timeout"
+    for i in range(20)
+]
+
+
+class TestTemplates:
+    def test_numbers_masked(self):
+        a = template_of("t=3.200 sample v=0.91 temp=52.2 p=38.1")
+        b = template_of("t=9.700 sample v=0.88 temp=49.9 p=41.5")
+        assert a == b
+
+    def test_component_indices_masked(self):
+        a = template_of("correctable core5 2 corrected")
+        b = template_of("correctable core1 4 corrected")
+        assert a == b
+
+    def test_hex_masked(self):
+        a = template_of("sdc at 0xDEADBEEF")
+        b = template_of("sdc at 0x1234")
+        assert a == b
+
+    def test_distinct_messages_stay_distinct(self):
+        assert template_of("sample v=0.9") != template_of("crash core1")
+
+
+class TestLearning:
+    def test_freeze_requires_data(self):
+        predictor = LogPatternPredictor(window=10)
+        with pytest.raises(ConfigurationError):
+            predictor.freeze()
+
+    def test_learn_after_freeze_rejected(self):
+        predictor = LogPatternPredictor(window=10)
+        predictor.learn(HEALTHY_LINES)
+        predictor.freeze()
+        with pytest.raises(ConfigurationError):
+            predictor.learn(HEALTHY_LINES)
+
+    def test_observe_before_freeze_rejected(self):
+        predictor = LogPatternPredictor(window=10)
+        predictor.learn(HEALTHY_LINES)
+        with pytest.raises(ConfigurationError):
+            predictor.observe(HEALTHY_LINES[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogPatternPredictor(window=1)
+        with pytest.raises(ConfigurationError):
+            LogPatternPredictor(threshold_sigma=0.0)
+
+
+class TestScoring:
+    @pytest.fixture
+    def trained(self):
+        predictor = LogPatternPredictor(window=10)
+        predictor.learn(HEALTHY_LINES)
+        predictor.freeze()
+        # Warm the adaptive threshold with healthy traffic.
+        predictor.scan(HEALTHY_LINES[:60])
+        return predictor
+
+    def test_healthy_traffic_not_flagged(self, trained):
+        assert not trained.any_anomaly(HEALTHY_LINES[60:120])
+
+    def test_failure_pattern_flagged(self, trained):
+        assert trained.any_anomaly(FAILURE_LINES)
+
+    def test_novel_templates_counted(self, trained):
+        verdicts = trained.scan(FAILURE_LINES)
+        assert any(v.novel_templates > 0 for v in verdicts)
+
+    def test_window_fills_before_verdicts(self):
+        predictor = LogPatternPredictor(window=10)
+        predictor.learn(HEALTHY_LINES)
+        predictor.freeze()
+        verdicts = [predictor.observe(l) for l in HEALTHY_LINES[:9]]
+        assert all(v is None for v in verdicts)
+        assert predictor.observe(HEALTHY_LINES[9]) is not None
+
+    def test_surprisal_higher_for_failures(self, trained):
+        healthy_scores = trained.scan(HEALTHY_LINES[120:160])
+        failure_scores = trained.scan(FAILURE_LINES)
+        healthy_max = max(v.surprisal for v in healthy_scores)
+        failure_max = max(v.surprisal for v in failure_scores)
+        assert failure_max > healthy_max

@@ -1,0 +1,147 @@
+"""Tests for compute nodes and the telemetry service."""
+
+import pytest
+
+from repro.cloudmgr.node import ComputeNode
+from repro.cloudmgr.telemetry import (
+    NodeSample,
+    RollingWindow,
+    TelemetryService,
+    VMSample,
+)
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.faults import (
+    FaultClass,
+    FaultOrigin,
+    FaultRecord,
+)
+from repro.hypervisor.vm import VirtualMachine
+from repro.workloads import spec_workload
+
+
+@pytest.fixture
+def node():
+    return ComputeNode("n0", SimClock(), seed=4)
+
+
+class TestComputeNode:
+    def test_capacity_accounting(self, node):
+        total = node.total_vcpus
+        vm = VirtualMachine(name="vm0", workload=spec_workload("mcf"),
+                            vcpus=2)
+        assert node.can_host(vm)
+        node.hypervisor.create_vm(vm)
+        assert node.used_vcpus() == 2
+        assert node.free_vcpus() == total - 2
+
+    def test_memory_accounting(self, node):
+        before = node.free_memory_mb()
+        vm = VirtualMachine(name="vm0", workload=spec_workload("mcf"))
+        node.hypervisor.create_vm(vm)
+        assert node.free_memory_mb() < before
+
+    def test_reliability_penalised_by_faults(self, node):
+        clean = node.reliability()
+        node.platform.faults.record(FaultRecord(
+            timestamp=node.clock.now, fault_class=FaultClass.CRASH,
+            origin=FaultOrigin.CPU_CORE, component="core0"))
+        assert node.reliability() < clean
+
+    def test_correctable_errors_dent_less_than_crashes(self, node):
+        ce_node = ComputeNode("a", SimClock(), seed=1)
+        crash_node = ComputeNode("b", SimClock(), seed=1)
+        ce_node.platform.faults.record(FaultRecord(
+            timestamp=0.0, fault_class=FaultClass.CORRECTABLE,
+            origin=FaultOrigin.CACHE, component="core0"))
+        crash_node.platform.faults.record(FaultRecord(
+            timestamp=0.0, fault_class=FaultClass.CRASH,
+            origin=FaultOrigin.CPU_CORE, component="core0"))
+        assert ce_node.reliability() > crash_node.reliability()
+
+    def test_step_accrues_uptime(self, node):
+        node.step(10.0)
+        assert node.availability() == 1.0
+
+    def test_metrics_snapshot(self, node):
+        metrics = node.metrics()
+        assert metrics.node == "n0"
+        assert metrics.reliability == 1.0
+        assert metrics.power_w > 0
+        assert "avail" in metrics.describe()
+
+    def test_frequency_fraction_tracks_points(self, node):
+        assert node.frequency_fraction() == pytest.approx(1.0)
+        nominal = node.platform.chip.spec.nominal
+        node.platform.set_all_core_points(
+            nominal.with_frequency(nominal.frequency_hz / 2))
+        assert node.frequency_fraction() == pytest.approx(0.5)
+
+
+class TestRollingWindow:
+    def test_tracks_mean(self):
+        window = RollingWindow(alpha=1.0)
+        window.push(5.0)
+        assert window.mean == 5.0
+
+    def test_anomaly_detection_fires_on_outlier(self):
+        window = RollingWindow(alpha=0.2)
+        for _ in range(30):
+            window.push(10.0)
+        assert window.is_anomalous(10.0) is False
+        assert window.is_anomalous(1000.0) is True
+
+    def test_needs_minimum_samples(self):
+        window = RollingWindow()
+        window.push(1.0)
+        assert window.is_anomalous(1e9) is False
+
+    def test_bounded_length(self):
+        window = RollingWindow(maxlen=5)
+        for i in range(20):
+            window.push(float(i))
+        assert len(window) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RollingWindow(maxlen=1)
+        with pytest.raises(ConfigurationError):
+            RollingWindow(alpha=0.0)
+
+
+class TestTelemetryService:
+    def test_records_and_queries(self):
+        svc = TelemetryService()
+        svc.record_node(NodeSample(
+            timestamp=0.0, node="n0", utilization=0.5, power_w=40.0,
+            reliability=1.0, correctable_errors=0))
+        svc.record_vm(VMSample(
+            timestamp=0.0, vm_name="vm0", node="n0",
+            cpu_utilization=0.6, memory_mb=1000.0, progress_rate=0.01))
+        assert len(svc.node_history("n0")) == 1
+        assert len(svc.vm_history("vm0")) == 1
+        assert svc.node_trend("n0", "power") is not None
+
+    def test_recent_error_rate(self):
+        svc = TelemetryService()
+        for i, ce in enumerate((0, 2, 4)):
+            svc.record_node(NodeSample(
+                timestamp=float(i), node="n0", utilization=0.5,
+                power_w=40.0, reliability=1.0, correctable_errors=ce))
+        assert svc.recent_error_rate("n0") == pytest.approx(2.0)
+
+    def test_anomaly_log_captures_spikes(self):
+        svc = TelemetryService()
+        for i in range(30):
+            svc.record_node(NodeSample(
+                timestamp=float(i), node="n0", utilization=0.5,
+                power_w=40.0, reliability=1.0, correctable_errors=0))
+        svc.record_node(NodeSample(
+            timestamp=31.0, node="n0", utilization=0.5, power_w=4000.0,
+            reliability=1.0, correctable_errors=0))
+        assert any("power" in a for a in svc.anomalies)
+
+    def test_empty_history(self):
+        svc = TelemetryService()
+        assert svc.node_history("ghost") == []
+        assert svc.recent_error_rate("ghost") == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the hypervisor object catalog."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hypervisor.objects import (
+    CATEGORY_PROFILES,
+    CategoryProfile,
+    ObjectCatalog,
+    SENSITIVE_CATEGORIES,
+    TOTAL_OBJECTS,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ObjectCatalog(seed=3)
+
+
+class TestCatalogStructure:
+    def test_total_matches_paper(self, catalog):
+        """Section 6.C: 16 820 statically allocated objects."""
+        assert len(catalog) == TOTAL_OBJECTS == 16_820
+
+    def test_profiles_sum_to_total(self):
+        assert sum(p.n_objects for p in CATEGORY_PROFILES) == TOTAL_OBJECTS
+
+    def test_eleven_categories(self, catalog):
+        assert len(catalog.categories()) == 11
+        for name in ("block", "drivers", "fs", "init", "kernel", "mm",
+                     "net", "pci", "power", "security", "vdso"):
+            assert name in catalog.categories()
+
+    def test_object_ids_dense(self, catalog):
+        ids = [o.object_id for o in catalog]
+        assert ids == list(range(TOTAL_OBJECTS))
+
+    def test_category_counts_match_profiles(self, catalog):
+        for profile in CATEGORY_PROFILES:
+            assert len(catalog.objects_in(profile.name)) == profile.n_objects
+
+    def test_crucial_fraction_respected(self, catalog):
+        for profile in CATEGORY_PROFILES:
+            crucial = catalog.crucial_count(profile.name)
+            expected = round(profile.n_objects * profile.crucial_fraction)
+            assert crucial == expected
+
+    def test_loaded_activation_exceeds_unloaded(self):
+        """The load-amplification mechanism behind Figure 4."""
+        for profile in CATEGORY_PROFILES:
+            assert profile.activation_loaded > profile.activation_unloaded
+
+
+class TestSensitivity:
+    def test_sensitive_categories_match_paper(self):
+        """Section 6.C: fs, kernel, net (and mm) are the sensitive ones."""
+        assert "fs" in SENSITIVE_CATEGORIES
+        assert "kernel" in SENSITIVE_CATEGORIES
+        assert "net" in SENSITIVE_CATEGORIES
+
+    def test_sensitive_objects_cover_most_crucial(self, catalog):
+        sensitive_crucial = sum(
+            1 for o in catalog.sensitive_objects() if o.crucial)
+        assert sensitive_crucial / catalog.crucial_count() > 0.6
+
+
+class TestLookup:
+    def test_get_by_id(self, catalog):
+        obj = catalog.get(100)
+        assert obj.object_id == 100
+
+    def test_get_out_of_range(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get(TOTAL_OBJECTS)
+
+    def test_unknown_category(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.objects_in("netfilter")
+
+    def test_sizes_are_positive(self, catalog):
+        assert all(o.size_bytes >= 16 for o in catalog)
+        assert catalog.total_size_bytes() > 0
+
+    def test_deterministic_given_seed(self):
+        a = ObjectCatalog(seed=5)
+        b = ObjectCatalog(seed=5)
+        assert [o.crucial for o in a] == [o.crucial for o in b]
+
+
+class TestValidation:
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoryProfile("x", 0, 0.5, 0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            CategoryProfile("x", 10, 1.5, 0.5, 0.1)
+
+    def test_wrong_total_rejected(self):
+        bad = (CategoryProfile("only", 100, 0.5, 0.5, 0.1),)
+        with pytest.raises(ConfigurationError):
+            ObjectCatalog(profiles=bad)

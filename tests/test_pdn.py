@@ -1,0 +1,114 @@
+"""Tests for the power-delivery-network droop model."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.pdn import BurstWaveform, PdnModel, PdnParameters
+
+
+@pytest.fixture
+def model():
+    return PdnModel()
+
+
+class TestImpedance:
+    def test_resonance_location(self):
+        params = PdnParameters()
+        expected = 1.0 / (2 * math.pi * math.sqrt(
+            params.inductance_h * params.capacitance_f))
+        assert params.resonant_frequency_hz == pytest.approx(expected)
+
+    def test_impedance_peaks_at_resonance(self):
+        params = PdnParameters()
+        resonance = params.resonant_frequency_hz
+        at_peak = params.impedance_ohm(resonance)
+        below = params.impedance_ohm(resonance * 0.2)
+        above = params.impedance_ohm(resonance * 5.0)
+        assert at_peak > 3 * below
+        assert at_peak > 3 * above
+
+    def test_dc_impedance_is_resistance(self):
+        params = PdnParameters()
+        assert params.impedance_ohm(0.0) == params.resistance_ohm
+
+    def test_quality_factor_scales_peak(self):
+        damped = PdnParameters(resistance_ohm=0.01)
+        sharp = PdnParameters(resistance_ohm=0.0005)
+        resonance = damped.resonant_frequency_hz
+        assert sharp.impedance_ohm(resonance) > \
+            damped.impedance_ohm(resonance)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PdnParameters(resistance_ohm=0.0)
+        with pytest.raises(ConfigurationError):
+            PdnParameters().impedance_ohm(-1.0)
+
+
+class TestWaveform:
+    def test_harmonics_decay(self):
+        w = BurstWaveform(burst_current_a=10.0, period_s=2e-8)
+        assert w.harmonic_amplitude_a(1) > w.harmonic_amplitude_a(3) > 0
+
+    def test_even_harmonics_vanish_at_half_duty(self):
+        w = BurstWaveform(burst_current_a=10.0, period_s=2e-8, duty=0.5)
+        assert w.harmonic_amplitude_a(2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstWaveform(burst_current_a=-1.0, period_s=1e-8)
+        with pytest.raises(ConfigurationError):
+            BurstWaveform(burst_current_a=1.0, period_s=1e-8, duty=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstWaveform(burst_current_a=1.0, period_s=1e-8)\
+                .harmonic_amplitude_a(0)
+
+
+class TestDroop:
+    def test_on_resonance_droop_is_worst(self, model):
+        worst_period = model.worst_case_period_s()
+        worst = model.droop_v(BurstWaveform(10.0, worst_period))
+        off = model.droop_v(BurstWaveform(10.0, worst_period * 10))
+        assert worst > 2 * off
+
+    def test_worst_period_matches_resonance(self, model):
+        worst_period = model.worst_case_period_s()
+        resonance_period = 1.0 / model.params.resonant_frequency_hz
+        assert worst_period == pytest.approx(resonance_period, rel=0.1)
+
+    def test_droop_scales_with_current(self, model):
+        period = model.worst_case_period_s()
+        small = model.droop_v(BurstWaveform(1.0, period))
+        large = model.droop_v(BurstWaveform(10.0, period))
+        assert large == pytest.approx(10 * small, rel=1e-9)
+
+    def test_droop_fraction_capped_at_one(self, model):
+        period = model.worst_case_period_s()
+        assert model.droop_fraction(
+            BurstWaveform(1e6, period)) == 1.0
+
+
+class TestAlignmentMapping:
+    def test_alignment_is_monotone(self, model):
+        intensities = [
+            model.alignment_to_droop_intensity(a)
+            for a in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert intensities == sorted(intensities)
+
+    def test_full_alignment_is_unity(self, model):
+        assert model.alignment_to_droop_intensity(1.0) == pytest.approx(1.0)
+
+    def test_zero_alignment_is_mild(self, model):
+        assert model.alignment_to_droop_intensity(0.0) < 0.5
+
+    def test_out_of_range_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.alignment_to_droop_intensity(1.5)
+
+    def test_profile_rows(self, model):
+        rows = model.impedance_profile([1e6, 1e7, 1e8])
+        assert len(rows) == 3
+        assert all(z > 0 for _, z in rows)

@@ -1,0 +1,128 @@
+"""Tests for the core and DRAM power models."""
+
+import pytest
+
+from repro.core.eop import NOMINAL_REFRESH_INTERVAL_S, OperatingPoint
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.power import (
+    CorePowerModel,
+    DramPowerModel,
+    energy_for_work,
+)
+
+
+@pytest.fixture
+def model():
+    return CorePowerModel(nominal_voltage_v=1.0)
+
+
+@pytest.fixture
+def nominal():
+    return OperatingPoint(1.0, 2.0e9)
+
+
+class TestCorePower:
+    def test_dynamic_scales_with_v_squared_f(self, model, nominal):
+        half = nominal.scaled(voltage_factor=0.7, frequency_factor=0.5)
+        ratio = (model.dynamic_power_w(half)
+                 / model.dynamic_power_w(nominal))
+        assert ratio == pytest.approx(0.49 * 0.5)
+
+    def test_paper_section_6d_arithmetic(self, model, nominal):
+        """50 % frequency at -30 % voltage => ~75 % less power,
+        ~50 % less energy for the same cycles."""
+        edge = nominal.scaled(voltage_factor=0.7, frequency_factor=0.5)
+        power_ratio = model.relative_dynamic_power(edge, nominal)
+        energy_ratio = model.relative_dynamic_energy(edge, nominal)
+        assert power_ratio == pytest.approx(0.245, abs=0.005)   # -75 %
+        assert energy_ratio == pytest.approx(0.49, abs=0.01)    # -50 %
+
+    def test_leakage_grows_with_voltage(self, model, nominal):
+        low = model.leakage_power_w(nominal.with_voltage(0.8))
+        high = model.leakage_power_w(nominal.with_voltage(1.1))
+        assert high > model.leakage_power_w(nominal) > low
+
+    def test_leakage_grows_with_temperature(self, model, nominal):
+        cold = model.leakage_power_w(nominal, temperature_c=30.0)
+        hot = model.leakage_power_w(nominal, temperature_c=80.0)
+        assert hot > cold
+
+    def test_total_is_sum(self, model, nominal):
+        total = model.total_power_w(nominal, activity=0.5,
+                                    temperature_c=50.0)
+        expected = (model.dynamic_power_w(nominal, 0.5)
+                    + model.leakage_power_w(nominal, 50.0))
+        assert total == pytest.approx(expected)
+
+    def test_activity_bounds(self, model, nominal):
+        with pytest.raises(ConfigurationError):
+            model.dynamic_power_w(nominal, activity=1.5)
+
+    def test_idle_dynamic_power_is_zero(self, model, nominal):
+        assert model.dynamic_power_w(nominal, activity=0.0) == 0.0
+
+
+class TestEnergyForWork:
+    def test_energy_is_power_times_duration(self, model, nominal):
+        cycles = 2.0e9  # one second at 2 GHz
+        energy = energy_for_work(model, nominal, cycles, activity=1.0)
+        assert energy == pytest.approx(
+            model.total_power_w(nominal, 1.0), rel=1e-9)
+
+    def test_leakage_penalises_slow_execution(self, nominal):
+        """With dominant leakage, racing to idle beats deep DVFS."""
+        leaky = CorePowerModel(
+            effective_capacitance_f=1e-10, leakage_at_nominal_w=20.0,
+            nominal_voltage_v=1.0,
+        )
+        slow = nominal.scaled(voltage_factor=0.9, frequency_factor=0.25)
+        fast = energy_for_work(leaky, nominal, 1e9)
+        crawl = energy_for_work(leaky, slow, 1e9)
+        assert crawl > fast
+
+    def test_negative_cycles_rejected(self, model, nominal):
+        with pytest.raises(ConfigurationError):
+            energy_for_work(model, nominal, -1.0)
+
+
+class TestDramPower:
+    def test_refresh_share_2gbit_is_nine_percent(self):
+        """Paper 6.B: refresh is 9 % of a 2 Gb device's power."""
+        share = DramPowerModel(density_gbit=2.0).refresh_share()
+        assert share == pytest.approx(0.09, abs=0.005)
+
+    def test_refresh_share_32gbit_exceeds_34_percent(self):
+        """Paper 6.B: >34 % projected for future 32 Gb devices."""
+        share = DramPowerModel(density_gbit=32.0).refresh_share()
+        assert share >= 0.34
+
+    def test_refresh_share_monotone_in_density(self):
+        shares = [DramPowerModel(density_gbit=d).refresh_share()
+                  for d in (2, 4, 8, 16, 32)]
+        assert shares == sorted(shares)
+
+    def test_refresh_power_inverse_in_interval(self):
+        model = DramPowerModel()
+        nominal = model.refresh_power_w(NOMINAL_REFRESH_INTERVAL_S)
+        relaxed = model.refresh_power_w(NOMINAL_REFRESH_INTERVAL_S * 10)
+        assert relaxed == pytest.approx(nominal / 10)
+
+    def test_relaxation_to_1500ms_saves_95_percent_of_refresh(self):
+        model = DramPowerModel()
+        saving = model.refresh_saving_w(1.5)
+        assert saving / model.refresh_power_w() == pytest.approx(
+            1 - 0.064 / 1.5, rel=1e-6)
+
+    def test_at_density_preserves_coefficients(self):
+        base = DramPowerModel(density_gbit=2.0)
+        scaled = base.at_density(8.0)
+        assert scaled.refresh_power_per_gbit_w == base.refresh_power_per_gbit_w
+        assert scaled.density_gbit == 8.0
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            DramPowerModel().refresh_power_w(0.0)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ConfigurationError):
+            DramPowerModel(density_gbit=0.0)

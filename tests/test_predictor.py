@@ -1,0 +1,167 @@
+"""Tests for the failure Predictor daemon."""
+
+import numpy as np
+import pytest
+
+from repro.core.eop import OperatingPoint
+from repro.core.exceptions import ConfigurationError, PredictionError
+from repro.characterization import UndervoltingCampaign
+from repro.daemons.predictor import (
+    FailureDataset,
+    LogisticModel,
+    Predictor,
+    dataset_from_campaign,
+    make_features,
+)
+from repro.hardware import ChipModel, intel_i5_4200u_spec
+from repro.workloads import spec_suite, spec_workload
+
+
+@pytest.fixture(scope="module")
+def campaign_data():
+    chip = ChipModel(intel_i5_4200u_spec(), seed=17)
+    suite = spec_suite()
+    campaign = UndervoltingCampaign(chip, suite).run()
+    dataset = dataset_from_campaign(campaign, suite, chip.spec.nominal)
+    return chip, suite, dataset
+
+
+class TestDataset:
+    def test_campaign_dataset_has_both_classes(self, campaign_data):
+        _, _, dataset = campaign_data
+        assert 0.0 < dataset.crash_fraction() < 0.2
+
+    def test_crash_examples_one_per_sweep(self, campaign_data):
+        chip, suite, dataset = campaign_data
+        n_sweeps = 8 * chip.n_cores * 3
+        assert sum(dataset.labels) == n_sweeps
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(PredictionError):
+            FailureDataset().as_arrays()
+
+    def test_feature_row_shape(self):
+        nominal = OperatingPoint(1.0, 2e9)
+        row = make_features(nominal.with_voltage(0.9), nominal,
+                            spec_workload("mcf").profile)
+        assert row.shape == (6,)
+        assert row[0] == pytest.approx(-0.1)
+
+
+class TestLogisticModel:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        model = LogisticModel(epochs=500)
+        model.fit(x, y)
+        assert model.accuracy(x, y) > 0.95
+
+    def test_single_class_rejected(self):
+        x = np.ones((10, 2))
+        with pytest.raises(PredictionError):
+            LogisticModel().fit(x, np.zeros(10))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            LogisticModel().predict_proba(np.zeros(2))
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        model = LogisticModel().fit(x, y)
+        probs = model.predict_proba(x)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            LogisticModel(learning_rate=0)
+        with pytest.raises(ConfigurationError):
+            LogisticModel(epochs=0)
+
+
+class TestPredictorEndToEnd:
+    @pytest.fixture(scope="class")
+    def trained(self, campaign_data):
+        chip, suite, dataset = campaign_data
+        predictor = Predictor(chip.spec.nominal)
+        predictor.ingest(dataset)
+        predictor.train()
+        return chip, predictor
+
+    def test_accuracy_on_training_data(self, campaign_data):
+        chip, _, dataset = campaign_data
+        predictor = Predictor(chip.spec.nominal)
+        predictor.ingest(dataset)
+        model = predictor.train()
+        x, y = dataset.as_arrays()
+        assert model.accuracy(x, y) > 0.9
+
+    def test_voltage_weight_is_dominant_and_positive_risk(self, trained):
+        """Lower voltage => higher crash probability; the standardised
+        voltage-offset weight must be strongly negative."""
+        _, predictor = trained
+        weights = predictor.model.feature_weights()
+        assert weights["voltage_offset"] < 0
+        assert abs(weights["voltage_offset"]) == max(
+            abs(w) for w in weights.values())
+
+    def test_predicted_probability_monotone_in_voltage(self, trained):
+        chip, predictor = trained
+        profile = spec_workload("zeusmp").profile
+        nominal = chip.spec.nominal
+        probs = [
+            predictor.predict_failure(nominal.with_voltage(v), profile)
+            for v in (0.84, 0.80, 0.76, 0.72)
+        ]
+        assert probs == sorted(probs)
+
+    def test_advice_high_performance_keeps_frequency(self, trained):
+        chip, predictor = trained
+        advice = predictor.advise(spec_workload("mcf"),
+                                  mode="high-performance",
+                                  failure_budget=0.02)
+        assert advice.point.frequency_hz == chip.spec.nominal.frequency_hz
+        assert advice.point.voltage_v < chip.spec.nominal.voltage_v
+        assert advice.predicted_failure_probability <= 0.02
+
+    def test_advice_low_power_beats_high_performance_on_power(self, trained):
+        chip, predictor = trained
+        low = predictor.advise(spec_workload("mcf"), mode="low-power",
+                               failure_budget=0.02)
+        high = predictor.advise(spec_workload("mcf"),
+                                mode="high-performance",
+                                failure_budget=0.02)
+        assert low.point.frequency_hz < chip.spec.nominal.frequency_hz
+        assert low.relative_power < high.relative_power < 1.0
+
+    def test_stressful_workload_gets_shallower_point(self, trained):
+        """The advisor must respect workload droop: zeusmp cannot go as
+        deep as mcf."""
+        _, predictor = trained
+        gentle = predictor.advise(spec_workload("mcf"),
+                                  mode="high-performance",
+                                  failure_budget=0.02)
+        harsh = predictor.advise(spec_workload("zeusmp"),
+                                 mode="high-performance",
+                                 failure_budget=0.02)
+        assert harsh.point.voltage_v > gentle.point.voltage_v
+
+    def test_unknown_mode_rejected(self, trained):
+        _, predictor = trained
+        with pytest.raises(ConfigurationError):
+            predictor.advise(spec_workload("mcf"), mode="turbo")
+
+    def test_advice_before_training_rejected(self, campaign_data):
+        chip, _, _ = campaign_data
+        fresh = Predictor(chip.spec.nominal)
+        with pytest.raises(PredictionError):
+            fresh.advise(spec_workload("mcf"))
+
+    def test_impossible_budget_falls_back_to_nominal(self, trained):
+        chip, predictor = trained
+        advice = predictor.advise(spec_workload("zeusmp"),
+                                  mode="high-performance",
+                                  failure_budget=1e-30)
+        assert advice.point == chip.spec.nominal

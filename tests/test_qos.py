@@ -1,0 +1,236 @@
+"""Tests for hypervisor QoS enforcement."""
+
+import pytest
+
+from repro.cloudmgr.sla import BRONZE, GOLD, SILVER
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError
+from repro.daemons.infovector import ComponentMargin, MarginVector
+from repro.hardware import build_uniserver_node
+from repro.hypervisor import Hypervisor, VirtualMachine
+from repro.hypervisor.qos import (
+    QoSGuard,
+    QoSRequirement,
+    requirement_from_sla,
+)
+from repro.workloads import spec_workload
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock()
+    platform = build_uniserver_node()
+    hypervisor = Hypervisor(platform, clock, seed=4)
+    hypervisor.boot()
+    guard = QoSGuard(hypervisor)
+    return platform, hypervisor, guard
+
+
+def margin(component, point, pfail=1e-9):
+    return ComponentMargin(
+        component=component, safe_point=point,
+        failure_probability=pfail, relative_power=0.7,
+        stress_workload="virus",
+    )
+
+
+def vector(*margins):
+    return MarginVector(timestamp=0.0, node="n", margins=tuple(margins))
+
+
+class TestRequirements:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(min_frequency_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(max_failure_probability=0.0)
+
+    def test_from_sla(self):
+        gold = requirement_from_sla(GOLD)
+        bronze = requirement_from_sla(BRONZE)
+        assert gold.min_frequency_fraction > bronze.min_frequency_fraction
+        assert gold.max_failure_probability < \
+            bronze.max_failure_probability
+
+
+class TestCoreConstraints:
+    def test_empty_core_is_unconstrained(self, setup):
+        platform, hypervisor, guard = setup
+        assert guard.core_frequency_floor(0) == 0.0
+        assert guard.core_failure_ceiling(0) == 1.0
+
+    def test_strictest_resident_wins(self, setup):
+        platform, hypervisor, guard = setup
+        gold_vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        bronze_vm = VirtualMachine(name="bronze",
+                                   workload=spec_workload("mcf"))
+        hypervisor.create_vm(gold_vm)
+        hypervisor.create_vm(bronze_vm)
+        # Force both onto core 0 for the test.
+        hypervisor._assignments["gold"] = 0
+        hypervisor._assignments["bronze"] = 0
+        guard.register("gold", requirement_from_sla(GOLD))
+        guard.register("bronze", requirement_from_sla(BRONZE))
+        assert guard.core_frequency_floor(0) == \
+            GOLD.min_frequency_fraction
+        assert guard.core_failure_ceiling(0) == GOLD.failure_budget
+
+    def test_unregister(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="x", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        guard.register("x", requirement_from_sla(GOLD))
+        guard.unregister("x")
+        assert guard.requirement_for("x") is None
+
+
+class TestMarginFiltering:
+    def test_frequency_violating_margin_dropped(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))  # floor 0.95
+        nominal = platform.chip.spec.nominal
+        slow = nominal.scaled(voltage_factor=0.85,
+                              frequency_factor=0.6)
+        filtered = guard.filter_margins(
+            vector(margin(f"core{core_id}", slow)))
+        assert filtered.margins == ()
+
+    def test_voltage_only_margin_admitted(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))
+        nominal = platform.chip.spec.nominal
+        undervolted = nominal.with_voltage(nominal.voltage_v * 0.88)
+        filtered = guard.filter_margins(
+            vector(margin(f"core{core_id}", undervolted, pfail=1e-9)))
+        assert len(filtered.margins) == 1
+
+    def test_reliability_cap_enforced(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))  # cap 1e-7
+        nominal = platform.chip.spec.nominal
+        risky = margin(f"core{core_id}",
+                       nominal.with_voltage(nominal.voltage_v * 0.85),
+                       pfail=1e-5)
+        assert guard.filter_margins(vector(risky)).margins == ()
+
+    def test_unoccupied_cores_unconstrained(self, setup):
+        platform, hypervisor, guard = setup
+        nominal = platform.chip.spec.nominal
+        slow = nominal.scaled(voltage_factor=0.85, frequency_factor=0.6)
+        filtered = guard.filter_margins(vector(margin("core7", slow)))
+        assert len(filtered.margins) == 1
+
+    def test_domain_margins_pass_through(self, setup):
+        platform, hypervisor, guard = setup
+        nominal = platform.chip.spec.nominal
+        relaxed = margin("channel1", nominal.with_refresh(1.5))
+        assert len(guard.filter_margins(vector(relaxed)).margins) == 1
+
+    def test_apply_with_qos_end_to_end(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))
+        nominal = platform.chip.spec.nominal
+        slow = nominal.scaled(voltage_factor=0.85, frequency_factor=0.6)
+        changed = guard.apply_margins_with_qos(
+            vector(margin(f"core{core_id}", slow)))
+        assert changed == []
+        assert platform.core_point(core_id) == nominal
+
+
+class TestCloudIntegration:
+    def test_launch_registers_requirement(self):
+        from repro.cloudmgr import CloudController, ComputeNode
+        clock = SimClock()
+        nodes = [ComputeNode(f"n{i}", clock, seed=i) for i in range(2)]
+        cloud = CloudController(clock, nodes)
+        vm = VirtualMachine(name="gold",
+                            workload=spec_workload("mcf",
+                                                   duration_cycles=1e12))
+        placement = cloud.launch(vm, GOLD)
+        node = cloud.nodes[placement.node]
+        requirement = node.qos.requirement_for("gold")
+        assert requirement is not None
+        assert requirement.min_frequency_fraction == \
+            GOLD.min_frequency_fraction
+
+    def test_requirement_travels_with_migration(self):
+        from repro.cloudmgr import CloudController, ComputeNode
+        clock = SimClock()
+        nodes = [ComputeNode(f"n{i}", clock, seed=i) for i in range(2)]
+        cloud = CloudController(clock, nodes)
+        vm = VirtualMachine(name="gold",
+                            workload=spec_workload("mcf",
+                                                   duration_cycles=1e13))
+        placement = cloud.launch(vm, GOLD)
+        source = cloud.nodes[placement.node]
+        destination = next(n for n in nodes if n.name != source.name)
+        cloud.migrations.migrate("gold", source, destination, GOLD)
+        assert source.qos.requirement_for("gold") is None
+        assert destination.qos.requirement_for("gold") is not None
+
+    def test_completion_unregisters(self):
+        from repro.cloudmgr import CloudController, ComputeNode
+        clock = SimClock()
+        nodes = [ComputeNode(f"n{i}", clock, seed=i) for i in range(2)]
+        cloud = CloudController(clock, nodes)
+        vm = VirtualMachine(name="quick",
+                            workload=spec_workload("mcf",
+                                                   duration_cycles=1e9))
+        placement = cloud.launch(vm, SILVER)
+        node = cloud.nodes[placement.node]
+        cloud.run(5.0)
+        assert node.qos.requirement_for("quick") is None
+
+
+class TestAudit:
+    def test_clean_configuration_has_no_violations(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        guard.register("gold", requirement_from_sla(GOLD))
+        assert guard.audit() == []
+
+    def test_frequency_violation_detected(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))
+        nominal = platform.chip.spec.nominal
+        platform.set_core_point(core_id, nominal.scaled(
+            voltage_factor=0.9, frequency_factor=0.6))
+        kinds = {v.kind for v in guard.audit()}
+        assert "frequency" in kinds
+
+    def test_reliability_violation_detected(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="gold", workload=spec_workload("zeusmp"))
+        hypervisor.create_vm(vm)
+        core_id = hypervisor._assignments["gold"]
+        guard.register("gold", requirement_from_sla(GOLD))
+        nominal = platform.chip.spec.nominal
+        platform.set_core_point(
+            core_id, nominal.with_voltage(nominal.voltage_v * 0.76))
+        kinds = {v.kind for v in guard.audit()}
+        assert "reliability" in kinds
+
+    def test_unregistered_vms_not_audited(self, setup):
+        platform, hypervisor, guard = setup
+        vm = VirtualMachine(name="anon", workload=spec_workload("mcf"))
+        hypervisor.create_vm(vm)
+        nominal = platform.chip.spec.nominal
+        platform.set_all_core_points(nominal.scaled(
+            voltage_factor=0.9, frequency_factor=0.5))
+        assert guard.audit() == []

@@ -1,0 +1,100 @@
+"""Tests for RAIDR-style multirate refresh."""
+
+import pytest
+
+from repro.core.eop import NOMINAL_REFRESH_INTERVAL_S
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.dram import Dimm, RetentionModel
+from repro.hardware.raidr import (
+    MultirateRefresh,
+    RefreshBin,
+    bin_rows,
+    raidr_comparison,
+    row_failure_probability,
+)
+
+
+@pytest.fixture
+def dimm():
+    return Dimm(dimm_id=0)
+
+
+class TestRowFailure:
+    def test_row_weaker_than_cell(self):
+        """A row fails if any of its thousands of cells fails."""
+        retention = RetentionModel()
+        cell = retention.ber(5.0)
+        row = row_failure_probability(retention, 5.0, cells_per_row=8192)
+        assert row > cell
+        assert row == pytest.approx(8192 * cell, rel=0.01)  # small-p regime
+
+    def test_monotone_in_interval(self):
+        retention = RetentionModel()
+        probs = [row_failure_probability(retention, t, 8192)
+                 for t in (0.064, 1.0, 5.0, 20.0)]
+        assert probs == sorted(probs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            row_failure_probability(RetentionModel(), 1.0, cells_per_row=0)
+
+
+class TestBinning:
+    def test_fractions_sum_to_one(self):
+        bins = bin_rows(RetentionModel())
+        assert sum(b.row_fraction for b in bins) == pytest.approx(1.0)
+
+    def test_most_rows_land_in_longest_bin(self):
+        """The RAIDR observation: the weak tail is tiny."""
+        bins = bin_rows(RetentionModel())
+        longest = max(bins, key=lambda b: b.interval_s)
+        assert longest.row_fraction > 0.99
+
+    def test_shortest_bin_must_cover_nominal(self):
+        with pytest.raises(ConfigurationError):
+            bin_rows(RetentionModel(), intervals_s=(0.5, 1.0, 4.0))
+
+    def test_temperature_shifts_rows_to_faster_bins(self):
+        cool = bin_rows(RetentionModel(), temperature_c=35.0)
+        hot = bin_rows(RetentionModel(), temperature_c=75.0)
+        cool_longest = max(cool, key=lambda b: b.interval_s).row_fraction
+        hot_longest = max(hot, key=lambda b: b.interval_s).row_fraction
+        assert hot_longest < cool_longest
+
+
+class TestMultirateRefresh:
+    def test_saving_close_to_longest_bin_ratio(self, dimm):
+        bins = bin_rows(dimm.retention)
+        scheme = MultirateRefresh(dimm, bins)
+        saving = scheme.saving_vs_nominal()
+        # Nearly all rows at 4 s => saving approaches 1 - 0.064/4.
+        assert saving > 0.95
+        assert saving < 1.0
+
+    def test_beats_safe_uniform_refresh(self, dimm):
+        """Uniform refresh must run at nominal (the weak rows demand
+        it); binning wins by refreshing only the tail fast."""
+        bins = bin_rows(dimm.retention)
+        scheme = MultirateRefresh(dimm, bins)
+        assert scheme.saving_vs_uniform(
+            NOMINAL_REFRESH_INTERVAL_S) > 0.95
+
+    def test_residual_ber_negligible(self, dimm):
+        bins = bin_rows(dimm.retention)
+        scheme = MultirateRefresh(dimm, bins)
+        assert scheme.residual_ber(dimm.retention) < 1e-15
+
+    def test_degenerate_single_bin_matches_uniform(self, dimm):
+        single = [RefreshBin(NOMINAL_REFRESH_INTERVAL_S, 1.0)]
+        scheme = MultirateRefresh(dimm, single)
+        assert scheme.saving_vs_nominal() == pytest.approx(0.0, abs=1e-9)
+
+    def test_fractions_must_sum_to_one(self, dimm):
+        with pytest.raises(ConfigurationError):
+            MultirateRefresh(dimm, [RefreshBin(0.064, 0.4)])
+
+    def test_convenience_wrapper(self, dimm):
+        bins, saving, residual = raidr_comparison(dimm)
+        assert len(bins) == 4
+        assert saving > 0.9
+        assert residual < 1e-15

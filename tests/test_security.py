@@ -1,0 +1,138 @@
+"""Tests for EOP threat analysis and countermeasures."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.security import (
+    COUNTERMEASURE_CATALOG,
+    NodeExposure,
+    StressThrottler,
+    ThreatAnalyzer,
+    looks_like_stress_attack,
+    plan_countermeasures,
+    residual_risk,
+)
+from repro.workloads import CPU_POWER_VIRUS, spec_workload
+
+
+def exposure(margin=0.0, relaxation=1.0, multi_tenant=False,
+             sensors=False, authenticated=True):
+    return NodeExposure(
+        voltage_margin_used=margin,
+        refresh_relaxation=relaxation,
+        multi_tenant=multi_tenant,
+        sensors_exposed_to_guests=sensors,
+        margin_interface_authenticated=authenticated,
+    )
+
+
+CONSERVATIVE = exposure()
+AGGRESSIVE = exposure(margin=0.18, relaxation=78.0, multi_tenant=True,
+                      sensors=True, authenticated=False)
+
+
+class TestThreatAnalyzer:
+    def test_conservative_config_is_low_risk(self):
+        analyzer = ThreatAnalyzer()
+        assert analyzer.overall_risk(CONSERVATIVE) < 0.1
+
+    def test_aggressive_config_is_high_risk(self):
+        analyzer = ThreatAnalyzer()
+        assert analyzer.overall_risk(AGGRESSIVE) > 0.5
+
+    def test_register_sorted_by_risk(self):
+        entries = ThreatAnalyzer().assess(AGGRESSIVE)
+        risks = [e.risk for e in entries]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_single_tenant_disarms_stress_attack(self):
+        analyzer = ThreatAnalyzer()
+        single = exposure(margin=0.18, multi_tenant=False)
+        multi = exposure(margin=0.18, multi_tenant=True)
+        stress_single = next(
+            e for e in analyzer.assess(single)
+            if e.threat.surface == "voltage")
+        stress_multi = next(
+            e for e in analyzer.assess(multi)
+            if e.threat.surface == "voltage")
+        assert stress_multi.risk > 5 * stress_single.risk
+
+    def test_authentication_disarms_interface_abuse(self):
+        analyzer = ThreatAnalyzer()
+        open_iface = exposure(authenticated=False)
+        closed = exposure(authenticated=True)
+        risk_open = next(e for e in analyzer.assess(open_iface)
+                         if e.threat.surface == "interface").risk
+        risk_closed = next(e for e in analyzer.assess(closed)
+                           if e.threat.surface == "interface").risk
+        assert risk_open > risk_closed
+
+    def test_severity_labels(self):
+        entries = ThreatAnalyzer().assess(AGGRESSIVE)
+        assert entries[0].severity in ("high", "medium")
+
+    def test_exposure_validation(self):
+        with pytest.raises(ConfigurationError):
+            exposure(margin=-0.1)
+        with pytest.raises(ConfigurationError):
+            exposure(relaxation=0.5)
+
+
+class TestCountermeasures:
+    def test_plan_reduces_risk_under_target(self):
+        plan = plan_countermeasures(AGGRESSIVE, risk_target=0.1)
+        assert plan.residual_risk <= 0.1
+        assert len(plan.countermeasures) >= 2
+
+    def test_plan_is_minimal_for_safe_configs(self):
+        plan = plan_countermeasures(CONSERVATIVE, risk_target=0.1)
+        assert plan.countermeasures == ()
+
+    def test_costs_stay_low(self):
+        """The paper's constraint: countermeasures must be low cost."""
+        plan = plan_countermeasures(AGGRESSIVE, risk_target=0.05)
+        assert plan.total_performance_cost < 0.05
+        assert plan.total_energy_cost < 0.10
+
+    def test_residual_risk_monotone_in_deployment(self):
+        analyzer = ThreatAnalyzer()
+        nothing = residual_risk(analyzer, AGGRESSIVE, [])
+        everything = residual_risk(analyzer, AGGRESSIVE,
+                                   COUNTERMEASURE_CATALOG)
+        assert everything < nothing
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_countermeasures(AGGRESSIVE, risk_target=0.0)
+
+
+class TestStressDetection:
+    def test_virus_profile_flagged(self):
+        assert looks_like_stress_attack(CPU_POWER_VIRUS.profile)
+
+    def test_spec_benchmarks_not_flagged(self):
+        """Real workloads must not be throttled as attacks."""
+        from repro.workloads import spec_suite
+        for workload in spec_suite():
+            assert not looks_like_stress_attack(workload.profile)
+
+    def test_throttler_caps_attacker(self):
+        throttler = StressThrottler(frequency_cap_fraction=0.5)
+        assert throttler.review_guest("evil", CPU_POWER_VIRUS.profile)
+        capped = throttler.effective_profile("evil",
+                                             CPU_POWER_VIRUS.profile)
+        assert capped.droop_intensity == pytest.approx(
+            CPU_POWER_VIRUS.profile.droop_intensity * 0.5)
+
+    def test_throttler_releases_reformed_guest(self):
+        throttler = StressThrottler()
+        throttler.review_guest("vm0", CPU_POWER_VIRUS.profile)
+        assert not throttler.review_guest(
+            "vm0", spec_workload("mcf").profile)
+        assert "vm0" not in throttler.throttled
+
+    def test_innocent_guest_untouched(self):
+        throttler = StressThrottler()
+        profile = spec_workload("mcf").profile
+        throttler.review_guest("vm0", profile)
+        assert throttler.effective_profile("vm0", profile) == profile

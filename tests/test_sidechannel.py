@@ -1,0 +1,84 @@
+"""Tests for the telemetry side-channel attack toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.security.sidechannel import (
+    PhaseInferenceAttack,
+    attack_accuracy,
+    threshold_classify,
+)
+
+
+class TestClassifier:
+    def test_separates_bimodal_trace(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(10.0, 0.5, 50)
+        high = rng.normal(30.0, 0.5, 50)
+        samples = list(low) + list(high)
+        labels = threshold_classify(samples)
+        assert set(labels[:50]) == {0}
+        assert set(labels[50:]) == {1}
+
+    def test_unimodal_trace_splits_arbitrarily(self):
+        rng = np.random.default_rng(1)
+        samples = list(rng.normal(20.0, 0.1, 100))
+        labels = threshold_classify(samples)
+        # No structure to find: both labels present, roughly balanced
+        # around the noise midpoint.
+        assert 0 in labels and 1 in labels
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            threshold_classify([1.0])
+
+
+class TestAccuracy:
+    def test_perfect_recovery(self):
+        assert attack_accuracy([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+
+    def test_label_invariance(self):
+        assert attack_accuracy([1, 1, 0, 0], [0, 0, 1, 1]) == 1.0
+
+    def test_chance_level(self):
+        assert attack_accuracy([0, 1, 0, 1], [0, 0, 1, 1]) == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            attack_accuracy([0], [0, 1])
+
+
+class TestAttack:
+    def test_recovers_clean_signal(self):
+        attack = PhaseInferenceAttack("test")
+        rng = np.random.default_rng(2)
+        for i in range(100):
+            phase = 1 if (i // 10) % 2 else 0
+            signal = 30.0 if phase else 12.0
+            attack.observe(signal + rng.normal(0, 0.5), phase)
+        result = attack.run()
+        assert result.accuracy > 0.95
+        assert result.effective
+        assert result.n_samples == 100
+
+    def test_flat_signal_is_chance(self):
+        attack = PhaseInferenceAttack("flat")
+        rng = np.random.default_rng(3)
+        for i in range(200):
+            phase = 1 if (i // 10) % 2 else 0
+            attack.observe(20.0 + rng.normal(0, 0.01), phase)
+        result = attack.run()
+        assert result.accuracy < 0.7
+        assert not result.effective
+
+    def test_needs_enough_samples(self):
+        attack = PhaseInferenceAttack("x")
+        attack.observe(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            attack.run()
+
+    def test_truth_must_be_binary(self):
+        attack = PhaseInferenceAttack("x")
+        with pytest.raises(ConfigurationError):
+            attack.observe(1.0, 2)

@@ -1,0 +1,90 @@
+"""Tests for the trace-driven cloud simulation."""
+
+import pytest
+
+from repro.cloudmgr import CloudController, ComputeNode
+from repro.cloudmgr.simulation import (
+    TIER_MAP,
+    TraceDrivenSimulation,
+    run_trace_experiment,
+)
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError
+from repro.workloads.traces import TraceConfig, TraceGenerator
+
+
+def make_cloud(n_nodes=4):
+    clock = SimClock()
+    nodes = [ComputeNode(f"node{i}", clock, seed=i) for i in range(n_nodes)]
+    return CloudController(clock, nodes, proactive_migration=False)
+
+
+def make_events(duration_s, rate=20.0, seed=1, lifetime_s=1800.0):
+    return TraceGenerator(
+        TraceConfig(base_rate_per_hour=rate, mean_lifetime_s=lifetime_s),
+        seed=seed).generate(duration_s)
+
+
+class TestTierMapping:
+    def test_all_trace_tiers_resolve(self):
+        assert set(TIER_MAP) == {"gold", "silver", "bronze"}
+
+
+class TestSimulation:
+    def test_arrivals_admitted_and_terminated(self):
+        duration = 4 * 3600.0
+        cloud = make_cloud()
+        events = make_events(duration)
+        simulation = TraceDrivenSimulation(cloud, events, step_s=120.0)
+        stats = simulation.run(duration)
+        assert stats.arrivals == len(events)
+        assert stats.admitted + stats.rejected == stats.arrivals
+        assert stats.admitted > 0
+        # Short lifetimes: most admitted VMs should have departed.
+        assert stats.terminated > stats.admitted * 0.5
+
+    def test_rack_drains_after_the_stream(self):
+        duration = 2 * 3600.0
+        cloud = make_cloud()
+        events = make_events(duration, lifetime_s=600.0)
+        simulation = TraceDrivenSimulation(cloud, events, step_s=60.0)
+        simulation.run(duration + 3600.0)
+        assert simulation.active_vm_count() <= 2  # stragglers at most
+
+    def test_overload_counts_rejections(self):
+        duration = 2 * 3600.0
+        cloud = make_cloud(n_nodes=1)
+        events = make_events(duration, rate=300.0, lifetime_s=7200.0)
+        simulation = TraceDrivenSimulation(cloud, events, step_s=120.0)
+        stats = simulation.run(duration)
+        assert stats.rejected > 0
+        assert stats.admission_rate < 1.0
+        assert sum(stats.rejected_by_tier.values()) == stats.rejected
+
+    def test_deterministic_given_seeds(self):
+        duration = 2 * 3600.0
+        a = TraceDrivenSimulation(
+            make_cloud(), make_events(duration, seed=5), step_s=120.0
+        ).run(duration)
+        b = TraceDrivenSimulation(
+            make_cloud(), make_events(duration, seed=5), step_s=120.0
+        ).run(duration)
+        assert (a.admitted, a.rejected, a.terminated) == \
+            (b.admitted, b.rejected, b.terminated)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceDrivenSimulation(make_cloud(), [], step_s=0.0)
+        simulation = TraceDrivenSimulation(make_cloud(), [])
+        with pytest.raises(ConfigurationError):
+            simulation.run(0.0)
+
+
+class TestConvenienceWrapper:
+    def test_run_trace_experiment(self):
+        cloud = make_cloud()
+        stats = run_trace_experiment(cloud, duration_s=2 * 3600.0,
+                                     trace_seed=2,
+                                     base_rate_per_hour=15.0)
+        assert stats.arrivals > 0
+        assert stats.admission_rate > 0.9  # healthy rack absorbs this

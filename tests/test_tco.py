@@ -1,0 +1,151 @@
+"""Tests for the TCO model, Table 3 projection and the edge model."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.tco import (
+    BASELINE_ARM_SERVER,
+    CLOUD,
+    EDGE,
+    DatacenterSpec,
+    DeploymentLatency,
+    DvfsCurve,
+    EDGE_SITE,
+    EdgeServiceModel,
+    EnergyEfficiencySources,
+    ServerSpec,
+    TCOModel,
+    apply_energy_efficiency,
+    apply_yield_recovery,
+    project_table3,
+)
+
+
+class TestServerSpec:
+    def test_acquisition_cost_includes_yield_loss(self):
+        cheap = ServerSpec("a", chip_cost_usd=850.0, binning_yield=1.0)
+        lossy = ServerSpec("b", chip_cost_usd=850.0, binning_yield=0.5)
+        assert lossy.acquisition_cost_usd() - cheap.acquisition_cost_usd() \
+            == pytest.approx(850.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerSpec("x", binning_yield=0.0)
+        with pytest.raises(ConfigurationError):
+            DatacenterSpec(pue=0.9)
+
+
+class TestTCOModel:
+    def test_breakdown_sums(self):
+        breakdown = TCOModel().breakdown(BASELINE_ARM_SERVER)
+        assert breakdown.total_usd == pytest.approx(
+            breakdown.capex_usd + breakdown.opex_usd)
+        assert breakdown.total_usd > 0
+
+    def test_energy_share_is_realistic(self):
+        """Energy (incl. PUE) is a low-teens share of micro-server TCO —
+        the leverage behind the paper's 1.15x EE-only TCO gain."""
+        share = TCOModel().breakdown(BASELINE_ARM_SERVER).energy_share()
+        assert 0.08 < share < 0.20
+
+    def test_improvement_identity(self):
+        model = TCOModel()
+        assert model.improvement(BASELINE_ARM_SERVER,
+                                 BASELINE_ARM_SERVER) == pytest.approx(1.0)
+
+    def test_energy_efficiency_lowers_tco(self):
+        model = TCOModel()
+        improved = apply_energy_efficiency(BASELINE_ARM_SERVER, 4.0)
+        assert model.improvement(BASELINE_ARM_SERVER, improved) > 1.0
+
+    def test_yield_recovery_lowers_tco(self):
+        model = TCOModel()
+        improved = apply_yield_recovery(BASELINE_ARM_SERVER, 1.0)
+        assert model.improvement(BASELINE_ARM_SERVER, improved) > 1.0
+
+    def test_edge_site_infrastructure_is_cheaper(self):
+        cloud_infra = TCOModel().breakdown(
+            BASELINE_ARM_SERVER).infrastructure_capex_usd
+        edge_infra = TCOModel(EDGE_SITE).breakdown(
+            BASELINE_ARM_SERVER).infrastructure_capex_usd
+        assert edge_infra < cloud_infra
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_energy_efficiency(BASELINE_ARM_SERVER, 0.0)
+        with pytest.raises(ConfigurationError):
+            apply_yield_recovery(BASELINE_ARM_SERVER, 1.5)
+
+
+class TestTable3:
+    def test_sources_match_scan_interpretation(self):
+        sources = EnergyEfficiencySources()
+        values = dict(sources.rows())
+        assert values["Scaling"] == pytest.approx(1.15)
+        assert values["Sw maturity"] == pytest.approx(4.0)
+        assert values["Fog"] == pytest.approx(2.0)
+        assert values["Margins"] == pytest.approx(3.0)
+        assert values["Overall"] == pytest.approx(27.6)
+
+    def test_ee_only_tco_near_paper_value(self):
+        """Paper prose: EE gains alone give ~1.15x TCO improvement."""
+        projection = project_table3()
+        assert projection.ee_only_tco == pytest.approx(1.15, abs=0.05)
+
+    def test_overall_tco_exceeds_ee_only(self):
+        """Yield recovery and edge deployment add on top (paper: 1.5x)."""
+        projection = project_table3()
+        assert projection.overall_tco > projection.ee_only_tco
+        assert 1.2 < projection.overall_tco < 1.8
+
+    def test_sources_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyEfficiencySources(scaling=0.0)
+
+
+class TestEdgeModel:
+    def test_cloud_burns_half_the_budget_on_network(self):
+        model = EdgeServiceModel(end_to_end_budget_ms=200.0)
+        assert model.compute_budget_ms(CLOUD) == pytest.approx(100.0)
+        assert model.compute_budget_ms(EDGE) == pytest.approx(195.0)
+
+    def test_cloud_needs_near_peak_frequency(self):
+        model = EdgeServiceModel()
+        assert model.required_frequency_fraction(CLOUD) > 0.9
+
+    def test_edge_runs_at_half_frequency(self):
+        model = EdgeServiceModel()
+        assert model.required_frequency_fraction(EDGE) == pytest.approx(
+            0.5, abs=0.02)
+
+    def test_paper_headline_savings(self):
+        """Section 6.D: ~50 % less energy and ~75 % less power at the
+        edge point (50 % f, -30 % V)."""
+        point = EdgeServiceModel().service_point(EDGE)
+        assert point.voltage_fraction == pytest.approx(0.7, abs=0.01)
+        assert point.energy_saving == pytest.approx(0.51, abs=0.03)
+        assert point.power_saving == pytest.approx(0.755, abs=0.03)
+
+    def test_compare_reports_relative_savings(self):
+        result = EdgeServiceModel().compare()
+        assert result["energy_saving_vs_cloud"] > 0.4
+        assert result["power_saving_vs_cloud"] > 0.6
+
+    def test_impossible_deadline_rejected(self):
+        model = EdgeServiceModel(end_to_end_budget_ms=120.0,
+                                 compute_time_at_peak_ms=95.0)
+        slow_network = DeploymentLatency("far", network_rtt_ms=100.0)
+        with pytest.raises(ConfigurationError):
+            model.required_frequency_fraction(slow_network)
+
+    def test_no_budget_left_rejected(self):
+        model = EdgeServiceModel(end_to_end_budget_ms=50.0)
+        with pytest.raises(ConfigurationError):
+            model.compute_budget_ms(DeploymentLatency("x", 60.0))
+
+    def test_dvfs_curve_endpoints(self):
+        curve = DvfsCurve()
+        assert curve.voltage_fraction(1.0) == pytest.approx(1.0)
+        assert curve.voltage_fraction(0.5) == pytest.approx(0.7)
+        with pytest.raises(ConfigurationError):
+            curve.voltage_fraction(0.0)

@@ -1,0 +1,108 @@
+"""Tests for the TCO design-space exploration."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.tco import (
+    AGGRESSIVE_EOP_POLICY,
+    BASELINE_ARM_SERVER,
+    CONSERVATIVE_POLICY,
+    DatacenterSpec,
+    DesignSpaceExplorer,
+    EDGE_SITE,
+    MODERATE_EOP_POLICY,
+    MarginPolicy,
+    cheapest_meeting_availability,
+    cost_availability_pareto,
+)
+
+
+@pytest.fixture
+def explorer():
+    return DesignSpaceExplorer(required_capacity_units=1000.0,
+                               capacity_per_server=10.0)
+
+
+@pytest.fixture
+def design_space(explorer):
+    return explorer.explore(
+        sites=(DatacenterSpec(), EDGE_SITE),
+        servers=(BASELINE_ARM_SERVER,),
+    )
+
+
+class TestPricing:
+    def test_server_count_covers_capacity(self, explorer):
+        point = explorer.price(DatacenterSpec(), BASELINE_ARM_SERVER,
+                               CONSERVATIVE_POLICY)
+        assert point.n_servers == 100  # 1000 units / 10 per server
+
+    def test_failure_overhead_needs_spare_servers(self, explorer):
+        aggressive = explorer.price(DatacenterSpec(), BASELINE_ARM_SERVER,
+                                    AGGRESSIVE_EOP_POLICY)
+        conservative = explorer.price(DatacenterSpec(),
+                                      BASELINE_ARM_SERVER,
+                                      CONSERVATIVE_POLICY)
+        assert aggressive.n_servers > conservative.n_servers
+
+    def test_eop_policies_cut_cost_despite_spares(self, explorer):
+        conservative = explorer.price(DatacenterSpec(),
+                                      BASELINE_ARM_SERVER,
+                                      CONSERVATIVE_POLICY)
+        moderate = explorer.price(DatacenterSpec(), BASELINE_ARM_SERVER,
+                                  MODERATE_EOP_POLICY)
+        assert moderate.tco_per_capacity_usd < \
+            conservative.tco_per_capacity_usd
+
+    def test_aggression_trades_availability(self, explorer):
+        conservative = explorer.price(DatacenterSpec(),
+                                      BASELINE_ARM_SERVER,
+                                      CONSERVATIVE_POLICY)
+        aggressive = explorer.price(DatacenterSpec(), BASELINE_ARM_SERVER,
+                                    AGGRESSIVE_EOP_POLICY)
+        assert aggressive.effective_availability < \
+            conservative.effective_availability
+
+
+class TestExploration:
+    def test_full_grid_priced(self, design_space):
+        assert len(design_space) == 2 * 1 * 3  # sites x servers x policies
+
+    def test_empty_axis_rejected(self, explorer):
+        with pytest.raises(ConfigurationError):
+            explorer.explore(sites=(), servers=(BASELINE_ARM_SERVER,))
+
+    def test_pareto_front_non_dominated(self, design_space):
+        front = cost_availability_pareto(design_space)
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in front)
+
+    def test_pareto_front_sorted_by_cost(self, design_space):
+        front = cost_availability_pareto(design_space)
+        costs = [p.tco_per_capacity_usd for p in front]
+        assert costs == sorted(costs)
+
+    def test_cheapest_meeting_availability(self, design_space):
+        strict = cheapest_meeting_availability(design_space, 0.9998)
+        loose = cheapest_meeting_availability(design_space, 0.99)
+        assert strict.effective_availability >= 0.9998
+        assert loose.tco_per_capacity_usd <= strict.tco_per_capacity_usd
+
+    def test_impossible_availability_rejected(self, design_space):
+        with pytest.raises(ConfigurationError):
+            cheapest_meeting_availability(design_space, 0.9999999)
+
+
+class TestPolicyValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarginPolicy("x", energy_gain=0.5, failure_overhead=0.0,
+                         recovered_yield=0.9)
+        with pytest.raises(ConfigurationError):
+            MarginPolicy("x", energy_gain=2.0, failure_overhead=0.6,
+                         recovered_yield=0.9)
+
+    def test_bad_explorer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpaceExplorer(required_capacity_units=0.0)

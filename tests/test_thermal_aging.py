@@ -1,0 +1,109 @@
+"""Tests for the thermal and aging models."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hardware.aging import AgingModel, YEAR_S
+from repro.hardware.thermal import ThermalModel, retention_temperature_factor
+
+
+class TestThermal:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(ambient_c=25.0)
+        assert model.temperature_c == 25.0
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel(ambient_c=25.0,
+                             thermal_resistance_c_per_w=0.5,
+                             time_constant_s=10.0)
+        for _ in range(100):
+            model.step(power_w=40.0, dt_s=10.0)
+        assert model.temperature_c == pytest.approx(
+            model.steady_state_c(40.0), abs=0.01)
+
+    def test_exponential_approach(self):
+        model = ThermalModel(ambient_c=20.0,
+                             thermal_resistance_c_per_w=1.0,
+                             time_constant_s=30.0)
+        model.step(power_w=30.0, dt_s=30.0)  # one time constant
+        # After one tau, ~63.2 % of the way to 50 C.
+        assert model.temperature_c == pytest.approx(
+            20.0 + 30.0 * (1 - 2.718281828 ** -1), abs=0.1)
+
+    def test_large_step_is_stable(self):
+        model = ThermalModel()
+        model.step(power_w=100.0, dt_s=1e6)
+        assert model.temperature_c == pytest.approx(
+            model.steady_state_c(100.0), abs=1e-6)
+
+    def test_cooling_down(self):
+        model = ThermalModel(ambient_c=25.0)
+        model.reset(80.0)
+        model.step(power_w=0.0, dt_s=1e6)
+        assert model.temperature_c == pytest.approx(25.0, abs=1e-6)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().steady_state_c(-1.0)
+
+
+class TestRetentionTemperature:
+    def test_reference_is_unity(self):
+        assert retention_temperature_factor(45.0) == pytest.approx(1.0)
+
+    def test_halves_per_ten_degrees(self):
+        assert retention_temperature_factor(55.0) == pytest.approx(0.5)
+        assert retention_temperature_factor(65.0) == pytest.approx(0.25)
+
+    def test_doubles_when_cooler(self):
+        assert retention_temperature_factor(35.0) == pytest.approx(2.0)
+
+    def test_rejects_bad_halving_interval(self):
+        with pytest.raises(ConfigurationError):
+            retention_temperature_factor(50.0, halving_c=0.0)
+
+
+class TestAging:
+    def test_fresh_part_has_no_drift(self):
+        assert AgingModel().vmin_drift_v() == 0.0
+
+    def test_reference_lifetime_gives_reference_drift(self):
+        model = AgingModel(drift_at_reference_v=0.010,
+                           reference_time_s=3 * YEAR_S,
+                           nominal_voltage_v=1.0, reference_temp_c=60.0)
+        model.accrue(3 * YEAR_S, voltage_v=1.0, temperature_c=60.0)
+        assert model.vmin_drift_v() == pytest.approx(0.010)
+
+    def test_drift_is_sublinear_in_time(self):
+        model = AgingModel(nominal_voltage_v=1.0)
+        model.accrue(YEAR_S, 1.0, 60.0)
+        one_year = model.vmin_drift_v()
+        model.accrue(3 * YEAR_S, 1.0, 60.0)
+        four_years = model.vmin_drift_v()
+        assert four_years < 4 * one_year
+        assert four_years > one_year
+
+    def test_voltage_accelerates_aging(self):
+        gentle = AgingModel(nominal_voltage_v=1.0)
+        harsh = AgingModel(nominal_voltage_v=1.0)
+        gentle.accrue(YEAR_S, 0.9, 60.0)
+        harsh.accrue(YEAR_S, 1.1, 60.0)
+        assert harsh.vmin_drift_v() > gentle.vmin_drift_v()
+
+    def test_temperature_accelerates_aging(self):
+        cool = AgingModel(nominal_voltage_v=1.0)
+        hot = AgingModel(nominal_voltage_v=1.0)
+        cool.accrue(YEAR_S, 1.0, 45.0)
+        hot.accrue(YEAR_S, 1.0, 90.0)
+        assert hot.vmin_drift_v() > cool.vmin_drift_v()
+
+    def test_reset_restores_fresh_state(self):
+        model = AgingModel()
+        model.accrue(YEAR_S, 1.0, 60.0)
+        model.reset()
+        assert model.vmin_drift_v() == 0.0
+        assert model.effective_stress_s == 0.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel().accrue(-1.0, 1.0, 60.0)

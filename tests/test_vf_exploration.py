@@ -1,0 +1,101 @@
+"""Tests for the V-F exploration and Pareto extraction."""
+
+import pytest
+
+from repro.characterization.vf_exploration import (
+    VFExplorer,
+    energy_performance_table,
+    pareto_front,
+    point_for_performance,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.hardware import ChipModel, arm_server_soc_spec
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    chip = ChipModel(arm_server_soc_spec(), seed=1)
+    return VFExplorer(chip)
+
+
+@pytest.fixture(scope="module")
+def core_curve(explorer):
+    return explorer.explore_core(0)
+
+
+class TestExploration:
+    def test_one_point_per_frequency(self, core_curve):
+        assert len(core_curve) == 6
+        performances = [p.relative_performance for p in core_curve]
+        assert performances == sorted(performances, reverse=True)
+
+    def test_safe_voltage_above_crash(self, core_curve):
+        for point in core_curve:
+            assert point.point.voltage_v >= \
+                point.observed_crash_voltage_v
+
+    def test_lower_frequency_allows_lower_voltage(self, core_curve):
+        voltages = [p.point.voltage_v for p in core_curve]
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_energy_tracks_voltage_squared(self, core_curve, explorer):
+        nominal_v = explorer.chip.spec.nominal.voltage_v
+        for point in core_curve:
+            assert point.relative_energy == pytest.approx(
+                (point.point.voltage_v / nominal_v) ** 2)
+
+    def test_chip_exploration_covers_all_cores(self, explorer):
+        points = explorer.explore_chip(frequency_fractions=(1.0, 0.7))
+        cores = {p.core_id for p in points}
+        assert cores == set(range(explorer.chip.n_cores))
+
+    def test_bad_fraction_rejected(self, explorer):
+        with pytest.raises(ConfigurationError):
+            explorer.explore_core(0, frequency_fractions=(1.5,))
+
+    def test_bad_construction_rejected(self, explorer):
+        with pytest.raises(ConfigurationError):
+            VFExplorer(explorer.chip, guard_margin_v=-0.1)
+
+
+class TestPareto:
+    def test_front_is_non_dominated(self, core_curve):
+        front = pareto_front(core_curve)
+        for a in front:
+            assert not any(b.dominates(a) for b in front)
+
+    def test_front_sorted_by_performance(self, core_curve):
+        front = pareto_front(core_curve)
+        performances = [p.relative_performance for p in front]
+        assert performances == sorted(performances, reverse=True)
+
+    def test_single_core_curve_is_its_own_front(self, core_curve):
+        """Monotone V-F curves are entirely Pareto-optimal."""
+        assert len(pareto_front(core_curve)) == len(core_curve)
+
+    def test_dominated_points_removed_across_cores(self, explorer):
+        points = explorer.explore_chip(frequency_fractions=(1.0, 0.8, 0.6))
+        front = pareto_front(points)
+        # A weak core's point at a given frequency is dominated by a
+        # strong core's point at the same frequency (lower voltage).
+        assert len(front) < len(points)
+
+    def test_point_for_performance(self, core_curve):
+        front = pareto_front(core_curve)
+        chosen = point_for_performance(front, 0.75)
+        assert chosen.relative_performance >= 0.75
+        deeper = point_for_performance(front, 0.5)
+        assert deeper.relative_energy <= chosen.relative_energy
+
+    def test_impossible_floor_rejected(self, core_curve):
+        with pytest.raises(ConfigurationError):
+            point_for_performance(pareto_front(core_curve), 2.0)
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ConfigurationError):
+            point_for_performance([], 0.5)
+
+    def test_table_rows(self, core_curve):
+        rows = energy_performance_table(pareto_front(core_curve))
+        assert len(rows) == len(core_curve)
+        assert all(len(r) == 4 for r in rows)

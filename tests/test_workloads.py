@@ -1,0 +1,136 @@
+"""Tests for workload abstractions, SPEC suite and DRAM patterns."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads import (
+    ALL_PATTERNS,
+    ALL_VIRUSES,
+    IDLE,
+    MARCHING,
+    RANDOM,
+    SPEC_NAMES,
+    StressProfile,
+    Workload,
+    WorkloadSuite,
+    generate_pattern_data,
+    pattern_by_name,
+    spec_suite,
+    spec_workload,
+    virus_suite,
+)
+
+
+class TestStressProfile:
+    def test_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            StressProfile(1.5, 0.5, 0.5, 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            StressProfile(0.5, -0.1, 0.5, 0.5, 0.5)
+
+    def test_blend_interpolates(self):
+        a = IDLE.profile
+        b = StressProfile(1.0, 1.0, 1.0, 1.0, 1.0)
+        mid = a.blend(b, 0.5)
+        assert mid.droop_intensity == pytest.approx(
+            (a.droop_intensity + 1.0) / 2)
+
+    def test_blend_endpoints(self):
+        a = IDLE.profile
+        b = StressProfile(1.0, 1.0, 1.0, 1.0, 1.0)
+        assert a.blend(b, 0.0) == a
+        assert a.blend(b, 1.0) == b
+
+    def test_overall_stress_orders_idle_below_virus(self):
+        virus = ALL_VIRUSES[0].profile
+        assert virus.overall_stress() > IDLE.profile.overall_stress()
+
+
+class TestWorkload:
+    def test_scaled_multiplies_duration(self):
+        w = spec_workload("bzip2", duration_cycles=1e9)
+        assert w.scaled(3.0).duration_cycles == pytest.approx(3e9)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            spec_workload("bzip2").scaled(0.0)
+
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            Workload(name="", profile=IDLE.profile)
+
+
+class TestSuite:
+    def test_spec_suite_has_papers_benchmarks(self):
+        suite = spec_suite()
+        assert set(suite.names()) == set(SPEC_NAMES)
+        assert len(suite) == 8
+
+    def test_lookup_unknown_raises_with_hint(self):
+        suite = spec_suite()
+        with pytest.raises(KeyError) as excinfo:
+            suite.get("linpack")
+        assert "bzip2" in str(excinfo.value)
+
+    def test_duplicate_names_rejected(self):
+        w = spec_workload("mcf")
+        with pytest.raises(ConfigurationError):
+            WorkloadSuite("dup", [w, w])
+
+    def test_most_stressful_is_zeusmp(self):
+        """zeusmp is the paper suite's heaviest stressor by design."""
+        assert spec_suite().most_stressful().name == "zeusmp"
+
+    def test_virus_suite_outstresses_spec(self):
+        """Section 3.B: viruses are a pathogenic worst case above any
+        real-life workload, on every stress axis they target."""
+        spec_max_droop = max(
+            w.profile.droop_intensity for w in spec_suite())
+        virus_max_droop = max(
+            w.profile.droop_intensity for w in virus_suite())
+        assert virus_max_droop > spec_max_droop
+        spec_max_cache = max(
+            w.profile.cache_pressure for w in spec_suite())
+        virus_max_cache = max(
+            w.profile.cache_pressure for w in virus_suite())
+        assert virus_max_cache > spec_max_cache
+
+    def test_spec_profiles_are_diverse(self):
+        """The 8 benchmarks were chosen for 'diverse behaviors'."""
+        suite = spec_suite()
+        droop = [w.profile.droop_intensity for w in suite]
+        assert max(droop) - min(droop) > 0.5
+        sens = [w.profile.core_sensitivity for w in suite]
+        assert max(sens) - min(sens) > 0.3
+
+
+class TestPatterns:
+    def test_catalog_lookup(self):
+        assert pattern_by_name("random") is RANDOM
+        with pytest.raises(KeyError):
+            pattern_by_name("nonsense")
+
+    def test_random_coverage_grows_with_passes(self):
+        c1 = RANDOM.cumulative_coverage(1)
+        c4 = RANDOM.cumulative_coverage(4)
+        c16 = RANDOM.cumulative_coverage(16)
+        assert c1 < c4 < c16 <= 1.0
+
+    def test_marching_is_full_coverage_in_one_pass(self):
+        assert MARCHING.cumulative_coverage(1) == 1.0
+        assert MARCHING.cumulative_coverage(10) == 1.0
+
+    def test_generate_data_shapes(self):
+        for pattern in ALL_PATTERNS:
+            data = generate_pattern_data(pattern, 16, seed=1)
+            assert len(data) == 16
+
+    def test_checkerboard_alternates(self):
+        data = generate_pattern_data(pattern_by_name("checkerboard"), 4)
+        assert data[0] != data[1]
+        assert data[0] == data[2]
+
+    def test_random_data_is_seed_deterministic(self):
+        a = generate_pattern_data(RANDOM, 32, seed=9)
+        b = generate_pattern_data(RANDOM, 32, seed=9)
+        assert (a == b).all()

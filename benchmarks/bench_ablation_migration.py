@@ -14,7 +14,7 @@ and compares fleet availability and SLA violations between:
 from conftest import run_once
 
 from repro.analysis import render_table
-from repro.cloudmgr import CloudController, ComputeNode, SILVER
+from repro.cloudmgr import CloudController, SILVER, build_rack
 from repro.core.clock import SimClock
 from repro.hypervisor.vm import VirtualMachine
 from repro.workloads import spec_workload
@@ -27,8 +27,11 @@ DURATION_S = 120.0
 
 def _run_rack(proactive):
     clock = SimClock()
-    nodes = [ComputeNode(f"node{i}", clock, seed=100 + i)
-             for i in range(N_NODES)]
+    # Full UniServer nodes: characterised, Predictor trained, isolation
+    # reviews running — but deployed at nominal (margins applied below
+    # by hand, not from the EOP tables).
+    nodes = build_rack(N_NODES, clock=clock, seed=100,
+                       characterize=True, apply_margins=False)
     cloud = CloudController(clock, nodes,
                             proactive_migration=proactive,
                             node_recovery_s=60.0)

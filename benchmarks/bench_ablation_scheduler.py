@@ -17,7 +17,7 @@ at the same admission rate.
 from conftest import run_once
 
 from repro.analysis import render_table
-from repro.cloudmgr import CloudController, ComputeNode, RoundRobinScheduler
+from repro.cloudmgr import CloudController, RoundRobinScheduler, build_rack
 from repro.cloudmgr.simulation import TraceDrivenSimulation
 from repro.core.clock import SimClock
 from repro.workloads.traces import TraceConfig, TraceGenerator
@@ -29,8 +29,10 @@ N_DEGRADED = 2
 
 def _run(scheduler_factory, trace_seed=17):
     clock = SimClock()
-    nodes = [ComputeNode(f"node{i}", clock, seed=300 + i)
-             for i in range(N_NODES)]
+    # Full UniServer nodes (Predictor + IsolationManager active),
+    # deployed at nominal; degradation is applied by hand below.
+    nodes = build_rack(N_NODES, clock=clock, seed=300,
+                       characterize=True, apply_margins=False)
     cloud = CloudController(clock, nodes, proactive_migration=False)
     if scheduler_factory is not None:
         cloud.scheduler = scheduler_factory()

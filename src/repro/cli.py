@@ -14,6 +14,7 @@ command          what it runs
 ``tco``          Table 3 TCO projection
 ``edge``         Section 6.D edge-vs-cloud latency arithmetic
 ``validate``     re-check every quantified paper claim
+``metrics``      seeded rack run, cross-layer metrics dump (JSON)
 ===============  ======================================================
 """
 
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -183,6 +184,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .cloudmgr import run_rack_experiment
+
+    experiment = run_rack_experiment(
+        n_nodes=args.nodes, duration_s=args.duration, seed=args.seed,
+        characterize=args.characterize)
+    snapshot = experiment.metrics_snapshot()
+    layers = sorted({
+        name.split(".", 1)[0]
+        for node_snapshot in snapshot.values()
+        for kind in node_snapshot.values()
+        for name in kind
+    })
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    print(f"# {args.nodes} nodes, {args.duration:.0f}s, seed {args.seed}; "
+          f"layers: {', '.join(layers)}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -209,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("tco", help="Table 3 TCO projection")
     sub.add_parser("edge", help="Section 6.D edge arithmetic")
     sub.add_parser("validate", help="re-check analytical paper claims")
+    metrics = sub.add_parser(
+        "metrics", help="seeded rack run, cross-layer metrics dump")
+    metrics.add_argument("--nodes", type=int, default=4)
+    metrics.add_argument("--duration", type=float, default=1800.0)
+    metrics.add_argument("--characterize", action="store_true",
+                         help="run the pre-deployment StressLog cycle "
+                              "on every node")
     return parser
 
 
@@ -221,6 +250,7 @@ _HANDLERS = {
     "tco": _cmd_tco,
     "edge": _cmd_edge,
     "validate": _cmd_validate,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -15,7 +15,7 @@ from .failure_prediction import (
     node_features,
 )
 from .migration import MigrationCostModel, MigrationManager, MigrationRecord
-from .node import ComputeNode, NodeMetrics
+from .node import ComputeNode, NodeMetrics, build_rack
 from .scheduler import (
     DEFAULT_FILTERS,
     DEFAULT_WEIGHERS,
@@ -48,19 +48,22 @@ from .telemetry import (
 )
 
 from .simulation import (
+    RackExperiment,
     SimulationStats,
     TIER_MAP,
     TraceDrivenSimulation,
+    run_rack_experiment,
     run_trace_experiment,
 )
 
 __all__ = [
-    "SimulationStats", "TIER_MAP", "TraceDrivenSimulation", "run_trace_experiment",
+    "RackExperiment", "SimulationStats", "TIER_MAP",
+    "TraceDrivenSimulation", "run_rack_experiment", "run_trace_experiment",
     "CloudController", "CloudStats",
     "LearnedFailurePredictor", "NODE_FEATURES", "RiskAssessment",
     "ThresholdFailurePredictor", "node_features",
     "MigrationCostModel", "MigrationManager", "MigrationRecord",
-    "ComputeNode", "NodeMetrics",
+    "ComputeNode", "NodeMetrics", "build_rack",
     "DEFAULT_FILTERS", "DEFAULT_WEIGHERS", "FilterScheduler", "Placement",
     "RoundRobinScheduler", "WeigherSpec", "balance_weigher",
     "capacity_filter", "energy_weigher", "health_filter",

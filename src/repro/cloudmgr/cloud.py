@@ -17,11 +17,11 @@ Proactive vs reactive is exactly the comparison of ablation A4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..core.clock import SimClock
-from ..core.exceptions import ConfigurationError, SchedulingError
+from ..core.exceptions import ConfigurationError
 from ..hypervisor.vm import VirtualMachine, VMState
 from .failure_prediction import (
     RiskAssessment,
@@ -76,6 +76,9 @@ class CloudController:
             scheduler=self.scheduler, tracker=self.tracker,
         )
         self.stats = CloudStats()
+        #: Every placement decision, in order — the scheduling trace that
+        #: the determinism tests compare bit-for-bit across runs.
+        self.placement_log: List[Placement] = []
         self._vm_homes: Dict[str, str] = {}
         self._down_since: Dict[str, float] = {}
         self._last_energy: Dict[str, float] = {
@@ -99,6 +102,8 @@ class CloudController:
         self.tracker.register(vm.name, sla)
         self._vm_homes[vm.name] = placement.node
         self.stats.launched += 1
+        self.placement_log.append(placement)
+        node.runtime.metrics.inc("cloudmgr.scheduler.placements")
         return placement
 
     def locate(self, vm_name: str) -> ComputeNode:
@@ -144,20 +149,25 @@ class CloudController:
                 node, others, self.tracker, proactive=True)
             if moved:
                 self.stats.evacuations += 1
+                node.runtime.metrics.inc("cloudmgr.migration.evacuations")
                 for record in moved:
                     self._vm_homes[record.vm_name] = record.destination
+                    self.nodes[record.destination].runtime.metrics.inc(
+                        "cloudmgr.migration.vms_received")
 
     def _handle_crashes(self, node: ComputeNode, dt_s: float) -> None:
         if node.hypervisor.crashed:
             if node.name not in self._down_since:
                 self._down_since[node.name] = self.clock.now
                 self.stats.node_crashes += 1
+                node.runtime.metrics.inc("cloudmgr.node.crashes")
             for vm in node.hypervisor.vms:
                 self.tracker.account(vm.name, dt_s, up=False)
             if (self.clock.now - self._down_since[node.name]
                     >= self.node_recovery_s):
                 node.recover()
                 del self._down_since[node.name]
+                node.runtime.metrics.inc("cloudmgr.node.recoveries")
 
     def step(self, dt_s: float = 1.0) -> None:
         """One control-loop iteration over the whole rack."""
@@ -203,6 +213,19 @@ class CloudController:
             self.clock.advance_by(dt_s)
 
     # -- summaries --------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Per-node cross-layer metrics registries, node-name sorted.
+
+        Each value is one node's full registry dump — hardware fault
+        counts, daemon activity, hypervisor operations and cloudmgr
+        scheduling series side by side.  Deterministic under a fixed
+        seed, so two same-seed runs snapshot bit-for-bit identically.
+        """
+        return {
+            name: self.nodes[name].metrics_snapshot()
+            for name in sorted(self.nodes)
+        }
 
     def fleet_availability(self) -> float:
         """Mean achieved availability across tracked VMs."""

@@ -1,26 +1,37 @@
 """Compute-node abstraction for the resource manager.
 
-Each node bundles a platform, its hypervisor and its daemons, and exposes
-the metrics OpenStack-style scheduling consumes.  Paper Section 2: "in
-UniServer an additional node *reliability* metric is added to the
-traditional metrics of interest, which are node availability, utilization
-and energy usage."
+A :class:`ComputeNode` is the cloud layer's view of one **full**
+:class:`~repro.core.coordinator.UniServerNode` — Predictor and
+IsolationManager included — rather than a hand-assembled partial stack.
+Rack experiments therefore exercise exactly the same cross-layer code
+path as the single-node benches, through the shared
+``pre_deploy → deploy → run`` lifecycle, and every node reports into its
+runtime's :class:`~repro.core.runtime.MetricsRegistry`.
+
+The node exposes the metrics OpenStack-style scheduling consumes.  Paper
+Section 2: "in UniServer an additional node *reliability* metric is added
+to the traditional metrics of interest, which are node availability,
+utilization and energy usage."
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..core.clock import SimClock
-from ..core.eop import OperatingPoint
+from ..core.coordinator import UniServerNode
 from ..core.events import EventBus
-from ..core.exceptions import ConfigurationError
-from ..daemons.healthlog import HealthLog, HealthLogConfig
-from ..daemons.stresslog import StressLog, StressTargets
+from ..core.exceptions import ConfigurationError, IsolationError
+from ..core.runtime import NodeRuntime, spawn_runtimes
+from ..daemons.healthlog import HealthLog
+from ..daemons.predictor import Predictor
+from ..daemons.stresslog import StressLog
 from ..hardware.faults import FaultClass
-from ..hardware.platform import ServerPlatform, build_uniserver_node
+from ..hardware.platform import ServerPlatform
 from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
+from ..hypervisor.isolation import IsolationManager
+from ..hypervisor.qos import QoSGuard
 from ..hypervisor.vm import VirtualMachine
 
 
@@ -47,30 +58,103 @@ class NodeMetrics:
 
 
 class ComputeNode:
-    """A full UniServer node as the cloud layer sees it."""
+    """A full UniServer node as the cloud layer sees it.
 
-    def __init__(self, name: str, clock: SimClock,
+    Wraps a :class:`~repro.core.coordinator.UniServerNode` and drives its
+    unified lifecycle:
+
+    * ``characterize=True`` runs the pre-deployment StressLog cycle,
+      deploys (adopting the EOPs unless ``apply_margins=False``) and
+      trains the node Predictor from the stress evidence;
+    * ``characterize=False`` (the default, and the old behaviour)
+      deploys conservatively at nominal with no offline campaign.
+
+    Either way the node carries the complete stack — HealthLog,
+    StressLog, Predictor, Hypervisor, IsolationManager, QoSGuard — and
+    :meth:`step` runs periodic isolation reviews alongside hypervisor
+    ticks.
+    """
+
+    def __init__(self, name: str, clock: Optional[SimClock] = None,
                  platform: Optional[ServerPlatform] = None,
                  hypervisor_config: Optional[HypervisorConfig] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 runtime: Optional[NodeRuntime] = None,
+                 characterize: bool = False,
+                 apply_margins: bool = True,
+                 isolation_review_every_s: float = 60.0) -> None:
+        if isolation_review_every_s <= 0:
+            raise ConfigurationError(
+                "isolation review period must be positive")
+        if runtime is None:
+            runtime = NodeRuntime(name=name, clock=clock, seed=seed)
+        elif clock is not None and clock is not runtime.clock:
+            raise ConfigurationError(
+                "pass either a runtime or a clock, not a conflicting pair")
         self.name = name
-        self.clock = clock
-        self.bus = EventBus()
-        self.platform = platform or build_uniserver_node(name=name)
-        self.platform.name = name
-        self.hypervisor = Hypervisor(
-            self.platform, clock, bus=self.bus,
-            config=hypervisor_config, seed=seed,
+        self.runtime = runtime
+        self.node = UniServerNode(
+            platform=platform, hypervisor_config=hypervisor_config,
+            runtime=runtime,
         )
-        self.healthlog = HealthLog(self.platform, self.bus, clock)
-        self.stresslog = StressLog(self.platform, clock, bus=self.bus)
-        # Per-VM QoS guarantees gating local EOP adoption; the cloud
-        # layer registers each VM's requirement at placement time.
-        from ..hypervisor.qos import QoSGuard
-        self.qos = QoSGuard(self.hypervisor)
+        self.platform.name = name
+        self.isolation_review_every_s = isolation_review_every_s
         self._uptime_s = 0.0
         self._downtime_s = 0.0
-        self.hypervisor.boot()
+        self._since_review = 0.0
+        if characterize:
+            self.node.pre_deploy()
+            self.node.deploy(apply_margins=apply_margins)
+            self.node.train_predictor(include_campaign=False)
+        else:
+            self.node.deploy(apply_margins=False)
+
+    # -- the wrapped stack -------------------------------------------------
+
+    @property
+    def clock(self) -> SimClock:
+        """The shared simulation clock."""
+        return self.runtime.clock
+
+    @property
+    def bus(self) -> EventBus:
+        """The node's event bus."""
+        return self.runtime.bus
+
+    @property
+    def platform(self) -> ServerPlatform:
+        """The node's hardware platform."""
+        return self.node.platform
+
+    @property
+    def hypervisor(self) -> Hypervisor:
+        """The node's hypervisor."""
+        return self.node.hypervisor
+
+    @property
+    def healthlog(self) -> HealthLog:
+        """The node's HealthLog daemon."""
+        return self.node.healthlog
+
+    @property
+    def stresslog(self) -> StressLog:
+        """The node's StressLog daemon."""
+        return self.node.stresslog
+
+    @property
+    def predictor(self) -> Predictor:
+        """The node's failure Predictor daemon."""
+        return self.node.predictor
+
+    @property
+    def isolation(self) -> IsolationManager:
+        """The node's isolation manager."""
+        return self.node.isolation
+
+    @property
+    def qos(self) -> QoSGuard:
+        """Per-VM QoS guarantees gating local EOP adoption."""
+        return self.node.qos
 
     # -- capacity ---------------------------------------------------------
 
@@ -149,8 +233,8 @@ class ComputeNode:
         return sum(fractions) / len(fractions)
 
     def metrics(self) -> NodeMetrics:
-        """The scheduling snapshot."""
-        return NodeMetrics(
+        """The scheduling snapshot (also mirrored into the registry)."""
+        snapshot = NodeMetrics(
             node=self.name,
             availability=self.availability(),
             utilization=self.utilization(),
@@ -161,11 +245,31 @@ class ComputeNode:
             free_memory_mb=self.free_memory_mb(),
             frequency_fraction=self.frequency_fraction(),
         )
+        registry = self.runtime.metrics
+        registry.set_gauge("cloudmgr.node.availability",
+                           snapshot.availability)
+        registry.set_gauge("cloudmgr.node.utilization", snapshot.utilization)
+        registry.set_gauge("cloudmgr.node.power_w", snapshot.power_w)
+        registry.set_gauge("cloudmgr.node.reliability", snapshot.reliability)
+        return snapshot
+
+    def metrics_snapshot(self) -> dict:
+        """The node's full cross-layer metrics registry dump."""
+        return self.runtime.metrics.snapshot()
 
     # -- execution ----------------------------------------------------------
 
+    def _review_isolation(self) -> None:
+        """One isolation review; a refusal to fence the last core is
+        recorded rather than propagated (the rack keeps running)."""
+        try:
+            self.isolation.review(self.platform.faults, self.clock.now)
+        except IsolationError:
+            self.runtime.metrics.inc("hypervisor.isolation.blocked")
+
     def step(self, dt_s: float) -> None:
-        """Advance the node: tick the hypervisor, account availability."""
+        """Advance the node: hypervisor ticks, isolation review,
+        availability accounting."""
         if dt_s < 0:
             raise ConfigurationError("dt must be non-negative")
         if self.hypervisor.crashed:
@@ -176,6 +280,10 @@ class ComputeNode:
             if self.hypervisor.crashed:
                 break
             self.hypervisor.tick()
+        self._since_review += dt_s
+        if self._since_review >= self.isolation_review_every_s:
+            self._review_isolation()
+            self._since_review = 0.0
         if self.hypervisor.crashed:
             self._downtime_s += dt_s
         else:
@@ -184,3 +292,26 @@ class ComputeNode:
     def recover(self) -> None:
         """Reboot a crashed node (operator/automation action)."""
         self.hypervisor.reboot()
+
+
+def build_rack(n_nodes: int, clock: Optional[SimClock] = None,
+               seed: int = 0, name_prefix: str = "node",
+               characterize: bool = False,
+               apply_margins: bool = True,
+               hypervisor_config: Optional[HypervisorConfig] = None,
+               ) -> List[ComputeNode]:
+    """A rack of full UniServer nodes on one shared clock.
+
+    One experiment ``seed`` fans out (``SeedSequence.spawn``) into an
+    independent, reproducible stream family per node, replacing the
+    ad-hoc ``seed=base + i`` convention.
+    """
+    runtimes = spawn_runtimes(n_nodes, seed=seed, clock=clock,
+                              name_prefix=name_prefix)
+    return [
+        ComputeNode(runtime.name, runtime=runtime,
+                    hypervisor_config=hypervisor_config,
+                    characterize=characterize,
+                    apply_margins=apply_margins)
+        for runtime in runtimes
+    ]

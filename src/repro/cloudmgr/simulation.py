@@ -14,10 +14,10 @@ measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..core.exceptions import ConfigurationError, SchedulingError
-from ..hypervisor.vm import VirtualMachine, VMState
+from ..hypervisor.vm import VirtualMachine
 from ..workloads.traces import ArrivalEvent, TraceGenerator
 from .cloud import CloudController
 from .sla import BRONZE, GOLD, SILVER, SLA
@@ -134,3 +134,46 @@ def run_trace_experiment(cloud: CloudController, duration_s: float,
     events = generator.generate(duration_s)
     simulation = TraceDrivenSimulation(cloud, events, step_s=step_s)
     return simulation.run(duration_s)
+
+
+@dataclass
+class RackExperiment:
+    """Everything one seeded rack run produced."""
+
+    cloud: CloudController
+    stats: SimulationStats
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Per-node cross-layer metrics (see CloudController)."""
+        return self.cloud.metrics_snapshot()
+
+
+def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
+                        seed: int = 0,
+                        characterize: bool = False,
+                        apply_margins: bool = True,
+                        proactive_migration: bool = True,
+                        base_rate_per_hour: float = 12.0,
+                        step_s: float = 60.0) -> RackExperiment:
+    """One fully seeded rack run: N full UniServer nodes, one clock.
+
+    Everything stochastic — per-node fault draws, the arrival trace —
+    derives from the single ``seed``, so the run is reproducible
+    bit-for-bit: placements, migrations and the metrics snapshot are
+    identical across same-seed invocations.
+    """
+    from ..core.clock import SimClock
+    from .node import build_rack
+
+    if n_nodes < 1:
+        raise ConfigurationError("the rack needs at least one node")
+    clock = SimClock()
+    nodes = build_rack(n_nodes, clock=clock, seed=seed,
+                       characterize=characterize,
+                       apply_margins=apply_margins)
+    cloud = CloudController(clock, nodes,
+                            proactive_migration=proactive_migration)
+    stats = run_trace_experiment(
+        cloud, duration_s, trace_seed=seed,
+        base_rate_per_hour=base_rate_per_hour, step_s=step_s)
+    return RackExperiment(cloud=cloud, stats=stats)

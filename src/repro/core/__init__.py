@@ -18,6 +18,7 @@ from .events import (
     ConfigChangeEvent,
     CorrectableErrorEvent,
     CrashEvent,
+    DEFAULT_HISTORY_LIMIT,
     Event,
     EventBus,
     MarginUpdateEvent,
@@ -55,6 +56,13 @@ from .interfaces import (
     Scope,
 )
 
+from .runtime import (
+    HistogramStats,
+    MetricsRegistry,
+    NodeRuntime,
+    spawn_runtimes,
+)
+
 __all__ = [
     "AccessDenied", "GuestTelemetry", "MonitoringInterface", "NodeStatus", "Scope",
     "EpochReport", "LifetimeResult", "LifetimeSimulator", "MONTH_S",
@@ -63,9 +71,10 @@ __all__ = [
     "CharacterizedPoint", "EOPTable", "GuardBandBreakdown",
     "NOMINAL_REFRESH_INTERVAL_S", "OperatingPoint", "dvfs_ladder",
     "refresh_ladder", "voltage_sweep",
+    "HistogramStats", "MetricsRegistry", "NodeRuntime", "spawn_runtimes",
     "AnomalyEvent", "ConfigChangeEvent", "CorrectableErrorEvent",
-    "CrashEvent", "Event", "EventBus", "MarginUpdateEvent", "SensorEvent",
-    "UncorrectableErrorEvent",
+    "CrashEvent", "DEFAULT_HISTORY_LIMIT", "Event", "EventBus",
+    "MarginUpdateEvent", "SensorEvent", "UncorrectableErrorEvent",
     "CheckpointError", "ConfigurationError", "HardwareFault",
     "IsolationError", "MachineCrash", "MigrationError",
     "OperatingPointError", "PredictionError", "SchedulingError",

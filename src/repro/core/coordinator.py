@@ -19,8 +19,8 @@ conservative-nominal baseline — the headline UniServer saving.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..daemons.healthlog import HealthLog, HealthLogConfig
 from ..daemons.infovector import InfoVector, MarginVector
@@ -29,12 +29,14 @@ from ..daemons.stresslog import StressLog, StressTargets
 from ..hardware.platform import ServerPlatform, build_uniserver_node
 from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
 from ..hypervisor.isolation import IsolationManager, IsolationPolicy
+from ..hypervisor.qos import QoSGuard
 from ..hypervisor.vm import VirtualMachine
 from ..workloads.base import WorkloadSuite
 from .clock import SimClock
 from .eop import OperatingPoint
 from .events import EventBus
 from .exceptions import ConfigurationError
+from .runtime import NodeRuntime
 
 
 @dataclass
@@ -53,32 +55,60 @@ class EnergyReport:
 
 
 class UniServerNode:
-    """The full cross-layer stack on a single micro-server."""
+    """The full cross-layer stack on a single micro-server.
+
+    All per-node plumbing (clock, bus, RNG streams, metrics) lives in one
+    :class:`~repro.core.runtime.NodeRuntime`; every layer of the node —
+    HealthLog, StressLog, Predictor, Hypervisor, IsolationManager,
+    QoSGuard — is built on it, so single-node benches and the rack
+    simulator exercise exactly the same stack.  Pass ``runtime=`` to
+    embed the node in a rack (shared clock, spawned seed family); the
+    ``clock``/``seed`` parameters remain for standalone use.
+    """
 
     def __init__(self, platform: Optional[ServerPlatform] = None,
                  clock: Optional[SimClock] = None,
                  stress_suite: Optional[WorkloadSuite] = None,
                  stress_targets: Optional[StressTargets] = None,
                  hypervisor_config: Optional[HypervisorConfig] = None,
-                 seed: int = 0) -> None:
-        self.clock = clock or SimClock()
-        self.platform = platform or build_uniserver_node(name="uniserver0")
-        self.bus = EventBus()
-        self.healthlog = HealthLog(self.platform, self.bus, self.clock)
+                 seed: int = 0,
+                 runtime: Optional[NodeRuntime] = None,
+                 healthlog_config: Optional[HealthLogConfig] = None,
+                 isolation_policy: Optional[IsolationPolicy] = None) -> None:
+        if runtime is None:
+            runtime = NodeRuntime(name="uniserver0", clock=clock, seed=seed)
+        elif clock is not None and clock is not runtime.clock:
+            raise ConfigurationError(
+                "pass either a runtime or a clock, not a conflicting pair")
+        self.runtime = runtime
+        self.clock = runtime.clock
+        self.bus = runtime.bus
+        self.metrics = runtime.metrics
+        self.platform = platform or build_uniserver_node(name=runtime.name)
+        self.healthlog = HealthLog(self.platform, runtime=runtime,
+                                   config=healthlog_config)
         self.stresslog = StressLog(
-            self.platform, self.clock, bus=self.bus,
+            self.platform, runtime=runtime,
             suite=stress_suite, targets=stress_targets,
         )
-        self.predictor = Predictor(self.platform.chip.spec.nominal)
+        self.predictor = Predictor(self.platform.chip.spec.nominal,
+                                   runtime=runtime)
         self.hypervisor = Hypervisor(
-            self.platform, self.clock, bus=self.bus,
-            config=hypervisor_config, seed=seed,
+            self.platform, runtime=runtime, config=hypervisor_config,
         )
-        self.isolation = IsolationManager(self.platform)
+        self.isolation = IsolationManager(self.platform,
+                                          policy=isolation_policy,
+                                          runtime=runtime)
+        self.qos = QoSGuard(self.hypervisor, runtime=runtime)
         self.margin_history: List[MarginVector] = []
         self._deployed = False
 
     # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def deployed(self) -> bool:
+        """Whether the node has been brought into service."""
+        return self._deployed
 
     def pre_deploy(self) -> MarginVector:
         """Pre-deployment characterisation: the first StressLog cycle."""
@@ -91,9 +121,10 @@ class UniServerNode:
 
         Returns the components whose configuration changed.  With
         ``apply_margins=False`` the node deploys conservatively at
-        nominal — the baseline configuration of the benches.
+        nominal — the baseline configuration of the benches — and no
+        prior characterisation is required.
         """
-        if not self.margin_history:
+        if apply_margins and not self.margin_history:
             raise ConfigurationError("run pre_deploy() before deploy()")
         self.hypervisor.boot()
         self.healthlog.start()
@@ -128,7 +159,8 @@ class UniServerNode:
 
     # -- the runtime feedback loop ------------------------------------------------
 
-    def train_predictor(self, benchmark_suite=None) -> None:
+    def train_predictor(self, benchmark_suite=None,
+                        include_campaign: bool = True) -> None:
         """Train the Predictor from StressLog evidence plus benchmarks.
 
         Two evidence sources, mirroring the StressLog's workload suite of
@@ -140,7 +172,9 @@ class UniServerNode:
           voltage;
         * an undervolting campaign with ``benchmark_suite`` (the
           SPEC-like suite by default) teaches the model how workload
-          characteristics move the crash point.
+          characteristics move the crash point.  Rack simulations with
+          many nodes can skip it (``include_campaign=False``) and train
+          on the stress evidence alone.
         """
         from ..characterization.cpu_undervolting import UndervoltingCampaign
         from ..daemons.predictor import dataset_from_campaign
@@ -164,12 +198,13 @@ class UniServerNode:
                 # Nominal always survives the stress suite.
                 self.predictor.observe(nominal, profile, crashed=False)
 
-        benchmark_suite = benchmark_suite or spec_suite()
-        campaign = UndervoltingCampaign(
-            self.platform.chip, benchmark_suite, runs_per_benchmark=1,
-        ).run()
-        self.predictor.ingest(dataset_from_campaign(
-            campaign, benchmark_suite, nominal))
+        if include_campaign:
+            benchmark_suite = benchmark_suite or spec_suite()
+            campaign = UndervoltingCampaign(
+                self.platform.chip, benchmark_suite, runs_per_benchmark=1,
+            ).run()
+            self.predictor.ingest(dataset_from_campaign(
+                campaign, benchmark_suite, nominal))
         self.predictor.train()
 
     def recharacterize(self) -> MarginVector:

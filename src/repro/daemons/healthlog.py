@@ -20,7 +20,7 @@ mirroring the real daemon's polling loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..core.clock import SimClock
 from ..core.events import (
@@ -33,6 +33,7 @@ from ..core.events import (
     UncorrectableErrorEvent,
 )
 from ..core.exceptions import ConfigurationError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..hardware.faults import FaultClass, FaultLedger, FaultOrigin, FaultRecord
 from ..hardware.platform import ServerPlatform
 from .infovector import InfoVector
@@ -62,14 +63,30 @@ class HealthLogConfig:
 
 
 class HealthLog:
-    """The HealthLog monitor for one platform."""
+    """The HealthLog monitor for one platform.
 
-    def __init__(self, platform: ServerPlatform, bus: EventBus,
-                 clock: SimClock,
-                 config: Optional[HealthLogConfig] = None) -> None:
+    Preferred construction is ``HealthLog(platform, runtime=runtime)``,
+    taking the bus, clock and metrics registry from the shared
+    :class:`~repro.core.runtime.NodeRuntime`.  The legacy
+    ``(platform, bus, clock)`` form is kept for standalone use.
+    """
+
+    def __init__(self, platform: ServerPlatform,
+                 bus: Optional[EventBus] = None,
+                 clock: Optional[SimClock] = None,
+                 config: Optional[HealthLogConfig] = None,
+                 runtime: Optional[NodeRuntime] = None) -> None:
+        if runtime is not None:
+            bus = bus or runtime.bus
+            clock = clock or runtime.clock
+        if bus is None or clock is None:
+            raise ConfigurationError(
+                "HealthLog needs a runtime or an explicit bus and clock")
         self.platform = platform
         self.bus = bus
         self.clock = clock
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
         self.config = config or HealthLogConfig()
         self.ledger = FaultLedger()
         self._logfile: List[str] = []
@@ -102,6 +119,10 @@ class HealthLog:
             "temperature_c": reading.temperature_c,
             "power_w": reading.power_w,
         }
+        self.metrics.inc("daemons.healthlog.samples")
+        self.metrics.set_gauge("daemons.healthlog.temperature_c",
+                               reading.temperature_c)
+        self.metrics.observe("daemons.healthlog.power_w", reading.power_w)
         self._append_log(
             f"t={self.clock.now:.3f} sample "
             f"v={reading.voltage_v:.4f} temp={reading.temperature_c:.2f} "
@@ -112,6 +133,9 @@ class HealthLog:
 
     def _record(self, fault: FaultRecord) -> None:
         self.ledger.record(fault)
+        self.metrics.inc("daemons.healthlog.events")
+        self.metrics.inc(
+            f"daemons.healthlog.{fault.fault_class.value}")
         self._append_log(
             f"t={fault.timestamp:.3f} {fault.fault_class.value} "
             f"{fault.component} {fault.detail}"
@@ -148,6 +172,7 @@ class HealthLog:
         count = self.ledger.count(component=component, since=since)
         if count >= self.config.error_threshold and component not in self._flagged:
             self._flagged.add(component)
+            self.metrics.inc("daemons.healthlog.anomalies")
             self.bus.publish(AnomalyEvent(
                 timestamp=timestamp, source="healthlog",
                 description=(

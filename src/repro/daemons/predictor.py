@@ -16,12 +16,13 @@ failure models" the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.eop import OperatingPoint
 from ..core.exceptions import ConfigurationError, PredictionError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..workloads.base import StressProfile, Workload
 
 FEATURE_NAMES = (
@@ -195,25 +196,34 @@ class Predictor:
     MODES = ("high-performance", "low-power")
 
     def __init__(self, nominal: OperatingPoint,
-                 model: Optional[LogisticModel] = None) -> None:
+                 model: Optional[LogisticModel] = None,
+                 runtime: Optional[NodeRuntime] = None) -> None:
         self.nominal = nominal
         self.model = model or LogisticModel()
         self.dataset = FailureDataset()
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
 
     def observe(self, point: OperatingPoint, profile: StressProfile,
                 crashed: bool, temperature_c: float = 50.0) -> None:
         """Fold one runtime observation (from HealthLog) into the dataset."""
         self.dataset.add(point, self.nominal, profile, crashed, temperature_c)
+        self.metrics.inc("daemons.predictor.observations")
 
     def ingest(self, dataset: FailureDataset) -> None:
         """Fold a whole dataset (e.g. from a StressLog campaign) in."""
         self.dataset.features.extend(dataset.features)
         self.dataset.labels.extend(dataset.labels)
+        self.metrics.inc("daemons.predictor.observations", len(dataset))
 
     def train(self) -> LogisticModel:
         """(Re)train the failure model on everything observed so far."""
         features, labels = self.dataset.as_arrays()
-        return self.model.fit(features, labels)
+        fitted = self.model.fit(features, labels)
+        self.metrics.inc("daemons.predictor.trainings")
+        self.metrics.set_gauge("daemons.predictor.dataset_size",
+                               float(len(self.dataset)))
+        return fitted
 
     def predict_failure(self, point: OperatingPoint, profile: StressProfile,
                         temperature_c: float = 50.0) -> float:

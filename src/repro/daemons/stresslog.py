@@ -20,7 +20,7 @@ with a pattern test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from ..core.eop import (
 )
 from ..core.events import AnomalyEvent, EventBus, MarginUpdateEvent
 from ..core.exceptions import ConfigurationError, StressTestError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..hardware.platform import ServerPlatform
 from ..workloads.base import Workload, WorkloadSuite
 from ..workloads.patterns import RANDOM
@@ -82,15 +83,30 @@ class StressTargets:
 
 
 class StressLog:
-    """The StressLog monitor for one platform."""
+    """The StressLog monitor for one platform.
 
-    def __init__(self, platform: ServerPlatform, clock: SimClock,
+    Preferred construction is ``StressLog(platform, runtime=runtime)``;
+    the legacy ``(platform, clock, bus=...)`` form is kept for
+    standalone campaigns (e.g. the lifetime simulator).
+    """
+
+    def __init__(self, platform: ServerPlatform,
+                 clock: Optional[SimClock] = None,
                  bus: Optional[EventBus] = None,
                  suite: Optional[WorkloadSuite] = None,
-                 targets: Optional[StressTargets] = None) -> None:
+                 targets: Optional[StressTargets] = None,
+                 runtime: Optional[NodeRuntime] = None) -> None:
+        if runtime is not None:
+            clock = clock or runtime.clock
+            bus = bus or runtime.bus
+        if clock is None:
+            raise ConfigurationError(
+                "StressLog needs a runtime or an explicit clock")
         self.platform = platform
         self.clock = clock
         self.bus = bus
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
         self.suite = suite or virus_suite()
         self.targets = targets or StressTargets()
         self.eop_table = EOPTable()
@@ -251,6 +267,10 @@ class StressLog:
             trigger=trigger,
         )
         self.history.append(vector)
+        self.metrics.inc("daemons.stresslog.cycles")
+        self.metrics.inc(f"daemons.stresslog.trigger.{trigger}")
+        self.metrics.set_gauge("daemons.stresslog.characterized_components",
+                               float(len(margins)))
         for margin in margins:
             self.eop_table.add(margin.component, CharacterizedPoint(
                 point=margin.safe_point,

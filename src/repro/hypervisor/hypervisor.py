@@ -21,8 +21,8 @@ hardware models, and applies the masking policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..core.events import (
     UncorrectableErrorEvent,
 )
 from ..core.exceptions import ConfigurationError, SchedulingError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..daemons.infovector import MarginVector
 from ..hardware.faults import FaultClass, FaultOrigin, FaultRecord
 from ..hardware.platform import ServerPlatform
@@ -87,14 +88,24 @@ class HypervisorStats:
 class Hypervisor:
     """A symmetric, error-resilient hypervisor for one platform."""
 
-    def __init__(self, platform: ServerPlatform, clock: SimClock,
+    def __init__(self, platform: ServerPlatform,
+                 clock: Optional[SimClock] = None,
                  bus: Optional[EventBus] = None,
                  config: Optional[HypervisorConfig] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 runtime: Optional[NodeRuntime] = None) -> None:
+        if runtime is not None:
+            clock = clock or runtime.clock
+            bus = bus or runtime.bus
+        if clock is None:
+            raise ConfigurationError(
+                "Hypervisor needs a runtime or an explicit clock")
         self.platform = platform
         self.clock = clock
         self.bus = bus or EventBus()
         self.config = config or HypervisorConfig()
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
         self.placement = PlacementPolicy(
             platform.memory,
             use_reliable_domain=self.config.use_reliable_domain,
@@ -103,7 +114,8 @@ class Hypervisor:
         self.stats = HypervisorStats()
         self._vms: Dict[str, VirtualMachine] = {}
         self._assignments: Dict[str, int] = {}
-        self._rng = np.random.default_rng(seed)
+        self._rng = (runtime.rng("hypervisor") if runtime is not None
+                     else np.random.default_rng(seed))
         self._crashed = False
         self._booted = False
 
@@ -244,6 +256,7 @@ class Hypervisor:
                     changed.append(component)
         if changed:
             self.stats.margin_applications += 1
+            self.metrics.inc("hypervisor.margin_applications")
         return changed
 
     # -- the execution engine --------------------------------------------------------
@@ -254,6 +267,7 @@ class Hypervisor:
             timestamp=self.clock.now, fault_class=fault_class,
             origin=origin, component=component, detail=detail,
         ))
+        self.metrics.inc(f"hardware.faults.{fault_class.value}")
 
     def _domain_error_rate_per_s(self, domain) -> float:
         """Consumed retention-error rate of a relaxed domain.
@@ -304,6 +318,7 @@ class Hypervisor:
             return
         dt = self.config.tick_s
         self.stats.ticks += 1
+        self.metrics.inc("hypervisor.ticks")
         # Account memory at the slice start, while completed-last-tick VMs
         # have already been replaced by the management layer.
         self._sample_memory()
@@ -328,6 +343,7 @@ class Hypervisor:
                 # The core glitched under this VM's stress: kill and mask.
                 vm.fail()
                 self.stats.vm_crashes_masked += 1
+                self.metrics.inc("hypervisor.vm_crashes_masked")
                 self._record_fault(FaultClass.CRASH, FaultOrigin.CPU_CORE,
                                    f"core{core_id}", f"vm {vm.name}")
                 self.bus.publish(CrashEvent(
@@ -344,6 +360,8 @@ class Hypervisor:
                 point.voltage_v, crash_v, profile)
             if cache_result.correctable:
                 self.stats.correctable_errors += cache_result.correctable
+                self.metrics.inc("hypervisor.correctable_errors",
+                                 cache_result.correctable)
                 self._record_fault(FaultClass.CORRECTABLE, FaultOrigin.CACHE,
                                    f"core{core_id}",
                                    f"{cache_result.correctable} corrected")
@@ -361,6 +379,11 @@ class Hypervisor:
             ) * dt
 
         self._handle_dram_errors(dt)
+        self.metrics.set_gauge("hypervisor.energy_j", self.stats.energy_j)
+        self.metrics.set_gauge("hypervisor.active_vms",
+                               float(len(self.active_vms())))
+        self.metrics.set_gauge("hardware.faults.total",
+                               float(len(self.platform.faults)))
 
     def _sample_memory(self) -> None:
         active = self.active_vms()

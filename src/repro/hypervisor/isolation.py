@@ -10,11 +10,12 @@ rates cross the policy thresholds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from ..core.eop import NOMINAL_REFRESH_INTERVAL_S
 from ..core.exceptions import ConfigurationError, IsolationError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..hardware.faults import FaultLedger
 from ..hardware.platform import ServerPlatform
 
@@ -51,9 +52,12 @@ class IsolationManager:
     """Fences cores and memory domains with high error rates."""
 
     def __init__(self, platform: ServerPlatform,
-                 policy: Optional[IsolationPolicy] = None) -> None:
+                 policy: Optional[IsolationPolicy] = None,
+                 runtime: Optional[NodeRuntime] = None) -> None:
         self.platform = platform
         self.policy = policy or IsolationPolicy()
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
         self.actions: List[IsolationAction] = []
         self._isolated_domains: Set[str] = set()
 
@@ -80,6 +84,7 @@ class IsolationManager:
         mitigation.
         """
         taken: List[IsolationAction] = []
+        self.metrics.inc("hypervisor.isolation.reviews")
 
         for core in self.platform.chip.cores:
             if core.isolated:
@@ -101,6 +106,7 @@ class IsolationManager:
                 )
                 self.actions.append(action)
                 taken.append(action)
+                self.metrics.inc("hypervisor.isolation.cores_fenced")
 
         for domain in self.platform.memory.domains():
             if domain.reliable or domain.name in self._isolated_domains:
@@ -115,6 +121,7 @@ class IsolationManager:
                 )
                 self.actions.append(action)
                 taken.append(action)
+                self.metrics.inc("hypervisor.isolation.domains_fenced")
 
         return taken
 

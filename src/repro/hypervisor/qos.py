@@ -15,11 +15,12 @@ current platform configuration for violations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 from ..core.eop import OperatingPoint
 from ..core.exceptions import ConfigurationError
+from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..daemons.infovector import ComponentMargin, MarginVector
 from .hypervisor import Hypervisor
 
@@ -68,8 +69,11 @@ class QoSViolation:
 class QoSGuard:
     """Tracks per-VM requirements and gates EOP adoption against them."""
 
-    def __init__(self, hypervisor: Hypervisor) -> None:
+    def __init__(self, hypervisor: Hypervisor,
+                 runtime: Optional[NodeRuntime] = None) -> None:
         self.hypervisor = hypervisor
+        self.metrics = (runtime.metrics if runtime is not None
+                        else MetricsRegistry())
         self._requirements: Dict[str, QoSRequirement] = {}
 
     # -- registration ------------------------------------------------------
@@ -140,6 +144,7 @@ class QoSGuard:
             if margin.component.startswith("core"):
                 core_id = int(margin.component[len("core"):])
                 if not self.admits(core_id, margin):
+                    self.metrics.inc("hypervisor.qos.margins_rejected")
                     continue
             kept.append(margin)
         return replace(vector, margins=tuple(kept))
@@ -174,6 +179,8 @@ class QoSGuard:
                     detail=(f"p_fail {pfail:.2e} exceeds cap "
                             f"{requirement.max_failure_probability:.0e}"),
                 ))
+        self.metrics.set_gauge("hypervisor.qos.violations",
+                               float(len(violations)))
         return violations
 
     def apply_margins_with_qos(self, vector: MarginVector) -> List[str]:

@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in ("quickstart", "characterize", "refresh",
                         "figure4", "population", "tco", "edge",
-                        "validate"):
+                        "validate", "metrics"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -71,3 +71,16 @@ class TestCommands:
         assert main(["quickstart"]) == 0
         out = capsys.readouterr().out
         assert "adopted" in out and "saving" in out
+
+    def test_metrics_dumps_json_per_node(self, capsys):
+        import json
+
+        assert main(["metrics", "--nodes", "2",
+                     "--duration", "600"]) == 0
+        captured = capsys.readouterr()
+        snapshot = json.loads(captured.out)
+        assert sorted(snapshot) == ["node0", "node1"]
+        for node_snapshot in snapshot.values():
+            assert set(node_snapshot) == {"counters", "gauges",
+                                          "histograms"}
+        assert "layers:" in captured.err

@@ -1,0 +1,48 @@
+"""Repo-root pytest hooks shared by ``tests/`` and ``benchmarks/``."""
+
+import importlib.util
+import signal
+import threading
+
+import pytest
+
+# -- per-test timeout fallback ------------------------------------------------
+#
+# pyproject.toml sets ``timeout`` for pytest-timeout; when that plugin
+# is not installed (minimal environments), register the ini option
+# ourselves and enforce it with a SIGALRM-based fallback so a hung test
+# still fails instead of wedging the suite.
+
+_HAS_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAS_TIMEOUT_PLUGIN:
+        parser.addini("timeout",
+                      "per-test timeout in seconds (SIGALRM fallback)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = 0.0
+    if not _HAS_TIMEOUT_PLUGIN:
+        raw = item.config.getini("timeout")
+        limit = float(raw) if raw else 0.0
+    usable = (limit > 0
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:.0f}s fallback timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

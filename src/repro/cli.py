@@ -15,6 +15,7 @@ command          what it runs
 ``edge``         Section 6.D edge-vs-cloud latency arithmetic
 ``validate``     re-check every quantified paper claim
 ``metrics``      seeded rack run, cross-layer metrics dump (JSON)
+``chaos``        seeded control-plane chaos campaign (policies A/B)
 ===============  ======================================================
 """
 
@@ -205,6 +206,43 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import (
+        DegradationConfig,
+        FaultPlan,
+        run_chaos_ab,
+        run_chaos_campaign,
+    )
+
+    plan = FaultPlan.random(
+        [f"node{i}" for i in range(args.nodes)], args.duration,
+        rate_per_hour=args.rate, seed=args.seed,
+        intensity=args.intensity)
+    if args.verbose:
+        print("fault plan:")
+        print(plan.describe())
+        print()
+    if args.policies == "both":
+        comparison = run_chaos_ab(
+            n_nodes=args.nodes, duration_s=args.duration,
+            seed=args.seed, plan=plan)
+        print(comparison.describe())
+        # Exit nonzero only if the ladder actively lost availability.
+        return 0 if comparison.availability_gain >= 0 else 1
+    degradation = (DegradationConfig.on() if args.policies == "on"
+                   else DegradationConfig.off())
+    result = run_chaos_campaign(
+        n_nodes=args.nodes, duration_s=args.duration, seed=args.seed,
+        plan=plan, degradation=degradation,
+        label=f"policies-{args.policies}")
+    print(result.describe())
+    print("injections: " + (
+        ", ".join(f"{kind}={count}" for kind, count
+                  in sorted(result.injections.items()))
+        or "none"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -238,6 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--characterize", action="store_true",
                          help="run the pre-deployment StressLog cycle "
                               "on every node")
+    chaos = sub.add_parser(
+        "chaos", help="seeded control-plane chaos campaign")
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument("--duration", type=float, default=3600.0)
+    chaos.add_argument("--rate", type=float, default=8.0,
+                       help="expected faults per node-hour")
+    chaos.add_argument("--intensity", type=float, default=0.7,
+                       help="fault magnitude scale in (0, 1]")
+    chaos.add_argument("--policies", choices=("on", "off", "both"),
+                       default="both",
+                       help="degradation ladder on, off, or the A/B")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print the drawn fault plan")
     return parser
 
 
@@ -251,6 +302,7 @@ _HANDLERS = {
     "edge": _cmd_edge,
     "validate": _cmd_validate,
     "metrics": _cmd_metrics,
+    "chaos": _cmd_chaos,
 }
 
 

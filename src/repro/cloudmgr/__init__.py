@@ -6,7 +6,7 @@ telemetry, reliability-aware filter/weigh scheduling, integrated node
 failure prediction and proactive live migration.
 """
 
-from .cloud import CloudController, CloudStats
+from .cloud import CloudController, CloudStats, ControllerStats
 from .failure_prediction import (
     LearnedFailurePredictor,
     NODE_FEATURES,
@@ -59,7 +59,7 @@ from .simulation import (
 __all__ = [
     "RackExperiment", "SimulationStats", "TIER_MAP",
     "TraceDrivenSimulation", "run_rack_experiment", "run_trace_experiment",
-    "CloudController", "CloudStats",
+    "CloudController", "CloudStats", "ControllerStats",
     "LearnedFailurePredictor", "NODE_FEATURES", "RiskAssessment",
     "ThresholdFailurePredictor", "node_features",
     "MigrationCostModel", "MigrationManager", "MigrationRecord",

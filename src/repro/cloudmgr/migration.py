@@ -13,7 +13,7 @@ dirty rate; the VM loses a slice of progress while paused.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.exceptions import ConfigurationError, MigrationError
 from ..hypervisor.vm import VirtualMachine, VMState
@@ -69,6 +69,9 @@ class MigrationRecord:
     total_time_s: float
     downtime_s: float
     proactive: bool
+    #: False for a mid-flight abort: the VM stayed on the source but
+    #: the pre-copy blackout was still paid.
+    succeeded: bool = True
 
 
 class MigrationManager:
@@ -81,6 +84,11 @@ class MigrationManager:
         self.cost_model = cost_model or MigrationCostModel()
         self.tracker = tracker
         self.records: List[MigrationRecord] = []
+        #: Chaos interception point: called with (source, destination
+        #: name) right before the cut-over; returning True aborts the
+        #: migration mid-flight (the VM stays put, the blackout is paid).
+        self.failure_hook: Optional[
+            Callable[[ComputeNode, str], bool]] = None
 
     def migrate(self, vm_name: str, source: ComputeNode,
                 destination: ComputeNode, sla: SLA,
@@ -98,6 +106,22 @@ class MigrationManager:
                 f"destination {destination.name!r} cannot host {vm_name!r}"
             )
         memory_mb = vm.memory_usage_mb()
+        if self.failure_hook is not None \
+                and self.failure_hook(source, destination.name):
+            record = MigrationRecord(
+                vm_name=vm_name, source=source.name,
+                destination=destination.name, memory_mb=memory_mb,
+                total_time_s=self.cost_model.total_time_s(memory_mb),
+                downtime_s=self.cost_model.downtime_s(memory_mb),
+                proactive=proactive, succeeded=False,
+            )
+            self.records.append(record)
+            if self.tracker is not None:
+                # The aborted pre-copy still cost the blackout window.
+                self.tracker.account(vm_name, record.downtime_s, up=False)
+            raise MigrationError(
+                f"migration of {vm_name!r} to {destination.name!r} "
+                "aborted mid-flight")
         was_running = vm.state is VMState.RUNNING
         vm.state = VMState.MIGRATING
         detached = source.hypervisor.detach_vm(vm_name)
@@ -125,14 +149,23 @@ class MigrationManager:
             self.tracker.account(vm_name, record.downtime_s, up=False)
         return record
 
-    def evacuate(self, source: ComputeNode, others: Sequence[ComputeNode],
+    def evacuate(self, source: ComputeNode, others: Sequence,
                  tracker: SLATracker, proactive: bool = True,
+                 resolve: Optional[Callable[[str], ComputeNode]] = None,
                  ) -> List[MigrationRecord]:
         """Move every active VM off a (predicted-failing) node.
 
         VMs migrate in descending SLA priority — "high value and
         user-facing workloads" first.  VMs with no feasible destination
-        stay put (and ride the node down if the prediction was right).
+        stay put (and ride the node down if the prediction was right);
+        a migration that aborts mid-flight likewise leaves its VM in
+        place, recorded as a failed attempt for the caller's retry
+        policy.
+
+        ``others`` may be real nodes or the controller's ``NodeView``
+        beliefs (they duck-type the scheduling surface); with views,
+        pass ``resolve`` to map the chosen node name back to the real
+        node the migration is actually executed against.
         """
         vms = sorted(
             source.hypervisor.active_vms(),
@@ -147,17 +180,27 @@ class MigrationManager:
                 placement = self.scheduler.schedule(candidates, vm, sla)
             except Exception:
                 continue
-            destination = next(
-                n for n in candidates if n.name == placement.node
-            )
-            moved.append(self.migrate(
-                vm.name, source, destination, sla, proactive=proactive,
-            ))
+            destination = (resolve(placement.node) if resolve is not None
+                           else next(n for n in candidates
+                                     if n.name == placement.node))
+            try:
+                moved.append(self.migrate(
+                    vm.name, source, destination, sla, proactive=proactive,
+                ))
+            except MigrationError:
+                continue
         return moved
 
     def proactive_migrations(self) -> int:
         """Number of proactive migrations executed."""
         return sum(1 for r in self.records if r.proactive)
+
+    def success_rate(self) -> float:
+        """Fraction of attempted migrations that completed (1.0 if none)."""
+        if not self.records:
+            return 1.0
+        return sum(1 for r in self.records if r.succeeded) \
+            / len(self.records)
 
     def total_downtime_s(self) -> float:
         """Summed migration blackout time (seconds)."""

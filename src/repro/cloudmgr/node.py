@@ -33,6 +33,8 @@ from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
 from ..hypervisor.isolation import IsolationManager
 from ..hypervisor.qos import QoSGuard
 from ..hypervisor.vm import VirtualMachine
+from ..resilience.health import Heartbeat
+from .telemetry import NodeSample, TelemetryService, VMSample
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,20 @@ class ComputeNode:
         self._uptime_s = 0.0
         self._downtime_s = 0.0
         self._since_review = 0.0
+        #: Node-local telemetry ring the on-node risk predictor reads —
+        #: the controller only ever sees what the heartbeat ships out.
+        self.local_telemetry = TelemetryService()
+        #: Node-local failure-risk predictor (lazily a
+        #: ThresholdFailurePredictor; the controller may swap it).
+        self.risk_predictor = None
+        #: Chaos switches: the Predictor daemon is down (heartbeats ship
+        #: no risk verdict) / recovery commands are silently swallowed.
+        self.predictor_down = False
+        self.recovery_stuck = False
+        #: Info vectors older than this trigger the conservative
+        #: fallback to nominal guard-banded V-F-R (None disables).
+        self.stale_fallback_s: Optional[float] = None
+        self._fallback_saved = None
         if characterize:
             self.node.pre_deploy()
             self.node.deploy(apply_margins=apply_margins)
@@ -257,6 +273,58 @@ class ComputeNode:
         """The node's full cross-layer metrics registry dump."""
         return self.runtime.metrics.snapshot()
 
+    # -- the control-plane self-report --------------------------------------
+
+    def _assess_risk(self):
+        """Node-local failure-risk verdict (None while Predictor down)."""
+        if self.predictor_down:
+            self.runtime.metrics.inc("resilience.predictor.unavailable")
+            return None
+        if self.risk_predictor is None:
+            from .failure_prediction import ThresholdFailurePredictor
+            self.risk_predictor = ThresholdFailurePredictor()
+        return self.risk_predictor.assess(self, self.local_telemetry)
+
+    def heartbeat(self) -> Optional[Heartbeat]:
+        """The periodic self-report to the controller.
+
+        ``None`` while the host is down — a crashed node cannot speak,
+        which is exactly what the controller's missed-heartbeat ladder
+        keys on.  The sample also feeds the node-local telemetry ring so
+        the on-node risk predictor sees its own error history.
+        """
+        if self.hypervisor.crashed:
+            return None
+        metrics = self.metrics()
+        sample = NodeSample(
+            timestamp=self.clock.now, node=self.name,
+            utilization=metrics.utilization, power_w=metrics.power_w,
+            reliability=metrics.reliability,
+            correctable_errors=self.hypervisor.stats.correctable_errors,
+            temperature_c=self.platform.chip.thermal.temperature_c,
+        )
+        self.local_telemetry.record_node(sample)
+        dt = max(self.hypervisor.config.tick_s, 1e-9)
+        vm_samples = tuple(
+            VMSample(
+                timestamp=self.clock.now, vm_name=vm.name, node=self.name,
+                cpu_utilization=vm.workload.profile.activity_factor,
+                memory_mb=vm.memory_usage_mb(),
+                progress_rate=vm.progress / max(self.clock.now, dt),
+            )
+            for vm in self.hypervisor.active_vms()
+        )
+        self.runtime.metrics.inc("resilience.heartbeats.emitted")
+        return Heartbeat(
+            timestamp=self.clock.now, node=self.name, metrics=metrics,
+            sample=sample, vm_samples=vm_samples, risk=self._assess_risk(),
+            info_vector_age_s=self.healthlog.info_vector_age_s(),
+            active_vms=tuple(
+                vm.name for vm in self.hypervisor.active_vms()),
+            margin_applications=self.hypervisor.stats.margin_applications,
+            failure_budget=self.hypervisor.config.failure_budget,
+        )
+
     # -- execution ----------------------------------------------------------
 
     def _review_isolation(self) -> None:
@@ -267,11 +335,44 @@ class ComputeNode:
         except IsolationError:
             self.runtime.metrics.inc("hypervisor.isolation.blocked")
 
+    def _review_fallback(self) -> None:
+        """The paper's conservative-fallback semantics, node-side.
+
+        When the HealthLog info vectors go stale (daemon stalled), the
+        hypervisor can no longer trust that the extended operating
+        points are being monitored: it saves the current configuration
+        and falls back to the nominal guard-banded V-F-R point, then
+        restores the EOPs once telemetry freshens again.
+        """
+        if self.stale_fallback_s is None or self.hypervisor.crashed:
+            return
+        age = self.healthlog.info_vector_age_s()
+        if age > self.stale_fallback_s and self._fallback_saved is None:
+            self._fallback_saved = (
+                {core.core_id: self.platform.core_point(core.core_id)
+                 for core in self.platform.chip.cores},
+                {domain.name: domain.refresh_interval_s
+                 for domain in self.platform.memory.domains()
+                 if not domain.reliable},
+            )
+            self.platform.reset_nominal()
+            self.runtime.metrics.inc("resilience.fallback.engaged")
+        elif age <= self.stale_fallback_s and self._fallback_saved:
+            core_points, refresh_intervals = self._fallback_saved
+            for core_id, point in core_points.items():
+                self.platform.set_core_point(core_id, point)
+            for name, interval in refresh_intervals.items():
+                self.platform.memory.domain(name).set_refresh_interval(
+                    interval)
+            self._fallback_saved = None
+            self.runtime.metrics.inc("resilience.fallback.restored")
+
     def step(self, dt_s: float) -> None:
         """Advance the node: hypervisor ticks, isolation review,
         availability accounting."""
         if dt_s < 0:
             raise ConfigurationError("dt must be non-negative")
+        self._review_fallback()
         if self.hypervisor.crashed:
             self._downtime_s += dt_s
             return
@@ -289,9 +390,26 @@ class ComputeNode:
         else:
             self._uptime_s += dt_s
 
-    def recover(self) -> None:
-        """Reboot a crashed node (operator/automation action)."""
+    def recover(self) -> bool:
+        """Power-cycle the node (operator/automation action).
+
+        Returns whether the node came back up.  A stuck recovery path
+        (chaos) swallows the command and reports failure.  Power-cycling
+        a node that was in fact alive — the cost of a controller's false
+        DOWN declaration — is disruptive: every guest reboots.
+        """
+        if self.recovery_stuck:
+            self.runtime.metrics.inc("resilience.recovery.stuck")
+            return False
+        if not self.hypervisor.crashed:
+            for vm in self.hypervisor.active_vms():
+                vm.fail()
+                if self.hypervisor.config.restart_failed_vms:
+                    vm.restart()
+            self.runtime.metrics.inc("resilience.recovery.disruptive")
+            return True
         self.hypervisor.reboot()
+        return not self.hypervisor.crashed
 
 
 def build_rack(n_nodes: int, clock: Optional[SimClock] = None,

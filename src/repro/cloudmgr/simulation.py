@@ -90,9 +90,11 @@ class TraceDrivenSimulation:
                 node = self.cloud.locate(vm_name)
             except KeyError:
                 # Completed or lost before its departure time.
+                self.cloud.forget_vm(vm_name)
                 self.stats.terminated += 1
                 continue
             node.hypervisor.destroy_vm(vm_name)
+            self.cloud.forget_vm(vm_name)
             self.stats.terminated += 1
 
     def run(self, duration_s: float) -> SimulationStats:
@@ -154,15 +156,23 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
                         apply_margins: bool = True,
                         proactive_migration: bool = True,
                         base_rate_per_hour: float = 12.0,
-                        step_s: float = 60.0) -> RackExperiment:
+                        step_s: float = 60.0,
+                        degradation=None,
+                        fault_plan=None) -> RackExperiment:
     """One fully seeded rack run: N full UniServer nodes, one clock.
 
-    Everything stochastic — per-node fault draws, the arrival trace —
-    derives from the single ``seed``, so the run is reproducible
-    bit-for-bit: placements, migrations and the metrics snapshot are
-    identical across same-seed invocations.
+    Everything stochastic — per-node fault draws, the arrival trace,
+    any chaos injections — derives from the single ``seed``, so the run
+    is reproducible bit-for-bit: placements, migrations and the metrics
+    snapshot are identical across same-seed invocations.
+
+    ``degradation`` (a :class:`~repro.resilience.policies.DegradationConfig`)
+    tunes the controller's graceful-degradation ladder; ``fault_plan``
+    (a :class:`~repro.resilience.chaos.FaultPlan`) attaches a chaos
+    engine injecting control-plane faults against it.
     """
     from ..core.clock import SimClock
+    from ..resilience.chaos import ChaosEngine
     from .node import build_rack
 
     if n_nodes < 1:
@@ -171,8 +181,11 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
     nodes = build_rack(n_nodes, clock=clock, seed=seed,
                        characterize=characterize,
                        apply_margins=apply_margins)
+    chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
     cloud = CloudController(clock, nodes,
-                            proactive_migration=proactive_migration)
+                            proactive_migration=proactive_migration,
+                            degradation=degradation,
+                            chaos=chaos, control_seed=seed)
     stats = run_trace_experiment(
         cloud, duration_s, trace_seed=seed,
         base_rate_per_hour=base_rate_per_hour, step_s=step_s)

@@ -20,6 +20,26 @@ from .exceptions import ConfigurationError
 Callback = Callable[[], None]
 
 
+def step_count(duration_s: float, dt_s: float,
+               tolerance: float = 1e-9) -> int:
+    """Whole steps of ``dt_s`` that fit in ``duration_s``.
+
+    Plain ``int(duration_s / dt_s)`` loses a step whenever the quotient
+    lands one float ulp below an integer (``0.3 / 0.1 -> 2``).  Snap to
+    the nearest integer when within a relative ``tolerance`` of it;
+    otherwise truncate (a genuinely partial trailing step is not run).
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt must be positive")
+    if duration_s < 0:
+        raise ConfigurationError("duration must be non-negative")
+    ratio = duration_s / dt_s
+    nearest = round(ratio)
+    if abs(ratio - nearest) <= tolerance * max(1.0, abs(nearest)):
+        return int(nearest)
+    return int(ratio)
+
+
 class SimClock:
     """A deterministic discrete-event simulation clock.
 

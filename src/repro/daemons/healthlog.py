@@ -95,6 +95,10 @@ class HealthLog:
         self._counter_cache: Dict[str, float] = {}
         self._flagged: set = set()
         self._started = False
+        #: Chaos/fault-injection switch: while set, the polling loop is
+        #: wedged and info vectors stop refreshing (they age instead).
+        self.stalled = False
+        self._last_refresh_s = clock.now
 
         bus.subscribe(CorrectableErrorEvent, self._on_correctable)
         bus.subscribe(UncorrectableErrorEvent, self._on_uncorrectable)
@@ -112,6 +116,10 @@ class HealthLog:
 
     def _sample(self) -> None:
         """One periodic sampling tick: read chip sensors into the cache."""
+        if self.stalled:
+            self.metrics.inc("resilience.healthlog.stalled_ticks")
+            return
+        self._last_refresh_s = self.clock.now
         point = self.platform.core_point(0)
         reading = self.platform.chip.read_sensors(self.clock.now, point)
         self._sensor_cache = {
@@ -191,6 +199,10 @@ class HealthLog:
         self._counter_cache.update(counters)
 
     # -- on-demand services --------------------------------------------------------
+
+    def info_vector_age_s(self) -> float:
+        """Age of the newest info-vector refresh (grows while stalled)."""
+        return max(0.0, self.clock.now - self._last_refresh_s)
 
     def snapshot(self) -> InfoVector:
         """On-demand service: the current information vector.

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.clock import SimClock
+from ..core.clock import SimClock, step_count
 from ..core.eop import NOMINAL_REFRESH_INTERVAL_S, OperatingPoint
 from ..core.events import (
     ConfigChangeEvent,
@@ -134,6 +134,24 @@ class Hypervisor:
         self.placement.place("hypervisor", footprint, critical=True)
         self._booted = True
 
+    def inject_crash(self) -> None:
+        """Force a host crash (chaos / fault-injection entry point).
+
+        Indistinguishable downstream from an organic critical-state hit:
+        the fault is ledgered, the crash event published, and the host
+        stops ticking until :meth:`reboot`.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.stats.host_crashes += 1
+        self._record_fault(FaultClass.CRASH, FaultOrigin.UNKNOWN,
+                           "hypervisor", "injected host crash")
+        self.bus.publish(CrashEvent(
+            timestamp=self.clock.now, source="hypervisor",
+            component="hypervisor", operating_point="injected",
+        ))
+
     def reboot(self) -> None:
         """Recover from a host crash; running VMs are lost and restarted."""
         if not self._crashed:
@@ -197,6 +215,8 @@ class Hypervisor:
         """Admit and start a VM: place memory, assign a core."""
         if not self._booted:
             raise ConfigurationError("boot the hypervisor first")
+        if self._crashed:
+            raise ConfigurationError("hypervisor is crashed")
         if vm.name in self._vms:
             raise ConfigurationError(f"VM {vm.name!r} already exists")
         self.placement.place(vm.name, vm.guest_os_mb
@@ -395,7 +415,7 @@ class Hypervisor:
         """Run the tick loop for a stretch of simulated time."""
         if duration_s < 0:
             raise ConfigurationError("duration must be non-negative")
-        n_ticks = int(duration_s / self.config.tick_s)
+        n_ticks = step_count(duration_s, self.config.tick_s)
         for _ in range(n_ticks):
             if self._crashed:
                 break

@@ -1,0 +1,251 @@
+"""Heartbeat-based node health: what the controller actually knows.
+
+The original controller was omniscient — it read
+``node.hypervisor.crashed`` and the platform registers directly.  Real
+control planes only ever see *last-received telemetry*: a node that
+stops heartbeating might be dead, partitioned, or merely slow, and the
+controller must decide anyway.  This module is that epistemic layer:
+
+* :class:`Heartbeat` — the node's self-report: scheduling metrics,
+  telemetry samples, the node-local risk verdict and info-vector age;
+* :class:`NodeView` — the controller's belief about one node, built
+  exclusively from received heartbeats.  It duck-types the scheduling
+  surface of ``ComputeNode`` (``can_host``/``metrics``/``hypervisor``…)
+  so the filter/weigh scheduler runs unmodified on *believed* state;
+* :class:`NodeHealthView` — the fleet belief table with the SUSPECT/
+  DOWN ladder: N missed heartbeats make a node SUSPECT (no new
+  placements), M make it DOWN (recovery machinery engages).
+
+Controller decisions must go through this module only; ground-truth
+node objects are touched exclusively to *actuate* decisions (issue a
+migration, a reboot) and to *measure* outcomes (SLA accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # import-free at runtime: cloudmgr imports us
+    from ..cloudmgr.failure_prediction import RiskAssessment
+    from ..cloudmgr.node import NodeMetrics
+    from ..cloudmgr.telemetry import NodeSample, VMSample
+    from ..hypervisor.vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One node's periodic self-report to the controller.
+
+    Everything the control plane is allowed to know about a node is in
+    here; a crashed (or partitioned) node simply stops producing them.
+    """
+
+    timestamp: float
+    node: str
+    metrics: "NodeMetrics"
+    sample: "NodeSample"
+    vm_samples: Tuple["VMSample", ...]
+    #: Node-local failure-risk verdict; None when the Predictor daemon
+    #: is down (one rung of the degradation ladder).
+    risk: Optional["RiskAssessment"]
+    #: Age of the newest HealthLog info vector at emission time.
+    info_vector_age_s: float
+    #: Names of VMs active on the node (for evacuation planning).
+    active_vms: Tuple[str, ...]
+    #: EOP bookkeeping the SLA filters need.
+    margin_applications: int = 0
+    failure_budget: float = 1e-4
+
+
+class NodeStatus(Enum):
+    """The controller's belief about one node."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"          # missed heartbeats; no new placements
+    DOWN = "down"                # declared failed; recovery engaged
+    QUARANTINED = "quarantined"  # circuit breaker open; hands off
+
+
+class NodeView:
+    """The controller's belief about one node, from heartbeats only.
+
+    Duck-types the slice of ``ComputeNode`` the filter/weigh scheduler
+    consumes, answering from the last received heartbeat (adjusted by
+    optimistic reservations for placements issued since).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = NodeStatus.HEALTHY
+        self.last: Optional[Heartbeat] = None
+        self.missed = 0
+        self.last_seen_s: Optional[float] = None
+        self._reserved_vcpus = 0
+        self._reserved_mb = 0.0
+
+    # -- belief updates ----------------------------------------------------
+
+    def observe(self, heartbeat: Heartbeat) -> None:
+        """Fold in a received heartbeat (clears reservations)."""
+        self.last = heartbeat
+        self.last_seen_s = heartbeat.timestamp
+        self.missed = 0
+        self._reserved_vcpus = 0
+        self._reserved_mb = 0.0
+
+    def reserve(self, vcpus: int, memory_mb: float) -> None:
+        """Optimistically debit capacity for a placement just issued."""
+        self._reserved_vcpus += vcpus
+        self._reserved_mb += memory_mb
+
+    # -- the scheduling surface (duck-typing ComputeNode) ------------------
+
+    def free_vcpus(self) -> int:
+        """Believed free vCPUs (last report minus reservations)."""
+        if self.last is None:
+            return 0
+        return max(0, self.last.metrics.free_vcpus - self._reserved_vcpus)
+
+    def free_memory_mb(self) -> float:
+        """Believed free memory (last report minus reservations)."""
+        if self.last is None:
+            return 0.0
+        return max(0.0, self.last.metrics.free_memory_mb - self._reserved_mb)
+
+    def can_host(self, vm: "VirtualMachine") -> bool:
+        """Capacity check against believed state."""
+        if self.state is not NodeStatus.HEALTHY or self.last is None:
+            return False
+        need_mb = vm.guest_os_mb + vm.workload.demand.memory_mb
+        return vm.vcpus <= self.free_vcpus() \
+            and need_mb <= self.free_memory_mb()
+
+    def metrics(self) -> "NodeMetrics":
+        """Last reported scheduling metrics, reservation-adjusted."""
+        if self.last is None:
+            raise ConfigurationError(
+                f"no heartbeat ever received from {self.name!r}")
+        return replace(self.last.metrics,
+                       free_vcpus=self.free_vcpus(),
+                       free_memory_mb=self.free_memory_mb())
+
+    def reliability(self, window_s: float = 3600.0) -> float:
+        """Last reported reliability metric."""
+        return self.metrics().reliability
+
+    def utilization(self) -> float:
+        """Last reported utilization."""
+        return self.metrics().utilization
+
+    def frequency_fraction(self) -> float:
+        """Last reported mean frequency fraction."""
+        return self.metrics().frequency_fraction
+
+    @property
+    def hypervisor(self) -> SimpleNamespace:
+        """Shim for scheduler filters that peek at ``node.hypervisor``.
+
+        ``crashed`` here means "not believed schedulable" — any state
+        other than HEALTHY — which is exactly what the health filter
+        should act on when ground truth is out of reach.
+        """
+        hb = self.last
+        return SimpleNamespace(
+            crashed=self.state is not NodeStatus.HEALTHY or hb is None,
+            stats=SimpleNamespace(
+                margin_applications=hb.margin_applications if hb else 0),
+            config=SimpleNamespace(
+                failure_budget=hb.failure_budget if hb else 1e-4),
+        )
+
+    def describe(self) -> str:
+        """One-line belief summary."""
+        seen = (f"last seen t={self.last_seen_s:.0f}s"
+                if self.last_seen_s is not None else "never seen")
+        return (f"{self.name}: {self.state.value} "
+                f"(missed={self.missed}, {seen})")
+
+
+class NodeHealthView:
+    """The controller's belief table over the whole rack."""
+
+    def __init__(self, suspect_after_missed: int = 2,
+                 down_after_missed: int = 3) -> None:
+        if suspect_after_missed < 1:
+            raise ConfigurationError("suspect_after_missed must be >= 1")
+        if down_after_missed < suspect_after_missed:
+            raise ConfigurationError(
+                "down_after_missed must be >= suspect_after_missed")
+        self.suspect_after_missed = suspect_after_missed
+        self.down_after_missed = down_after_missed
+        self._views: Dict[str, NodeView] = {}
+
+    def register(self, name: str) -> NodeView:
+        """Add a node to the belief table (starts HEALTHY, no data)."""
+        if name in self._views:
+            raise ConfigurationError(f"node {name!r} already registered")
+        view = NodeView(name)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> NodeView:
+        """The belief about one node."""
+        if name not in self._views:
+            raise KeyError(f"node {name!r} is not registered")
+        return self._views[name]
+
+    def views(self) -> List[NodeView]:
+        """All node beliefs, name-sorted (deterministic iteration)."""
+        return [self._views[name] for name in sorted(self._views)]
+
+    def schedulable_views(self) -> List[NodeView]:
+        """Nodes believed able to take new work."""
+        return [v for v in self.views()
+                if v.state is NodeStatus.HEALTHY and v.last is not None]
+
+    # -- the suspicion ladder ---------------------------------------------
+
+    def observe(self, heartbeat: Heartbeat) -> NodeStatus:
+        """Ingest a heartbeat; returns the *previous* belief state.
+
+        A quarantined node stays quarantined until the breaker releases
+        it — a heartbeat alone is not parole.
+        """
+        view = self.view(heartbeat.node)
+        previous = view.state
+        view.observe(heartbeat)
+        if view.state is not NodeStatus.QUARANTINED:
+            view.state = NodeStatus.HEALTHY
+        return previous
+
+    def note_missed(self, name: str) -> NodeStatus:
+        """Count one missed heartbeat; returns the new belief state."""
+        view = self.view(name)
+        view.missed += 1
+        if view.state is NodeStatus.QUARANTINED:
+            return view.state
+        if view.missed >= self.down_after_missed:
+            view.state = NodeStatus.DOWN
+        elif view.missed >= self.suspect_after_missed:
+            view.state = NodeStatus.SUSPECT
+        return view.state
+
+    def quarantine(self, name: str) -> None:
+        """Circuit breaker opened: hands off this node."""
+        self.view(name).state = NodeStatus.QUARANTINED
+
+    def release(self, name: str) -> None:
+        """Breaker probe admitted: node returns to DOWN (a heartbeat
+        must confirm recovery before it is believed HEALTHY again)."""
+        view = self.view(name)
+        if view.state is NodeStatus.QUARANTINED:
+            view.state = NodeStatus.DOWN
+
+    def describe(self) -> str:
+        """Multi-line belief summary of the rack."""
+        return "\n".join(v.describe() for v in self.views())

@@ -1,0 +1,228 @@
+"""Graceful-degradation policies: retries, circuit breaking, fallbacks.
+
+The paper's resilience claim only holds if the *control plane itself* is
+allowed to fail: daemons stall, telemetry goes stale, migrations abort
+mid-flight, recoveries do not stick.  This module collects the three
+policy primitives the degradation-aware controller composes:
+
+* :class:`RetryPolicy` — exponential backoff with jitter and a hard
+  attempt/elapsed budget, wrapping migrations and evacuations so one
+  flaky control-path RPC does not strand a workload on a doomed node;
+* :class:`CircuitBreaker` — the classical CLOSED → OPEN → HALF_OPEN
+  automaton, quarantining crash-looping nodes instead of endlessly
+  power-cycling them;
+* :class:`DegradationConfig` — one bundle of every knob, with ``on()``
+  and ``off()`` presets that are exactly the A/B of
+  ``benchmarks/bench_chaos_resilience.py``.
+
+Everything here is deterministic given a seeded generator: jitter draws
+come from the RNG the caller passes in, never from global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, capped by attempts and elapsed time.
+
+    Attempt numbering is 1-based: attempt 1 is the first try (no delay),
+    and :meth:`delay_s` answers "how long to wait before attempt
+    ``attempt + 1``".  The budget is double-capped — a maximum number of
+    attempts *and* a maximum elapsed time since the first attempt — so a
+    retry storm can neither spin forever nor pile up unboundedly.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 60.0
+    multiplier: float = 2.0
+    max_delay_s: float = 600.0
+    jitter_fraction: float = 0.25
+    budget_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("need at least one attempt")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ConfigurationError("jitter fraction must be in [0, 1)")
+        if self.budget_s <= 0:
+            raise ConfigurationError("budget must be positive")
+
+    def delay_s(self, attempt: int,
+                rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before the attempt after ``attempt`` (1-based) failed."""
+        if attempt < 1:
+            raise ConfigurationError("attempt numbering is 1-based")
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** (attempt - 1))
+        if rng is not None and self.jitter_fraction > 0 and delay > 0:
+            # Symmetric jitter decorrelates fleet-wide retry waves.
+            delay *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def should_retry(self, attempt: int, first_attempt_at: float,
+                     now: float) -> bool:
+        """Whether another attempt fits inside the budget."""
+        if attempt >= self.max_attempts:
+            return False
+        return (now - first_attempt_at) < self.budget_s
+
+
+class BreakerState(Enum):
+    """Circuit-breaker automaton states."""
+
+    CLOSED = "closed"        # operations flow normally
+    OPEN = "open"            # quarantined: operations refused
+    HALF_OPEN = "half-open"  # one probe outstanding
+
+
+class CircuitBreaker:
+    """Quarantine gate for a repeatedly failing operation target.
+
+    ``failure_threshold`` consecutive failures trip the breaker OPEN;
+    after ``cooldown_s`` one probe is allowed (HALF_OPEN).  A probe
+    success closes the breaker, a probe failure re-opens it.  A
+    threshold of 0 disables the breaker entirely (it never opens) —
+    that is the policies-off configuration.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_s: float = 900.0) -> None:
+        if failure_threshold < 0:
+            raise ConfigurationError("failure threshold must be >= 0")
+        if cooldown_s <= 0:
+            raise ConfigurationError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the breaker can ever open."""
+        return self.failure_threshold > 0
+
+    def record_failure(self, now: float) -> BreakerState:
+        """Note one failure; may trip CLOSED->OPEN or HALF_OPEN->OPEN."""
+        self.consecutive_failures += 1
+        if not self.enabled:
+            return self.state
+        if self.state is BreakerState.HALF_OPEN or (
+                self.consecutive_failures >= self.failure_threshold):
+            if self.state is not BreakerState.OPEN:
+                self.trips += 1
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+        return self.state
+
+    def record_success(self) -> None:
+        """Note a confirmed success: reset to CLOSED."""
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def allows(self, now: float) -> bool:
+        """Whether an operation may proceed right now.
+
+        While OPEN, returns False until the cooldown elapses, then
+        transitions to HALF_OPEN and admits exactly one probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and (
+                    now - self.opened_at >= self.cooldown_s):
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        # HALF_OPEN: the single probe is already outstanding.
+        return False
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Every graceful-degradation knob of the control plane, in one place.
+
+    The degradation ladder, from healthiest to most conservative:
+
+    1. fresh heartbeats — full EOP operation, proactive migration;
+    2. ``suspect_after_missed`` missed heartbeats — node marked SUSPECT,
+       excluded from new placements;
+    3. ``down_after_missed`` missed heartbeats — node declared DOWN,
+       recovery timer starts;
+    4. stale info vectors on the node side — the hypervisor falls back
+       from the EOPs to the nominal guard-banded V-F-R point
+       (``stale_info_fallback_s``);
+    5. recovery demonstrably failing — once an attempt failed (or the
+       breaker quarantined the node) and the outage is at least
+       ``failover_after_s`` old, workloads are cold-restarted on
+       healthy nodes instead of waiting out further attempts;
+    6. crash-looping recoveries — the circuit breaker quarantines the
+       node for ``breaker_cooldown_s`` before probing again.
+    """
+
+    #: Missed heartbeats before a node is SUSPECT (no new placements).
+    suspect_after_missed: int = 2
+    #: Missed heartbeats before a node is declared DOWN.
+    down_after_missed: int = 3
+    #: Retry policy wrapping migrations and evacuations.
+    retry: RetryPolicy = RetryPolicy()
+    #: Consecutive failed/flapped recoveries before quarantine
+    #: (0 disables the breaker).
+    breaker_threshold: int = 3
+    #: Quarantine duration before a HALF_OPEN recovery probe.
+    breaker_cooldown_s: float = 900.0
+    #: A recovery followed by a re-crash within this window counts as a
+    #: flap (a breaker failure).
+    flap_window_s: float = 300.0
+    #: Node-side: info vectors older than this trigger the conservative
+    #: fallback to nominal V-F-R (None disables).
+    stale_info_fallback_s: Optional[float] = 180.0
+    #: Controller-side: minimum outage age before VMs on a node whose
+    #: recovery failed (or that is quarantined) are failed over to
+    #: healthy nodes (None disables failover entirely).
+    failover_after_s: Optional[float] = 120.0
+
+    def __post_init__(self) -> None:
+        if self.suspect_after_missed < 1:
+            raise ConfigurationError("suspect_after_missed must be >= 1")
+        if self.down_after_missed < self.suspect_after_missed:
+            raise ConfigurationError(
+                "down_after_missed must be >= suspect_after_missed")
+        if self.stale_info_fallback_s is not None \
+                and self.stale_info_fallback_s <= 0:
+            raise ConfigurationError("stale fallback must be positive")
+        if self.failover_after_s is not None and self.failover_after_s < 0:
+            raise ConfigurationError("failover_after_s must be >= 0")
+
+    @classmethod
+    def on(cls) -> "DegradationConfig":
+        """The full degradation ladder (the policies-on arm)."""
+        return cls()
+
+    @classmethod
+    def off(cls) -> "DegradationConfig":
+        """A naive controller: hair-trigger DOWN declarations, a single
+        migration attempt, no breaker, no fallback, no failover."""
+        return cls(
+            suspect_after_missed=1,
+            down_after_missed=1,
+            retry=RetryPolicy(max_attempts=1),
+            breaker_threshold=0,
+            stale_info_fallback_s=None,
+            failover_after_s=None,
+        )

@@ -1,0 +1,241 @@
+"""Tests for the chaos engine and the heartbeat health view."""
+
+import pytest
+
+from repro.cloudmgr import ComputeNode
+from repro.core.clock import SimClock
+from repro.core.exceptions import ConfigurationError
+from repro.resilience import (
+    ChaosEngine,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    NodeHealthView,
+    NodeStatus,
+)
+
+
+def make_node(name="node0", seed=0):
+    return ComputeNode(name, SimClock(), seed=seed)
+
+
+class TestFaultSpec:
+    def test_windowed_kinds_need_a_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, "node0", start_s=10.0)
+        spec = FaultSpec(FaultKind.NODE_CRASH, "node0", start_s=10.0)
+        assert not spec.active(9.0)
+        assert spec.active(10.0) and spec.active(1e9)
+
+    def test_window_bounds(self):
+        spec = FaultSpec(FaultKind.TELEMETRY_DROPOUT, "node0",
+                         start_s=10.0, duration_s=5.0, magnitude=0.5)
+        assert not spec.active(9.9)
+        assert spec.active(10.0) and spec.active(14.9)
+        assert not spec.active(15.0)
+
+    def test_magnitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.TELEMETRY_DROPOUT, "node0",
+                      start_s=0.0, duration_s=1.0, magnitude=1.5)
+
+
+class TestFaultPlan:
+    def test_random_plan_is_seed_deterministic(self):
+        nodes = ["node0", "node1", "node2", "node3"]
+        first = FaultPlan.random(nodes, 3600.0, seed=5)
+        second = FaultPlan.random(nodes, 3600.0, seed=5)
+        other = FaultPlan.random(nodes, 3600.0, seed=6)
+        assert first.specs == second.specs
+        assert first.specs != other.specs
+        assert len(first) > 0
+
+    def test_for_node_filters(self):
+        plan = FaultPlan.random(["a", "b"], 7200.0, seed=1,
+                                rate_per_hour=6.0)
+        for spec in plan.for_node("a"):
+            assert spec.node == "a"
+        assert len(plan.for_node("a")) + len(plan.for_node("b")) \
+            == len(plan)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random([], 100.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(["a"], 0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(["a"], 100.0, intensity=0.0)
+
+
+class TestChaosEngine:
+    def test_daemon_faults_follow_their_windows(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.HEALTHLOG_STALL, "node0", 10.0, 20.0),
+            FaultSpec(FaultKind.PREDICTOR_CRASH, "node0", 10.0, 20.0),
+            FaultSpec(FaultKind.STUCK_RECOVERY, "node0", 10.0, 20.0),
+        ]))
+        engine.apply([node], now=0.0)
+        assert not node.healthlog.stalled and not node.predictor_down
+        engine.apply([node], now=15.0)
+        assert node.healthlog.stalled
+        assert node.predictor_down
+        assert node.recovery_stuck
+        engine.apply([node], now=30.0)
+        assert not node.healthlog.stalled and not node.predictor_down
+        assert not node.recovery_stuck
+
+    def test_node_crash_fires_exactly_once(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.NODE_CRASH, "node0", 10.0),
+        ]))
+        engine.apply([node], now=10.0)
+        assert node.hypervisor.crashed
+        node.hypervisor.reboot()
+        engine.apply([node], now=20.0)
+        assert not node.hypervisor.crashed  # one-shot, no re-crash
+
+    def test_crash_loop_recrashes_within_window(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.CRASH_LOOP, "node0", 0.0, 100.0),
+        ]))
+        engine.apply([node], now=0.0)
+        assert node.hypervisor.crashed
+        node.hypervisor.reboot()
+        engine.apply([node], now=50.0)
+        assert node.hypervisor.crashed  # loops while the window lasts
+        node.hypervisor.reboot()
+        engine.apply([node], now=100.0)
+        assert not node.hypervisor.crashed
+
+    def test_heartbeat_loss_swallows_the_beat(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, "node0", 0.0, 100.0),
+        ]))
+        beat = node.heartbeat()
+        assert beat is not None
+        assert engine.filter_heartbeat(node, beat, now=50.0) is None
+        assert engine.filter_heartbeat(node, beat, now=150.0) is beat
+
+    def test_dropout_strips_payload_but_keeps_liveness(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.TELEMETRY_DROPOUT, "node0", 0.0, 100.0,
+                      magnitude=1.0),
+        ]))
+        beat = node.heartbeat()
+        filtered = engine.filter_heartbeat(node, beat, now=50.0)
+        assert filtered is not None  # liveness survives
+        assert filtered.risk is None
+        assert filtered.vm_samples == ()
+        assert filtered.node == beat.node
+
+    def test_corruption_perturbs_metrics_within_bounds(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.TELEMETRY_CORRUPTION, "node0", 0.0,
+                      100.0, magnitude=1.0),
+        ]))
+        beat = node.heartbeat()
+        corrupted = engine.filter_heartbeat(node, beat, now=50.0)
+        assert corrupted is not None
+        assert 0.0 <= corrupted.metrics.utilization <= 1.0
+        assert 0.0 <= corrupted.metrics.reliability <= 1.0
+        assert corrupted.metrics.power_w >= 0.0
+        # Capacity numbers are not corrupted (they gate placement).
+        assert corrupted.metrics.free_vcpus == beat.metrics.free_vcpus
+
+    def test_migration_failure_is_window_scoped(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.MIGRATION_FAILURE, "node0", 0.0, 100.0,
+                      magnitude=1.0),
+        ]))
+        assert engine.migration_should_fail(node, "node1", now=50.0)
+        assert not engine.migration_should_fail(node, "node1", now=150.0)
+        assert engine.injections[FaultKind.MIGRATION_FAILURE.value] == 1
+
+    def test_injection_counts_accumulate(self):
+        node = make_node()
+        engine = ChaosEngine(FaultPlan([
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, "node0", 0.0, 100.0),
+        ]))
+        beat = node.heartbeat()
+        engine.filter_heartbeat(node, beat, now=10.0)
+        engine.filter_heartbeat(node, beat, now=20.0)
+        assert engine.injections[FaultKind.HEARTBEAT_LOSS.value] == 2
+        assert "heartbeat_loss=2" in engine.describe()
+
+
+class TestNodeHealthView:
+    def test_suspicion_ladder(self):
+        health = NodeHealthView(suspect_after_missed=2,
+                                down_after_missed=3)
+        view = health.register("node0")
+        assert view.state is NodeStatus.HEALTHY
+        assert health.note_missed("node0") is NodeStatus.HEALTHY
+        assert health.note_missed("node0") is NodeStatus.SUSPECT
+        assert health.note_missed("node0") is NodeStatus.DOWN
+
+    def test_heartbeat_resets_the_ladder(self):
+        health = NodeHealthView()
+        health.register("node0")
+        node = make_node()
+        for _ in range(5):
+            health.note_missed("node0")
+        assert health.view("node0").state is NodeStatus.DOWN
+        previous = health.observe(node.heartbeat())
+        assert previous is NodeStatus.DOWN
+        assert health.view("node0").state is NodeStatus.HEALTHY
+        assert health.view("node0").missed == 0
+
+    def test_quarantine_is_sticky_until_release(self):
+        health = NodeHealthView()
+        health.register("node0")
+        node = make_node()
+        health.quarantine("node0")
+        health.observe(node.heartbeat())  # a heartbeat is not parole
+        assert health.view("node0").state is NodeStatus.QUARANTINED
+        health.note_missed("node0")
+        assert health.view("node0").state is NodeStatus.QUARANTINED
+        health.release("node0")
+        assert health.view("node0").state is NodeStatus.DOWN
+        health.observe(node.heartbeat())
+        assert health.view("node0").state is NodeStatus.HEALTHY
+
+    def test_schedulable_requires_health_and_data(self):
+        health = NodeHealthView()
+        health.register("node0")
+        health.register("node1")
+        node = make_node()
+        health.observe(node.heartbeat())
+        names = [v.name for v in health.schedulable_views()]
+        assert names == ["node0"]  # node1 never heartbeated
+
+    def test_views_are_name_sorted(self):
+        health = NodeHealthView()
+        for name in ("b", "a", "c"):
+            health.register(name)
+        assert [v.name for v in health.views()] == ["a", "b", "c"]
+
+    def test_duplicate_registration_rejected(self):
+        health = NodeHealthView()
+        health.register("node0")
+        with pytest.raises(ConfigurationError):
+            health.register("node0")
+
+    def test_view_reservations_debit_capacity(self):
+        health = NodeHealthView()
+        health.register("node0")
+        node = make_node()
+        health.observe(node.heartbeat())
+        view = health.view("node0")
+        before = view.free_vcpus()
+        view.reserve(2, 1024.0)
+        assert view.free_vcpus() == before - 2
+        # The next heartbeat clears optimistic reservations.
+        health.observe(node.heartbeat())
+        assert view.free_vcpus() == before

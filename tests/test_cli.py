@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in ("quickstart", "characterize", "refresh",
                         "figure4", "population", "tco", "edge",
-                        "validate", "metrics"):
+                        "validate", "metrics", "chaos"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -71,6 +71,14 @@ class TestCommands:
         assert main(["quickstart"]) == 0
         out = capsys.readouterr().out
         assert "adopted" in out and "saving" in out
+
+    def test_chaos_single_arm(self, capsys):
+        assert main(["chaos", "--nodes", "2", "--duration", "900",
+                     "--policies", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "policies-on" in out
+        assert "availability=" in out
+        assert "injections:" in out
 
     def test_metrics_dumps_json_per_node(self, capsys):
         import json

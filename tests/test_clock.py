@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.clock import SimClock
+from repro.core.clock import SimClock, step_count
 from repro.core.exceptions import ConfigurationError
 
 
@@ -100,3 +100,26 @@ class TestRunUntilIdle:
         clock.run_until_idle()
         assert seen == ["first", "second"]
         assert clock.now == 2.0
+
+
+class TestStepCount:
+    def test_exact_ratio(self):
+        assert step_count(10.0, 1.0) == 10
+        assert step_count(0.0, 1.0) == 0
+
+    def test_float_error_does_not_drop_a_step(self):
+        # 0.3 / 0.1 is 2.9999999999999996 in floats; naive int() loses
+        # a step.
+        assert step_count(0.3, 0.1) == 3
+        assert step_count(3600.0, 0.1) == 36000
+        assert step_count(1.0, 1.0 / 3.0) == 3
+
+    def test_non_integral_ratio_truncates(self):
+        assert step_count(10.0, 3.0) == 3
+        assert step_count(5.5, 2.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            step_count(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            step_count(-1.0, 1.0)

@@ -166,3 +166,71 @@ class TestProactiveMigration:
             nominal.with_voltage(nominal.voltage_v * 0.70))
         cloud.run(5.0)
         assert cloud.stats.evacuations == 0
+
+
+class TestDegradationMachinery:
+    def test_no_healthy_evacuation_target_leaves_vm_in_place(self):
+        cloud = make_cloud(n_nodes=3, proactive=True)
+        cloud.launch(make_vm("vm0", cycles=1e12), SILVER)
+        home = cloud.locate("vm0")
+        # Every other node crashes: after the suspicion ladder runs out
+        # there is nowhere to evacuate to.
+        for node in cloud.node_list():
+            if node.name != home.name:
+                node.hypervisor._crashed = True
+        nominal = home.platform.chip.spec.nominal
+        home.platform.set_all_core_points(
+            nominal.with_voltage(nominal.voltage_v * 0.70))
+        cloud.run(6.0)
+        assert cloud.stats.evacuations == 0
+        assert cloud.locate("vm0").name == home.name
+        # The dead peers were noticed through their missed heartbeats.
+        assert cloud.stats.node_crashes == 2
+
+    def test_recovery_then_recrash_counts_a_flap(self):
+        cloud = make_cloud(n_nodes=2)
+        cloud.node_recovery_s = 5.0
+        node = cloud.nodes["node0"]
+        node.hypervisor._crashed = True
+        cloud.run(8.0)
+        assert cloud.stats.recoveries == 1
+        assert not node.hypervisor.crashed
+        assert cloud.stats.flaps == 0
+        # Re-crash inside the flap window: the breaker hears about it.
+        node.hypervisor._crashed = True
+        cloud.run(8.0)
+        assert cloud.stats.node_crashes == 2
+        assert cloud.stats.flaps == 1
+        breaker = cloud._breakers["node0"]
+        assert breaker.consecutive_failures >= 1
+
+    def test_completed_vm_bookkeeping_is_reaped(self):
+        cloud = make_cloud()
+        cloud.launch(make_vm("vm0", cycles=5e9), BRONZE)
+        cloud.run(10.0)
+        assert cloud.stats.completed == 1
+        # forget_vm cleared every per-VM map (the _seen_restarts leak).
+        assert "vm0" not in cloud._seen_restarts
+        assert "vm0" not in cloud._vm_homes
+        assert "vm0" not in cloud._vm_down_since
+
+    def test_forget_vm_clears_restart_accounting(self):
+        cloud = make_cloud()
+        cloud._seen_restarts["ghost"] = 4
+        cloud._vm_homes["ghost"] = "node0"
+        cloud._vm_down_since["ghost"] = 1.0
+        cloud.forget_vm("ghost")
+        assert "ghost" not in cloud._seen_restarts
+        assert "ghost" not in cloud._vm_homes
+        assert "ghost" not in cloud._vm_down_since
+
+    def test_mttr_covers_open_episodes(self):
+        cloud = make_cloud(n_nodes=2)
+        assert cloud.mttr_s() is None
+        cloud.launch(make_vm("vm0", cycles=1e12), SILVER)
+        home = cloud.locate("vm0")
+        home.hypervisor._crashed = True
+        cloud.run(10.0)
+        # The outage is still open, yet MTTR already reflects it.
+        assert cloud.mttr_s() is not None
+        assert cloud.mttr_s() > 0

@@ -1,0 +1,130 @@
+"""Tests for the graceful-degradation policy primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    DegradationConfig,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay_s=10.0, multiplier=2.0,
+                             max_delay_s=35.0, jitter_fraction=0.0)
+        assert policy.delay_s(1) == 10.0
+        assert policy.delay_s(2) == 20.0
+        assert policy.delay_s(3) == 35.0  # capped, not 40
+        assert policy.delay_s(4) == 35.0
+
+    def test_jitter_stays_within_fraction_and_is_seeded(self):
+        policy = RetryPolicy(base_delay_s=100.0, jitter_fraction=0.25)
+        delays = [policy.delay_s(1, np.random.default_rng(7))
+                  for _ in range(5)]
+        # Same seeded generator every time: deterministic jitter.
+        assert len(set(delays)) == 1
+        assert 75.0 <= delays[0] <= 125.0
+        spread = {policy.delay_s(1, np.random.default_rng(s))
+                  for s in range(20)}
+        assert len(spread) > 1  # jitter actually varies across streams
+
+    def test_should_retry_respects_attempt_cap(self):
+        policy = RetryPolicy(max_attempts=3, budget_s=1e9)
+        assert policy.should_retry(1, first_attempt_at=0.0, now=10.0)
+        assert policy.should_retry(2, first_attempt_at=0.0, now=10.0)
+        assert not policy.should_retry(3, first_attempt_at=0.0, now=10.0)
+
+    def test_should_retry_respects_elapsed_budget(self):
+        policy = RetryPolicy(max_attempts=100, budget_s=60.0)
+        assert policy.should_retry(1, first_attempt_at=0.0, now=59.0)
+        assert not policy.should_retry(1, first_attempt_at=0.0, now=60.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(budget_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=1).delay_s(0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=100.0)
+        breaker.record_failure(now=1.0)
+        breaker.record_failure(now=2.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.record_failure(now=3.0) is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allows(now=50.0)
+
+    def test_cooldown_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allows(now=100.0)  # HALF_OPEN probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allows(now=101.0)  # probe outstanding
+
+    def test_probe_failure_reopens_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allows(now=100.0)
+        breaker.record_failure(now=100.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert breaker.allows(now=200.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows(now=201.0)
+        assert breaker.consecutive_failures == 0
+
+    def test_zero_threshold_disables(self):
+        breaker = CircuitBreaker(failure_threshold=0, cooldown_s=100.0)
+        assert not breaker.enabled
+        for t in range(10):
+            breaker.record_failure(now=float(t))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows(now=100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestDegradationConfig:
+    def test_on_enables_the_full_ladder(self):
+        config = DegradationConfig.on()
+        assert config.suspect_after_missed < config.down_after_missed
+        assert config.retry.max_attempts > 1
+        assert config.breaker_threshold > 0
+        assert config.stale_info_fallback_s is not None
+        assert config.failover_after_s is not None
+
+    def test_off_is_the_naive_controller(self):
+        config = DegradationConfig.off()
+        assert config.retry.max_attempts == 1
+        assert config.breaker_threshold == 0
+        assert config.stale_info_fallback_s is None
+        assert config.failover_after_s is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(suspect_after_missed=0)
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(suspect_after_missed=3, down_after_missed=2)
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(stale_info_fallback_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(failover_after_s=-1.0)

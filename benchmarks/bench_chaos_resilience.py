@@ -23,6 +23,7 @@ import os
 from conftest import run_once
 
 from repro.analysis import render_table
+from repro.persistence import StateAuditor
 from repro.resilience import run_chaos_ab, run_chaos_campaign
 
 NODES = int(os.environ.get("CHAOS_BENCH_NODES", "4"))
@@ -45,6 +46,13 @@ def test_chaos_policies_ab(benchmark, emit):
 
     comparison = run_once(benchmark, campaign)
     on, off = comparison.on, comparison.off
+
+    # Both arms must end in an invariant-clean state: strict mode
+    # raises on the first cross-layer inconsistency.
+    for arm in (on, off):
+        auditor = StateAuditor(strict=True)
+        auditor.audit(arm.experiment.cloud, context=arm.label)
+        assert auditor.violation_count == 0
 
     rows = [
         ["fleet availability", f"{on.fleet_availability:.4f}",

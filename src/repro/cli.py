@@ -206,6 +206,76 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_chaos_report(path: str, result, cloud) -> None:
+    """Machine-readable campaign report for the kill/resume harness.
+
+    Canonical-JSON form, so two bit-identical campaigns produce
+    byte-identical report files.
+    """
+    from dataclasses import asdict
+
+    from .persistence import canonical_json, payload_checksum
+
+    payload = asdict(result)
+    payload.pop("experiment", None)
+    report = {
+        "result": payload,
+        "metrics_sha256": payload_checksum(cloud.metrics_snapshot()),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(report))
+        handle.write("\n")
+
+
+def _cmd_chaos_persistent(args: argparse.Namespace) -> int:
+    """The crash-safe single-arm path (--snapshot-dir / --resume)."""
+    from .persistence import (
+        CampaignConfig,
+        PersistentCampaign,
+        StateAuditor,
+    )
+
+    auditor = StateAuditor(strict=args.strict_audit)
+    if args.resume:
+        # The campaign arm comes from the config embedded in the
+        # snapshot; --policies is ignored on resume.
+        if not args.snapshot_dir:
+            print("error: --resume needs --snapshot-dir", file=sys.stderr)
+            return 2
+        campaign = PersistentCampaign.resume(
+            args.snapshot_dir, snapshot_every_s=args.snapshot_every,
+            auditor=auditor)
+    else:
+        if args.policies == "both":
+            print("error: --snapshot-dir runs a single campaign arm; "
+                  "pass --policies on or --policies off", file=sys.stderr)
+            return 2
+        config = CampaignConfig(
+            n_nodes=args.nodes, duration_s=args.duration, seed=args.seed,
+            policies=args.policies, rate_per_hour=args.rate,
+            intensity=args.intensity,
+            label=f"policies-{args.policies}")
+        campaign = PersistentCampaign(
+            config, snapshot_dir=args.snapshot_dir,
+            snapshot_every_s=args.snapshot_every, auditor=auditor)
+    if args.verbose:
+        print("fault plan:")
+        print(campaign.plan.describe())
+        print()
+    result = campaign.run()
+    print(result.describe())
+    print("injections: " + (
+        ", ".join(f"{kind}={count}" for kind, count
+                  in sorted(result.injections.items()))
+        or "none"))
+    if auditor.violation_count:
+        print(f"auditor: {auditor.violation_count} invariant "
+              "violation(s)", file=sys.stderr)
+    if args.report_json:
+        _write_chaos_report(args.report_json, result, campaign.cloud)
+    return 0 if not auditor.violation_count else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .resilience import (
         DegradationConfig,
@@ -214,6 +284,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos_campaign,
     )
 
+    if args.snapshot_dir or args.resume:
+        return _cmd_chaos_persistent(args)
     plan = FaultPlan.random(
         [f"node{i}" for i in range(args.nodes)], args.duration,
         rate_per_hour=args.rate, seed=args.seed,
@@ -240,6 +312,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ", ".join(f"{kind}={count}" for kind, count
                   in sorted(result.injections.items()))
         or "none"))
+    if args.report_json:
+        _write_chaos_report(args.report_json, result,
+                            result.experiment.cloud)
     return 0
 
 
@@ -289,6 +364,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="degradation ladder on, off, or the A/B")
     chaos.add_argument("--verbose", action="store_true",
                        help="print the drawn fault plan")
+    chaos.add_argument("--snapshot-dir", default=None,
+                       help="persist crash-safe snapshots + journal "
+                            "here (single-arm runs only)")
+    chaos.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid snapshot in "
+                            "--snapshot-dir")
+    chaos.add_argument("--snapshot-every", type=float, default=600.0,
+                       help="snapshot period in simulated seconds "
+                            "(default 600)")
+    chaos.add_argument("--strict-audit", action="store_true",
+                       help="raise on the first invariant violation "
+                            "instead of counting")
+    chaos.add_argument("--report-json", default=None,
+                       help="write the machine-readable campaign "
+                            "report (canonical JSON) to this path")
     return parser
 
 

@@ -31,8 +31,8 @@ failover) are the A/B of ``benchmarks/bench_chaos_resilience.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -167,6 +167,86 @@ class CloudController:
         # Bootstrap beliefs: one heartbeat round at construction time,
         # so admission can schedule before the first control step.
         self._ingest_heartbeats()
+
+    # -- persistence ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable controller state, nodes included.
+
+        Dict-valued tables are saved in insertion order — iteration
+        order is behaviour-affecting (reconcile order, energy
+        accounting), so none of them may be sorted on the way out.
+        """
+        return {
+            "nodes": {name: node.state_dict()
+                      for name, node in self.nodes.items()},
+            "health": self.health.state_dict(),
+            "breakers": {name: breaker.state_dict()
+                         for name, breaker in self._breakers.items()},
+            "rng": self._rng.bit_generator.state,
+            "seen_restarts": dict(self._seen_restarts),
+            "telemetry": self.telemetry.state_dict(),
+            "tracker": self.tracker.state_dict(),
+            "migrations": self.migrations.state_dict(),
+            "stats": asdict(self.stats),
+            "placement_log": [asdict(p) for p in self.placement_log],
+            "vm_homes": dict(self._vm_homes),
+            "down_since": dict(self._down_since),
+            "next_recovery_at": dict(self._next_recovery_at),
+            "recovery_failed": sorted(self._recovery_failed),
+            "vm_down_since": dict(self._vm_down_since),
+            "probation_until": dict(self._probation_until),
+            "evac_retry": {name: asdict(state)
+                           for name, state in self._evac_retry.items()},
+            "last_energy": dict(self._last_energy),
+            "chaos": (self.chaos.state_dict()
+                      if self.chaos is not None else None),
+        }
+
+    def load_state_dict(self, state: Dict[str, object],
+                        vm_factory: Callable[[str], VirtualMachine]) -> None:
+        """Restore the controller saved by :meth:`state_dict`.
+
+        ``vm_factory`` rebuilds named VM shells for the per-node
+        hypervisor restores.
+        """
+        for name, node_state in state["nodes"].items():  # type: ignore[union-attr]
+            self.nodes[str(name)].load_state_dict(node_state, vm_factory)
+        self.health.load_state_dict(state["health"])  # type: ignore[arg-type]
+        for name, breaker_state in state["breakers"].items():  # type: ignore[union-attr]
+            self._breakers[str(name)].load_state_dict(breaker_state)
+        self._rng.bit_generator.state = state["rng"]
+        self._seen_restarts = {str(k): int(v) for k, v
+                               in state["seen_restarts"].items()}  # type: ignore[union-attr]
+        self.telemetry.load_state_dict(state["telemetry"])  # type: ignore[arg-type]
+        self.tracker.load_state_dict(state["tracker"])  # type: ignore[arg-type]
+        self.migrations.load_state_dict(state["migrations"])  # type: ignore[arg-type]
+        stats = dict(state["stats"])  # type: ignore[call-overload]
+        stats["repair_times_s"] = [float(t)
+                                   for t in stats["repair_times_s"]]
+        self.stats = ControllerStats(**stats)
+        self.placement_log = [Placement(**p)
+                              for p in state["placement_log"]]  # type: ignore[union-attr]
+        self._vm_homes = {str(k): str(v) for k, v
+                          in state["vm_homes"].items()}  # type: ignore[union-attr]
+        self._down_since = {str(k): float(v) for k, v
+                            in state["down_since"].items()}  # type: ignore[union-attr]
+        self._next_recovery_at = {
+            str(k): float(v) for k, v
+            in state["next_recovery_at"].items()}  # type: ignore[union-attr]
+        self._recovery_failed = {str(n)
+                                 for n in state["recovery_failed"]}  # type: ignore[union-attr]
+        self._vm_down_since = {str(k): float(v) for k, v
+                               in state["vm_down_since"].items()}  # type: ignore[union-attr]
+        self._probation_until = {str(k): float(v) for k, v
+                                 in state["probation_until"].items()}  # type: ignore[union-attr]
+        self._evac_retry = {
+            str(name): _RetryState(**retry) for name, retry
+            in state["evac_retry"].items()}  # type: ignore[union-attr]
+        self._last_energy = {str(k): float(v) for k, v
+                             in state["last_energy"].items()}  # type: ignore[union-attr]
+        if self.chaos is not None and state.get("chaos") is not None:
+            self.chaos.load_state_dict(state["chaos"])  # type: ignore[arg-type]
 
     # -- placement --------------------------------------------------------------
 
@@ -313,6 +393,10 @@ class CloudController:
                 self.stats.failed_recoveries += 1
                 node.runtime.metrics.inc("cloudmgr.node.failed_recoveries")
                 self._recovery_failed.add(name)
+                # Any earlier recovery's probation is void now — leaving
+                # it would let a stale expiry reward the breaker right
+                # after this failure quarantined the node.
+                self._probation_until.pop(name, None)
                 self._note_breaker_failure(node, breaker)
             # Either way, wait a full recovery period before retrying.
             self._next_recovery_at[name] = now + self.node_recovery_s

@@ -12,8 +12,8 @@ dirty rate; the VM loses a slice of progress while paused.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.exceptions import ConfigurationError, MigrationError
 from ..hypervisor.vm import VirtualMachine, VMState
@@ -89,6 +89,15 @@ class MigrationManager:
         #: migration mid-flight (the VM stays put, the blackout is paid).
         self.failure_hook: Optional[
             Callable[[ComputeNode, str], bool]] = None
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable migration history."""
+        return {"records": [asdict(r) for r in self.records]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the history saved by :meth:`state_dict`."""
+        self.records = [MigrationRecord(**r)
+                        for r in state["records"]]  # type: ignore[union-attr]
 
     def migrate(self, vm_name: str, source: ComputeNode,
                 destination: ComputeNode, sla: SLA,

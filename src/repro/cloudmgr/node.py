@@ -17,10 +17,11 @@ utilization and energy usage."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.clock import SimClock
 from ..core.coordinator import UniServerNode
+from ..core.eop import OperatingPoint
 from ..core.events import EventBus
 from ..core.exceptions import ConfigurationError, IsolationError
 from ..core.runtime import NodeRuntime, spawn_runtimes
@@ -324,6 +325,72 @@ class ComputeNode:
             margin_applications=self.hypervisor.stats.margin_applications,
             failure_budget=self.hypervisor.config.failure_budget,
         )
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable node state across every wrapped layer."""
+        fallback = None
+        if self._fallback_saved is not None:
+            core_points, refresh_intervals = self._fallback_saved
+            fallback = {
+                "core_points": {str(core_id): point.as_dict()
+                                for core_id, point in core_points.items()},
+                "refresh_intervals": dict(refresh_intervals),
+            }
+        return {
+            "runtime": self.runtime.state_dict(),
+            "metrics": self.runtime.metrics.state_dict(),
+            "platform": self.platform.state_dict(),
+            "hypervisor": self.hypervisor.state_dict(),
+            "healthlog": self.healthlog.state_dict(),
+            "isolation": self.isolation.state_dict(),
+            "qos": self.qos.state_dict(),
+            "local_telemetry": self.local_telemetry.state_dict(),
+            "uptime_s": self._uptime_s,
+            "downtime_s": self._downtime_s,
+            "since_review": self._since_review,
+            "predictor_down": self.predictor_down,
+            "recovery_stuck": self.recovery_stuck,
+            "stale_fallback_s": self.stale_fallback_s,
+            "fallback_saved": fallback,
+        }
+
+    def load_state_dict(self, state: Dict[str, object],
+                        vm_factory: Callable[[str], VirtualMachine]) -> None:
+        """Restore the node saved by :meth:`state_dict`.
+
+        ``vm_factory`` rebuilds each named VM shell (workload and sizing)
+        so the hypervisor can overlay the saved runtime state onto it.
+        """
+        self.runtime.load_state_dict(state["runtime"])  # type: ignore[arg-type]
+        self.runtime.metrics.load_state_dict(state["metrics"])  # type: ignore[arg-type]
+        self.platform.load_state_dict(state["platform"])  # type: ignore[arg-type]
+        self.hypervisor.load_state_dict(
+            state["hypervisor"], vm_factory)  # type: ignore[arg-type]
+        self.healthlog.load_state_dict(state["healthlog"])  # type: ignore[arg-type]
+        self.isolation.load_state_dict(state["isolation"])  # type: ignore[arg-type]
+        self.qos.load_state_dict(state["qos"])  # type: ignore[arg-type]
+        self.local_telemetry.load_state_dict(
+            state["local_telemetry"])  # type: ignore[arg-type]
+        self._uptime_s = float(state["uptime_s"])  # type: ignore[arg-type]
+        self._downtime_s = float(state["downtime_s"])  # type: ignore[arg-type]
+        self._since_review = float(state["since_review"])  # type: ignore[arg-type]
+        self.predictor_down = bool(state["predictor_down"])
+        self.recovery_stuck = bool(state["recovery_stuck"])
+        stale = state["stale_fallback_s"]
+        self.stale_fallback_s = None if stale is None else float(stale)  # type: ignore[arg-type]
+        fallback = state["fallback_saved"]
+        if fallback is None:
+            self._fallback_saved = None
+        else:
+            self._fallback_saved = (
+                {int(core_id): OperatingPoint.from_dict(point)
+                 for core_id, point in fallback["core_points"].items()},  # type: ignore[index]
+                {str(name): float(interval)
+                 for name, interval
+                 in fallback["refresh_intervals"].items()},  # type: ignore[index]
+            )
 
     # -- execution ----------------------------------------------------------
 

@@ -59,6 +59,41 @@ class TraceDrivenSimulation:
         self.stats = SimulationStats()
         self._departures: Dict[str, float] = {}
         self._next_event = 0
+        self.now = 0.0
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable simulation-loop state (the trace itself is
+        regenerated from config on rebuild, not saved)."""
+        return {
+            "stats": {
+                "arrivals": self.stats.arrivals,
+                "admitted": self.stats.admitted,
+                "rejected": self.stats.rejected,
+                "terminated": self.stats.terminated,
+                "rejected_by_tier": dict(self.stats.rejected_by_tier),
+            },
+            "departures": dict(self._departures),
+            "next_event": self._next_event,
+            "now": self.now,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the loop saved by :meth:`state_dict`."""
+        stats = state["stats"]
+        self.stats = SimulationStats(
+            arrivals=int(stats["arrivals"]),  # type: ignore[index]
+            admitted=int(stats["admitted"]),  # type: ignore[index]
+            rejected=int(stats["rejected"]),  # type: ignore[index]
+            terminated=int(stats["terminated"]),  # type: ignore[index]
+            rejected_by_tier={str(k): int(v) for k, v
+                              in stats["rejected_by_tier"].items()},  # type: ignore[index]
+        )
+        self._departures = {str(k): float(v) for k, v
+                            in state["departures"].items()}  # type: ignore[union-attr]
+        self._next_event = int(state["next_event"])  # type: ignore[arg-type]
+        self.now = float(state["now"])  # type: ignore[arg-type]
 
     def _admit(self, event: ArrivalEvent, now: float) -> None:
         sla = TIER_MAP[event.tier]
@@ -97,6 +132,24 @@ class TraceDrivenSimulation:
             self.cloud.forget_vm(vm_name)
             self.stats.terminated += 1
 
+    def step_once(self) -> None:
+        """Advance the simulation by exactly one step.
+
+        Order is load-bearing (the crash-safe runtime replays it
+        verbatim): admit due arrivals, advance the controller, advance
+        the clock, then terminate VMs past their lifetimes.
+        """
+        now = self.now
+        while (self._next_event < len(self.events)
+               and self.events[self._next_event].timestamp <= now):
+            self._admit(self.events[self._next_event], now)
+            self._next_event += 1
+        self.cloud.step(self.step_s)
+        self.cloud.clock.advance_by(self.step_s)
+        now += self.step_s
+        self.now = now
+        self._terminate_departed(now)
+
     def run(self, duration_s: float) -> SimulationStats:
         """Run the whole trace window.
 
@@ -105,16 +158,8 @@ class TraceDrivenSimulation:
         """
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
-        now = 0.0
-        while now < duration_s:
-            while (self._next_event < len(self.events)
-                   and self.events[self._next_event].timestamp <= now):
-                self._admit(self.events[self._next_event], now)
-                self._next_event += 1
-            self.cloud.step(self.step_s)
-            self.cloud.clock.advance_by(self.step_s)
-            now += self.step_s
-            self._terminate_departed(now)
+        while self.now < duration_s:
+            self.step_once()
         return self.stats
 
     def active_vm_count(self) -> int:

@@ -13,7 +13,7 @@ consume: per-VM uptime, downtime, violations and achieved availability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
@@ -96,6 +96,33 @@ class SLATracker:
 
     def __init__(self) -> None:
         self._records: Dict[str, SLARecord] = {}
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable tracker state (SLA tiers are saved by value)."""
+        return {
+            "records": {
+                name: {
+                    "sla": asdict(record.sla),
+                    "uptime_s": record.uptime_s,
+                    "downtime_s": record.downtime_s,
+                    "violations": record.violations,
+                    "migrations": record.migrations,
+                }
+                for name, record in self._records.items()
+            }
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the tracker saved by :meth:`state_dict`."""
+        self._records = {}
+        for name, rec in state["records"].items():  # type: ignore[union-attr]
+            self._records[str(name)] = SLARecord(
+                sla=SLA(**rec["sla"]),
+                uptime_s=float(rec["uptime_s"]),
+                downtime_s=float(rec["downtime_s"]),
+                violations=int(rec["violations"]),
+                migrations=int(rec["migrations"]),
+            )
 
     def register(self, vm_name: str, sla: SLA) -> None:
         """Start tracking a VM under a tier."""

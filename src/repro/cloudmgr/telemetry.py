@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
@@ -97,6 +97,22 @@ class RollingWindow:
         band = max(self.std * k_sigma, 1e-9)
         return abs(value - self._ewma) > band
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable window state."""
+        return {
+            "values": list(self._values),
+            "ewma": self._ewma,
+            "ewmvar": self._ewmvar,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the window saved by :meth:`state_dict`."""
+        self._values.clear()
+        self._values.extend(float(v) for v in state["values"])  # type: ignore[union-attr]
+        ewma = state["ewma"]
+        self._ewma = None if ewma is None else float(ewma)  # type: ignore[arg-type]
+        self._ewmvar = float(state["ewmvar"])  # type: ignore[arg-type]
+
 
 class TelemetryService:
     """Collects and indexes VM/node samples for the control plane."""
@@ -150,6 +166,49 @@ class TelemetryService:
                     f"metric={metric} value={value:.4g}"
                 )
             window.push(value)
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable service state.
+
+        Window tables are keyed by ``(name, metric)`` tuples, which JSON
+        objects cannot hold — they are flattened to ``[key..., state]``
+        rows, preserving insertion order.
+        """
+        return {
+            "vm_samples": {name: [asdict(s) for s in samples]
+                           for name, samples in self._vm_samples.items()},
+            "node_samples": {name: [asdict(s) for s in samples]
+                             for name, samples in self._node_samples.items()},
+            "vm_windows": [[name, metric, window.state_dict()]
+                           for (name, metric), window
+                           in self._vm_windows.items()],
+            "node_windows": [[name, metric, window.state_dict()]
+                             for (name, metric), window
+                             in self._node_windows.items()],
+            "anomalies": list(self.anomalies),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the service saved by :meth:`state_dict`."""
+        self._vm_samples = {
+            str(name): [VMSample(**s) for s in samples]
+            for name, samples in state["vm_samples"].items()}  # type: ignore[union-attr]
+        self._node_samples = {
+            str(name): [NodeSample(**s) for s in samples]
+            for name, samples in state["node_samples"].items()}  # type: ignore[union-attr]
+        self._vm_windows = {}
+        for name, metric, window_state in state["vm_windows"]:  # type: ignore[misc]
+            window = RollingWindow(maxlen=self._window)
+            window.load_state_dict(window_state)
+            self._vm_windows[(str(name), str(metric))] = window
+        self._node_windows = {}
+        for name, metric, window_state in state["node_windows"]:  # type: ignore[misc]
+            window = RollingWindow(maxlen=self._window)
+            window.load_state_dict(window_state)
+            self._node_windows[(str(name), str(metric))] = window
+        self.anomalies = [str(a) for a in state["anomalies"]]  # type: ignore[union-attr]
 
     # -- queries ------------------------------------------------------------
 

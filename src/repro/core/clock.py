@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from .exceptions import ConfigurationError
+from .exceptions import ConfigurationError, PersistenceError
 
 Callback = Callable[[], None]
 
@@ -117,6 +117,44 @@ class SimClock:
     def advance_by(self, delta: float) -> int:
         """Run all events within the next ``delta`` seconds."""
         return self.advance_to(self._now + delta)
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable clock state: current time and pending event times.
+
+        Callbacks are closures and cannot be serialized; a restore target
+        must therefore be a freshly built twin of the saved simulation,
+        holding the *same* pending callbacks in the same scheduling order.
+        Only the event times (and the clock reading) are persisted.
+        """
+        return {
+            "now": self._now,
+            "pending": [t for t, _, _ in sorted(self._queue,
+                                                key=lambda e: (e[0], e[1]))],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore clock time and re-time pending events.
+
+        The queued callbacks of this (freshly rebuilt) clock are kept and
+        re-scheduled positionally at the saved event times.  The number of
+        pending events must match the snapshot — a mismatch means the
+        restore target was not built from the same configuration.
+        """
+        pending = list(state["pending"])  # type: ignore[arg-type]
+        if len(pending) != len(self._queue):
+            raise PersistenceError(
+                f"clock restore mismatch: snapshot has {len(pending)} "
+                f"pending events, rebuilt clock has {len(self._queue)}")
+        callbacks = [cb for _, _, cb in sorted(self._queue,
+                                               key=lambda e: (e[0], e[1]))]
+        self._now = float(state["now"])  # type: ignore[arg-type]
+        self._queue = []
+        self._counter = itertools.count()
+        for when, callback in zip(pending, callbacks):
+            heapq.heappush(self._queue,
+                           (float(when), next(self._counter), callback))
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Run queued events until the queue drains.

@@ -113,6 +113,23 @@ class OperatingPoint:
             f"refresh {self.refresh_interval_s * 1e3:.0f} ms"
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for snapshots."""
+        return {
+            "voltage_v": self.voltage_v,
+            "frequency_hz": self.frequency_hz,
+            "refresh_interval_s": self.refresh_interval_s,
+        }
+
+    @staticmethod
+    def from_dict(state: Dict[str, float]) -> "OperatingPoint":
+        """Rebuild a point saved by :meth:`as_dict`."""
+        return OperatingPoint(
+            voltage_v=float(state["voltage_v"]),
+            frequency_hz=float(state["frequency_hz"]),
+            refresh_interval_s=float(state["refresh_interval_s"]),
+        )
+
 
 @dataclass(frozen=True)
 class GuardBandBreakdown:

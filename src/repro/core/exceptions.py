@@ -81,3 +81,11 @@ class PredictionError(UniServerError):
 
 class StressTestError(UniServerError):
     """A stress-test campaign was misconfigured or aborted."""
+
+
+class PersistenceError(UniServerError):
+    """A snapshot, journal or state restore operation failed."""
+
+
+class InvariantViolation(PersistenceError):
+    """A cross-layer state invariant did not hold (strict auditor mode)."""

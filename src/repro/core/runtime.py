@@ -75,6 +75,30 @@ class HistogramStats:
             "mean": self.mean,
         }
 
+    def state_dict(self) -> Dict[str, float]:
+        """Lossless serializable form (keeps the raw moments).
+
+        ``min_value``/``max_value`` are +/-inf for an empty histogram;
+        they are encoded as ``None`` so the payload stays strict-JSON.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sum_sq": self.sum_sq,
+            "min_value": None if self.count == 0 else self.min_value,
+            "max_value": None if self.count == 0 else self.max_value,
+        }
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        """Restore the raw moments saved by :meth:`state_dict`."""
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        self.sum_sq = float(state["sum_sq"])
+        self.min_value = (float("inf") if state["min_value"] is None
+                          else float(state["min_value"]))
+        self.max_value = (float("-inf") if state["max_value"] is None
+                          else float(state["max_value"]))
+
 
 class MetricsRegistry:
     """Counters, gauges and histograms shared by every layer of a node.
@@ -156,6 +180,34 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable registry state, preserving insertion order.
+
+        Insertion order is part of the behaviour (snapshots sort, but
+        iteration elsewhere may not), so keys are saved in their current
+        dict order rather than sorted.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {name: stats.state_dict()
+                           for name, stats in self._histograms.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace every series with the saved ones, in saved order."""
+        self._counters = {str(k): float(v) for k, v
+                          in state["counters"].items()}  # type: ignore[union-attr]
+        self._gauges = {str(k): float(v) for k, v
+                        in state["gauges"].items()}  # type: ignore[union-attr]
+        self._histograms = {}
+        for name, hist_state in state["histograms"].items():  # type: ignore[union-attr]
+            stats = HistogramStats()
+            stats.load_state_dict(hist_state)
+            self._histograms[str(name)] = stats
+
 
 def _stream_key(name: str) -> int:
     """Stable 64-bit key for a stream name (independent of hash seeds)."""
@@ -233,6 +285,29 @@ class NodeRuntime:
                 self.stream_sequence(stream))
             self._streams[stream] = generator
         return generator
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable runtime state: the named RNG stream generators.
+
+        The clock, bus and metrics registry are shared objects persisted by
+        their owners; what is unique to the runtime is which named streams
+        exist and where each generator's bit stream currently stands.
+        """
+        return {
+            "streams": {name: generator.bit_generator.state
+                        for name, generator in self._streams.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore every saved RNG stream bit-exactly.
+
+        Streams that did not exist yet on this (rebuilt) runtime are
+        created through :meth:`rng` first, so consumers that lazily ask
+        for them later receive the restored generator.
+        """
+        saved = state["streams"]
+        for name, generator_state in saved.items():  # type: ignore[union-attr]
+            self.rng(str(name)).bit_generator.state = generator_state
 
     def spawn_child(self, name: str) -> "NodeRuntime":
         """A child runtime sharing this runtime's clock.

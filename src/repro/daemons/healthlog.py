@@ -137,6 +137,41 @@ class HealthLog:
             f"p={reading.power_w:.2f}"
         )
 
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable daemon state.
+
+        ``_started`` is not saved: the periodic sampling callback lives in
+        the clock queue, which a restore target re-creates by calling
+        :meth:`start` during rebuild.
+        """
+        return {
+            "ledger": self.ledger.state_dict(),
+            "logfile": list(self._logfile),
+            "last_snapshot_counts": dict(self._last_snapshot_counts),
+            "sensor_cache": dict(self._sensor_cache),
+            "counter_cache": dict(self._counter_cache),
+            "flagged": sorted(self._flagged),
+            "stalled": self.stalled,
+            "last_refresh_s": self._last_refresh_s,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self.ledger.load_state_dict(state["ledger"])  # type: ignore[arg-type]
+        self._logfile = [str(line) for line in state["logfile"]]  # type: ignore[union-attr]
+        self._last_snapshot_counts = {
+            str(k): int(v) for k, v
+            in state["last_snapshot_counts"].items()}  # type: ignore[union-attr]
+        self._sensor_cache = {str(k): float(v) for k, v
+                              in state["sensor_cache"].items()}  # type: ignore[union-attr]
+        self._counter_cache = {str(k): float(v) for k, v
+                               in state["counter_cache"].items()}  # type: ignore[union-attr]
+        self._flagged = {str(c) for c in state["flagged"]}  # type: ignore[union-attr]
+        self.stalled = bool(state["stalled"])
+        self._last_refresh_s = float(state["last_refresh_s"])  # type: ignore[arg-type]
+
     # -- event-driven services ---------------------------------------------------
 
     def _record(self, fault: FaultRecord) -> None:

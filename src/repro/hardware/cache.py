@@ -126,6 +126,14 @@ class CacheModel:
             if raw else 0
         return CacheRunResult(correctable=raw - double, uncorrectable=double)
 
+    def state_dict(self) -> dict:
+        """Serializable mutable state (the sampling RNG)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the RNG saved by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+
     def fault_records(self, result: CacheRunResult, timestamp: float,
                       component: str, operating_point: str = "",
                       ) -> List[FaultRecord]:

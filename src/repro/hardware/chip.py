@@ -154,6 +154,28 @@ class ChipModel:
             counters=counters,
         )
 
+    def state_dict(self) -> dict:
+        """Serializable mutable state of the whole chip."""
+        return {
+            "cores": [core.state_dict() for core in self.cores],
+            "cache": self.cache.state_dict(),
+            "sensors": self.sensors.state_dict(),
+            "thermal": self.thermal.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        saved_cores = state["cores"]
+        if len(saved_cores) != len(self.cores):
+            raise ConfigurationError(
+                f"chip restore mismatch: snapshot has {len(saved_cores)} "
+                f"cores, chip has {len(self.cores)}")
+        for core, core_state in zip(self.cores, saved_cores):
+            core.load_state_dict(core_state)
+        self.cache.load_state_dict(state["cache"])
+        self.sensors.load_state_dict(state["sensors"])
+        self.thermal.load_state_dict(state["thermal"])
+
     def read_sensors(self, timestamp: float, point: OperatingPoint,
                      activity: float = 0.5) -> SensorReadings:
         """Snapshot the chip's sensors at an operating point."""

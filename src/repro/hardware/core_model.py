@@ -189,3 +189,19 @@ class CoreModel:
     def age(self, dt_s: float, voltage_v: float, temperature_c: float) -> None:
         """Accrue aging stress for ``dt_s`` seconds of operation."""
         self.aging.accrue(dt_s, voltage_v, temperature_c)
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable mutable state: RNG, isolation flag, aging stress."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "isolated": self._isolated,
+            "effective_stress_s": self.aging._effective_stress_s,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._isolated = bool(state["isolated"])
+        self.aging._effective_stress_s = float(state["effective_stress_s"])

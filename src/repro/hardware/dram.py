@@ -187,6 +187,23 @@ class MemoryDomain:
         lam = self.expected_errors_per_pass(coverage, temperature_c) * passes
         return int(self._rng.poisson(lam))
 
+    def state_dict(self) -> dict:
+        """Serializable mutable state: refresh interval and pattern RNG."""
+        return {
+            "refresh_interval_s": self._refresh_interval_s,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state saved by :meth:`state_dict`.
+
+        The interval is written directly (bypassing the reliable-domain
+        interlock) because a snapshot may legitimately capture an ablation
+        run that relaxed the reliable domain.
+        """
+        self._refresh_interval_s = float(state["refresh_interval_s"])
+        self._rng.bit_generator.state = state["rng"]
+
     def refresh_power_w(self) -> float:
         """Domain refresh power at the current interval."""
         return sum(
@@ -248,6 +265,16 @@ class DramSystem:
     def refresh_power_w(self) -> float:
         """Refresh power in watts."""
         return sum(d.refresh_power_w() for d in self._domains.values())
+
+    def state_dict(self) -> dict:
+        """Serializable state of every domain, keyed by name."""
+        return {"domains": {name: d.state_dict()
+                            for name, d in self._domains.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore every saved domain onto this (same-layout) system."""
+        for name, domain_state in state["domains"].items():
+            self.domain(str(name)).load_state_dict(domain_state)
 
     def relax_all(self, interval_s: float,
                   keep_reliable_nominal: bool = True) -> List[str]:

@@ -52,6 +52,29 @@ class FaultRecord:
         """Whether this fault terminated execution."""
         return self.fault_class is FaultClass.CRASH
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for snapshots."""
+        return {
+            "timestamp": self.timestamp,
+            "fault_class": self.fault_class.value,
+            "origin": self.origin.value,
+            "component": self.component,
+            "operating_point": self.operating_point,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(state: Dict[str, object]) -> "FaultRecord":
+        """Rebuild a record saved by :meth:`as_dict`."""
+        return FaultRecord(
+            timestamp=float(state["timestamp"]),  # type: ignore[arg-type]
+            fault_class=FaultClass(state["fault_class"]),
+            origin=FaultOrigin(state["origin"]),
+            component=str(state["component"]),
+            operating_point=str(state["operating_point"]),
+            detail=str(state["detail"]),
+        )
+
 
 class FaultLedger:
     """Accumulates fault records and summarises them per component.
@@ -118,3 +141,12 @@ class FaultLedger:
     def clear(self) -> None:
         """Forget all records (e.g. after re-characterisation)."""
         self._records.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable ledger state (every record, in order)."""
+        return {"records": [r.as_dict() for r in self._records]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace the ledger contents with the saved records."""
+        self._records = [FaultRecord.from_dict(r)
+                         for r in state["records"]]  # type: ignore[union-attr]

@@ -68,6 +68,31 @@ class ServerPlatform:
             if not domain.reliable:
                 domain.set_refresh_interval(NOMINAL_REFRESH_INTERVAL_S)
 
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable mutable platform state."""
+        return {
+            "chip": self.chip.state_dict(),
+            "memory": self.memory.state_dict(),
+            "faults": self.faults.state_dict(),
+            "core_points": {str(core_id): point.as_dict()
+                            for core_id, point in self._core_points.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore onto a platform rebuilt from the same configuration."""
+        self.chip.load_state_dict(state["chip"])  # type: ignore[arg-type]
+        self.memory.load_state_dict(state["memory"])  # type: ignore[arg-type]
+        self.faults.load_state_dict(state["faults"])  # type: ignore[arg-type]
+        saved_points = state["core_points"]
+        for core_id_str, point in saved_points.items():  # type: ignore[union-attr]
+            core_id = int(core_id_str)
+            if core_id not in self._core_points:
+                raise ConfigurationError(
+                    f"platform restore mismatch: unknown core {core_id}")
+            self._core_points[core_id] = OperatingPoint.from_dict(point)
+
     # -- aggregate views ------------------------------------------------------
 
     def total_power_w(self, activity: float = 0.5) -> float:

@@ -77,6 +77,14 @@ class SensorBlock:
             frequency_hz=point.frequency_hz,
         )
 
+    def state_dict(self) -> dict:
+        """Serializable mutable state (the noise RNG)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the RNG saved by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+
     def count_run(self, workload: Workload,
                   frequency_hz: float) -> PerfCounters:
         """Synthesize performance counters for one workload run.

@@ -49,6 +49,14 @@ class ThermalModel:
         """Current junction temperature."""
         return self._temperature_c
 
+    def state_dict(self) -> dict:
+        """Serializable mutable state (the junction temperature)."""
+        return {"temperature_c": self._temperature_c}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the temperature saved by :meth:`state_dict`."""
+        self._temperature_c = float(state["temperature_c"])
+
     def steady_state_c(self, power_w: float) -> float:
         """Equilibrium temperature while dissipating ``power_w``."""
         if power_w < 0:

@@ -88,6 +88,33 @@ class CheckpointManager:
         return (self.protected_bytes() / (1024.0 ** 2)
                 * self.cost_model.memory_overhead_factor)
 
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable manager state."""
+        return {
+            "protected": sorted(self._protected),
+            "valid": sorted(self._valid),
+            "stats": {
+                "snapshots": self.stats.snapshots,
+                "restores": self.stats.restores,
+                "snapshot_time_s": self.stats.snapshot_time_s,
+                "restore_time_s": self.stats.restore_time_s,
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self._protected = {str(c) for c in state["protected"]}  # type: ignore[union-attr]
+        self._valid = {int(i) for i in state["valid"]}  # type: ignore[union-attr]
+        stats = state["stats"]
+        self.stats = CheckpointStats(
+            snapshots=int(stats["snapshots"]),  # type: ignore[index]
+            restores=int(stats["restores"]),  # type: ignore[index]
+            snapshot_time_s=float(stats["snapshot_time_s"]),  # type: ignore[index]
+            restore_time_s=float(stats["restore_time_s"]),  # type: ignore[index]
+        )
+
     # -- operation -----------------------------------------------------------
 
     def snapshot(self) -> float:

@@ -21,8 +21,8 @@ hardware models, and applies the masking policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -241,6 +241,52 @@ class Hypervisor:
         del self._vms[name]
         self._assignments.pop(name, None)
         return vm
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable mutable hypervisor state.
+
+        VM objects are saved as overlays (name -> mutated fields); the
+        restore side rebuilds the VM shells through a caller-supplied
+        factory because workloads are regenerated, not serialized.
+        Dict insertion order is behaviour (``tick`` iterates ``_vms``),
+        so orderings are preserved as-is.
+        """
+        return {
+            "stats": asdict(self.stats),
+            "vms": {name: vm.state_dict()
+                    for name, vm in self._vms.items()},
+            "assignments": dict(self._assignments),
+            "placement": self.placement.state_dict(),
+            "accountant": self.accountant.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "crashed": self._crashed,
+            "booted": self._booted,
+        }
+
+    def load_state_dict(self, state: Dict[str, object],
+                        vm_factory: Callable[[str], VirtualMachine]) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        ``vm_factory`` must return a freshly built (PENDING) VM shell for
+        a given name — same workload and resources as at admission time;
+        the saved per-VM overlay is applied on top of it.
+        """
+        stats = state["stats"]
+        self.stats = HypervisorStats(**stats)  # type: ignore[arg-type]
+        self._vms = {}
+        for name, vm_state in state["vms"].items():  # type: ignore[union-attr]
+            vm = vm_factory(str(name))
+            vm.load_state_dict(vm_state)
+            self._vms[str(name)] = vm
+        self._assignments = {str(k): int(v) for k, v
+                             in state["assignments"].items()}  # type: ignore[union-attr]
+        self.placement.load_state_dict(state["placement"])  # type: ignore[arg-type]
+        self.accountant.load_state_dict(state["accountant"])  # type: ignore[arg-type]
+        self._rng.bit_generator.state = state["rng"]
+        self._crashed = bool(state["crashed"])
+        self._booted = bool(state["booted"])
 
     # -- EOP configuration --------------------------------------------------------
 

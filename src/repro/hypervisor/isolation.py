@@ -125,6 +125,23 @@ class IsolationManager:
 
         return taken
 
+    def state_dict(self) -> dict:
+        """Serializable manager state (core fences live on the cores)."""
+        return {
+            "actions": [[a.timestamp, a.resource, a.kind, a.error_count]
+                        for a in self.actions],
+            "isolated_domains": sorted(self._isolated_domains),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self.actions = [
+            IsolationAction(timestamp=float(row[0]), resource=str(row[1]),
+                            kind=str(row[2]), error_count=int(row[3]))
+            for row in state["actions"]
+        ]
+        self._isolated_domains = {str(n) for n in state["isolated_domains"]}
+
     def release_core(self, core_id: int) -> None:
         """Return a fenced core to service (after re-characterisation)."""
         self.platform.chip.core(core_id).deisolate()

@@ -87,6 +87,25 @@ class MemoryAccountant:
         """All recorded snapshots, in order."""
         return list(self._samples)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable accountant state (all samples, in order)."""
+        return {
+            "samples": [
+                [s.timestamp, s.hypervisor_mb, s.vm_mb, s.application_mb]
+                for s in self._samples
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the samples saved by :meth:`state_dict`."""
+        self._samples = [
+            FootprintSample(timestamp=float(row[0]),
+                            hypervisor_mb=float(row[1]),
+                            vm_mb=float(row[2]),
+                            application_mb=float(row[3]))
+            for row in state["samples"]  # type: ignore[union-attr]
+        ]
+
     def max_hypervisor_fraction(self) -> float:
         """Peak hypervisor share across the run (paper: always < 7 %)."""
         if not self._samples:
@@ -168,6 +187,27 @@ class PlacementPolicy:
         )
         self._allocations.append(allocation)
         return allocation
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable placement state (live allocations, in order)."""
+        return {
+            "allocations": [
+                [a.owner, a.size_mb, a.domain, a.critical]
+                for a in self._allocations
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the allocations saved by :meth:`state_dict`.
+
+        Allocations are restored verbatim — no re-placement — so the
+        restored run sees the exact same domain occupancy.
+        """
+        self._allocations = [
+            Allocation(owner=str(row[0]), size_mb=float(row[1]),
+                       domain=str(row[2]), critical=bool(row[3]))
+            for row in state["allocations"]  # type: ignore[union-attr]
+        ]
 
     def release(self, owner: str) -> int:
         """Free every allocation owned by ``owner``; returns the count."""

@@ -91,6 +91,24 @@ class QoSGuard:
         """The VM's requirement, or None when unregistered."""
         return self._requirements.get(vm_name)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable guard state (per-VM requirements, in order)."""
+        return {
+            "requirements": {
+                name: [req.min_frequency_fraction,
+                       req.max_failure_probability]
+                for name, req in self._requirements.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the requirements saved by :meth:`state_dict`."""
+        self._requirements = {
+            str(name): QoSRequirement(min_frequency_fraction=float(row[0]),
+                                      max_failure_probability=float(row[1]))
+            for name, row in state["requirements"].items()  # type: ignore[union-attr]
+        }
+
     # -- what a core's residents permit -----------------------------------------
 
     def _residents(self, core_id: int) -> List[str]:

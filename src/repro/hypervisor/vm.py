@@ -125,6 +125,29 @@ class VirtualMachine:
         self.executed_cycles = 0.0
         self.restarts += 1
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable mutable state (the workload itself is rebuilt)."""
+        return {
+            "vcpus": self.vcpus,
+            "guest_os_mb": self.guest_os_mb,
+            "state": self.state.value,
+            "executed_cycles": self.executed_cycles,
+            "restarts": self.restarts,
+            "memory_seed": self._memory_seed,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Overlay runtime-mutated state onto a rebuilt VM."""
+        self.vcpus = int(state["vcpus"])  # type: ignore[arg-type]
+        self.guest_os_mb = float(state["guest_os_mb"])  # type: ignore[arg-type]
+        self.state = VMState(state["state"])
+        self.executed_cycles = float(state["executed_cycles"])  # type: ignore[arg-type]
+        self.restarts = int(state["restarts"])  # type: ignore[arg-type]
+        self._memory_seed = int(state["memory_seed"])  # type: ignore[arg-type]
+        self._app_trace = None
+
     # -- memory ------------------------------------------------------------
 
     def application_memory_mb(self, n_steps: int = 100) -> np.ndarray:

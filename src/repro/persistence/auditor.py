@@ -1,0 +1,177 @@
+"""Cross-layer state-invariant auditing.
+
+A snapshot of a lying world is worse than no snapshot: resume would
+faithfully reproduce the corruption.  The :class:`StateAuditor` checks
+the invariants that tie the layers together — VM conservation, capacity
+accounting, monotonic time and energy, breaker/probation consistency,
+non-negative SLA clocks — at every snapshot and again after a restore.
+
+Two modes:
+
+* **strict** — any violation raises
+  :class:`~repro.core.exceptions.InvariantViolation`; the regression
+  tests run small campaigns this way and require zero violations;
+* **tolerant** — violations are logged and counted into the auditor's
+  *own* :class:`~repro.core.runtime.MetricsRegistry` (never the
+  experiment's registries, which the kill/resume equivalence harness
+  compares bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, List, Optional
+
+from ..core.exceptions import InvariantViolation
+from ..core.runtime import MetricsRegistry
+from ..resilience.health import NodeStatus
+
+if TYPE_CHECKING:
+    from ..cloudmgr.cloud import CloudController
+
+logger = logging.getLogger(__name__)
+
+
+class StateAuditor:
+    """Checks cross-layer invariants of a rack under a controller."""
+
+    def __init__(self, strict: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.strict = strict
+        #: Violation counters live in a registry of their own so the
+        #: audit never perturbs the experiment's metrics snapshot.
+        self.metrics = metrics or MetricsRegistry()
+        self.violations: List[str] = []
+        self._last_now: Optional[float] = None
+        self._last_energy: Optional[float] = None
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations recorded so far."""
+        return len(self.violations)
+
+    def reset_monotonic(self) -> None:
+        """Forget the monotonicity watermarks (e.g. for a new world)."""
+        self._last_now = None
+        self._last_energy = None
+
+    # -- the invariant battery -----------------------------------------------
+
+    def _check_vm_conservation(self, cloud: "CloudController",
+                               problems: List[str]) -> None:
+        """Every VM resides on exactly one hypervisor, where the
+        controller's home table says it does."""
+        residents = {}
+        for name, node in cloud.nodes.items():
+            for vm in node.hypervisor.vms:
+                if vm.name in residents:
+                    problems.append(
+                        f"VM {vm.name!r} is resident on both "
+                        f"{residents[vm.name]!r} and {name!r}")
+                else:
+                    residents[vm.name] = name
+        for vm_name, home in cloud._vm_homes.items():
+            actual = residents.get(vm_name)
+            if actual is not None and actual != home:
+                problems.append(
+                    f"VM {vm_name!r} is homed on {home!r} but resident "
+                    f"on {actual!r}")
+
+    def _check_capacity(self, cloud: "CloudController",
+                        problems: List[str]) -> None:
+        """vCPU and memory accounting: non-negative, within capacity."""
+        for name, node in cloud.nodes.items():
+            used_vcpus = node.used_vcpus()
+            if used_vcpus < 0:
+                problems.append(
+                    f"node {name!r} has negative vCPU usage {used_vcpus}")
+            if used_vcpus > node.total_vcpus:
+                problems.append(
+                    f"node {name!r} uses {used_vcpus} vCPUs of "
+                    f"{node.total_vcpus}")
+            used_mb = node.used_memory_mb()
+            total_mb = node.total_memory_mb()
+            if used_mb < -1e-6:
+                problems.append(
+                    f"node {name!r} has negative memory usage "
+                    f"{used_mb:.1f} MB")
+            if used_mb > total_mb + 1e-6:
+                problems.append(
+                    f"node {name!r} uses {used_mb:.1f} MB of "
+                    f"{total_mb:.1f} MB")
+
+    def _check_monotonicity(self, cloud: "CloudController",
+                            problems: List[str]) -> None:
+        """Clock and accumulated energy never run backwards."""
+        now = cloud.clock.now
+        if self._last_now is not None and now < self._last_now - 1e-9:
+            problems.append(
+                f"clock ran backwards: {self._last_now} -> {now}")
+        self._last_now = now
+        energy = cloud.stats.energy_j
+        if self._last_energy is not None \
+                and energy < self._last_energy - 1e-6:
+            problems.append(
+                f"energy decreased: {self._last_energy} -> {energy}")
+        self._last_energy = energy
+
+    def _check_breakers(self, cloud: "CloudController",
+                        problems: List[str]) -> None:
+        """Quarantine implies an enabled breaker; a quarantined node is
+        never simultaneously on post-recovery probation."""
+        for view in cloud.health.views():
+            breaker = cloud._breakers[view.name]
+            if view.state is NodeStatus.QUARANTINED:
+                if not breaker.enabled:
+                    problems.append(
+                        f"node {view.name!r} is quarantined but its "
+                        "breaker is disabled")
+                if view.name in cloud._probation_until:
+                    problems.append(
+                        f"node {view.name!r} is quarantined while on "
+                        "probation")
+            if breaker.consecutive_failures < 0:
+                problems.append(
+                    f"breaker of {view.name!r} has negative failure "
+                    f"count {breaker.consecutive_failures}")
+
+    def _check_sla(self, cloud: "CloudController",
+                   problems: List[str]) -> None:
+        """SLA uptime/downtime clocks are non-negative."""
+        for vm_name in cloud.tracker.tracked_vms():
+            record = cloud.tracker.record(vm_name)
+            if record.uptime_s < 0 or record.downtime_s < 0:
+                problems.append(
+                    f"VM {vm_name!r} has negative SLA time "
+                    f"(up {record.uptime_s}, down {record.downtime_s})")
+            if record.violations < 0:
+                problems.append(
+                    f"VM {vm_name!r} has negative violation count")
+
+    # -- entry point -----------------------------------------------------------
+
+    def audit(self, cloud: "CloudController",
+              context: str = "") -> List[str]:
+        """Run the full invariant battery against one controller.
+
+        Returns the violations found this pass (strict mode raises on
+        any instead).
+        """
+        problems: List[str] = []
+        self._check_vm_conservation(cloud, problems)
+        self._check_capacity(cloud, problems)
+        self._check_monotonicity(cloud, problems)
+        self._check_breakers(cloud, problems)
+        self._check_sla(cloud, problems)
+        self.metrics.inc("persistence.auditor.passes")
+        if problems:
+            where = f" [{context}]" if context else ""
+            for problem in problems:
+                logger.warning("invariant violation%s: %s", where, problem)
+                self.metrics.inc("persistence.auditor.violations")
+            self.violations.extend(problems)
+            if self.strict:
+                raise InvariantViolation(
+                    f"{len(problems)} invariant violation(s){where}: "
+                    + "; ".join(problems))
+        return problems

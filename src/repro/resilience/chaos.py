@@ -106,6 +106,27 @@ class FaultSpec:
         return (f"{self.kind.value} on {self.node} {window} "
                 f"magnitude={self.magnitude:.2f}")
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for snapshots and campaign configs."""
+        return {
+            "kind": self.kind.value,
+            "node": self.node,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "magnitude": self.magnitude,
+        }
+
+    @staticmethod
+    def from_dict(state: Dict[str, object]) -> "FaultSpec":
+        """Rebuild a spec saved by :meth:`as_dict`."""
+        return FaultSpec(
+            kind=FaultKind(state["kind"]),
+            node=str(state["node"]),
+            start_s=float(state["start_s"]),  # type: ignore[arg-type]
+            duration_s=float(state["duration_s"]),  # type: ignore[arg-type]
+            magnitude=float(state["magnitude"]),  # type: ignore[arg-type]
+        )
+
 
 #: Kinds eligible for randomly drawn plans, with relative weights and
 #: (min, max) window durations in seconds.  NODE_CRASH is instantaneous.
@@ -186,6 +207,16 @@ class FaultPlan:
             return "empty fault plan"
         return "\n".join(s.describe() for s in self.specs)
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for snapshots and campaign configs."""
+        return {"specs": [s.as_dict() for s in self.specs]}
+
+    @staticmethod
+    def from_dict(state: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan saved by :meth:`as_dict`."""
+        return FaultPlan(FaultSpec.from_dict(s)
+                         for s in state["specs"])  # type: ignore[union-attr]
+
 
 class ChaosEngine:
     """Executes a :class:`FaultPlan` against a rack of compute nodes.
@@ -207,6 +238,9 @@ class ChaosEngine:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
+        #: Indices into ``plan.specs`` of one-shot faults already fired.
+        #: Stable positions (not object identities) so the fired-set
+        #: survives serialization and process restarts.
         self._fired: set = set()
         self.injections: Dict[str, int] = {}
 
@@ -241,10 +275,11 @@ class ChaosEngine:
                 self._count(FaultKind.STUCK_RECOVERY)
             node.recovery_stuck = stuck is not None
 
-            for spec in self.plan.for_node(node.name):
-                if spec.kind is FaultKind.NODE_CRASH \
-                        and spec.active(now) and id(spec) not in self._fired:
-                    self._fired.add(id(spec))
+            for index, spec in enumerate(self.plan.specs):
+                if spec.node == node.name \
+                        and spec.kind is FaultKind.NODE_CRASH \
+                        and spec.active(now) and index not in self._fired:
+                    self._fired.add(index)
                     if not node.hypervisor.crashed:
                         node.hypervisor.inject_crash()
                     self._count(FaultKind.NODE_CRASH)
@@ -317,3 +352,18 @@ class ChaosEngine:
             return "no faults injected"
         return ", ".join(f"{kind}={count}" for kind, count
                          in sorted(self.injections.items()))
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable engine cursor (the plan is config, not state)."""
+        return {
+            "fired": sorted(self._fired),
+            "injections": dict(self.injections),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the cursor saved by :meth:`state_dict`."""
+        self._fired = {int(i) for i in state["fired"]}  # type: ignore[union-attr]
+        self.injections = {str(k): int(v) for k, v
+                           in state["injections"].items()}  # type: ignore[union-attr]

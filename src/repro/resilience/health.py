@@ -23,7 +23,7 @@ migration, a reboot) and to *measure* outcomes (SLA accounting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from enum import Enum
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
@@ -60,6 +60,39 @@ class Heartbeat:
     #: EOP bookkeeping the SLA filters need.
     margin_applications: int = 0
     failure_budget: float = 1e-4
+
+
+def heartbeat_to_dict(heartbeat: Heartbeat) -> Dict[str, object]:
+    """Plain-dict form of a heartbeat (all leaves are primitives)."""
+    state = asdict(heartbeat)
+    state["vm_samples"] = [asdict(s) for s in heartbeat.vm_samples]
+    return state
+
+
+def heartbeat_from_dict(state: Dict[str, object]) -> Heartbeat:
+    """Rebuild a heartbeat saved by :func:`heartbeat_to_dict`.
+
+    Imports are local: this module is imported by ``cloudmgr`` at class
+    definition time, so the concrete sample types only resolve lazily.
+    """
+    from ..cloudmgr.failure_prediction import RiskAssessment
+    from ..cloudmgr.node import NodeMetrics
+    from ..cloudmgr.telemetry import NodeSample, VMSample
+
+    risk = state["risk"]
+    return Heartbeat(
+        timestamp=float(state["timestamp"]),  # type: ignore[arg-type]
+        node=str(state["node"]),
+        metrics=NodeMetrics(**state["metrics"]),  # type: ignore[arg-type]
+        sample=NodeSample(**state["sample"]),  # type: ignore[arg-type]
+        vm_samples=tuple(VMSample(**s)
+                         for s in state["vm_samples"]),  # type: ignore[union-attr]
+        risk=None if risk is None else RiskAssessment(**risk),  # type: ignore[arg-type]
+        info_vector_age_s=float(state["info_vector_age_s"]),  # type: ignore[arg-type]
+        active_vms=tuple(str(v) for v in state["active_vms"]),  # type: ignore[union-attr]
+        margin_applications=int(state["margin_applications"]),  # type: ignore[arg-type]
+        failure_budget=float(state["failure_budget"]),  # type: ignore[arg-type]
+    )
 
 
 class NodeStatus(Enum):
@@ -102,6 +135,30 @@ class NodeView:
         """Optimistically debit capacity for a placement just issued."""
         self._reserved_vcpus += vcpus
         self._reserved_mb += memory_mb
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable belief state about this node."""
+        return {
+            "state": self.state.value,
+            "last": None if self.last is None else heartbeat_to_dict(self.last),
+            "missed": self.missed,
+            "last_seen_s": self.last_seen_s,
+            "reserved_vcpus": self._reserved_vcpus,
+            "reserved_mb": self._reserved_mb,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the belief saved by :meth:`state_dict`."""
+        self.state = NodeStatus(state["state"])
+        last = state["last"]
+        self.last = None if last is None else heartbeat_from_dict(last)  # type: ignore[arg-type]
+        self.missed = int(state["missed"])  # type: ignore[arg-type]
+        seen = state["last_seen_s"]
+        self.last_seen_s = None if seen is None else float(seen)  # type: ignore[arg-type]
+        self._reserved_vcpus = int(state["reserved_vcpus"])  # type: ignore[arg-type]
+        self._reserved_mb = float(state["reserved_mb"])  # type: ignore[arg-type]
 
     # -- the scheduling surface (duck-typing ComputeNode) ------------------
 
@@ -207,6 +264,19 @@ class NodeHealthView:
         """Nodes believed able to take new work."""
         return [v for v in self.views()
                 if v.state is NodeStatus.HEALTHY and v.last is not None]
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable belief table (views in registration order)."""
+        return {"views": {name: view.state_dict()
+                          for name, view in self._views.items()}}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore beliefs onto a table with the same registered nodes."""
+        saved = state["views"]
+        for name, view_state in saved.items():  # type: ignore[union-attr]
+            self.view(str(name)).load_state_dict(view_state)
 
     # -- the suspicion ladder ---------------------------------------------
 

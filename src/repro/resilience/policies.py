@@ -116,6 +116,23 @@ class CircuitBreaker:
         """Whether the breaker can ever open."""
         return self.failure_threshold > 0
 
+    def state_dict(self) -> dict:
+        """Serializable automaton state."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at": self.opened_at,
+            "trips": self.trips,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the automaton saved by :meth:`state_dict`."""
+        self.state = BreakerState(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        opened = state["opened_at"]
+        self.opened_at = None if opened is None else float(opened)
+        self.trips = int(state["trips"])
+
     def record_failure(self, now: float) -> BreakerState:
         """Note one failure; may trip CLOSED->OPEN or HALF_OPEN->OPEN."""
         self.consecutive_failures += 1

@@ -1,0 +1,326 @@
+"""Crash-safe campaign runtime: snapshots, journal, auditor, resume."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.exceptions import InvariantViolation, PersistenceError
+from repro.persistence import (
+    CampaignConfig,
+    Journal,
+    PersistentCampaign,
+    SnapshotStore,
+    StateAuditor,
+    canonical_json,
+    payload_checksum,
+)
+
+#: Tiny but chaotic: enough faults that crashes, recoveries, breaker
+#: trips and RNG-consuming interceptions all actually happen.
+CONFIG = CampaignConfig(n_nodes=3, duration_s=1800.0, seed=1,
+                        rate_per_hour=25.0, intensity=0.9, step_s=60.0)
+
+RESULT_FIELDS = (
+    "label", "n_nodes", "duration_s", "seed", "plan_faults",
+    "fleet_availability", "mttr_s", "sla_violations",
+    "evacuation_success_rate", "node_crashes", "recoveries", "failovers",
+    "breaker_trips", "flaps", "heartbeats_missed", "admitted",
+    "rejected", "completed", "injections",
+)
+
+
+def _headline(result):
+    return {field: getattr(result, field) for field in RESULT_FIELDS}
+
+
+def _metrics_digest(campaign):
+    return payload_checksum(campaign.cloud.metrics_snapshot())
+
+
+# -- snapshot store --------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_atomic_write_and_reload(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(5, {"hello": [1, 2.5, None]})
+        step, payload = store.load_newest()
+        assert step == 5
+        assert payload == {"hello": [1, 2.5, None]}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_keeps_only_n_generations(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for step in (0, 10, 20, 30):
+            store.save(step, {"step": step})
+            Journal(store.journal_path(step)).close()
+        assert store.generations() == [20, 30]
+        assert not store.journal_path(0).exists()
+
+    def test_corrupted_newest_falls_back_a_generation(
+            self, tmp_path, caplog):
+        store = SnapshotStore(tmp_path)
+        store.save(0, {"generation": 0})
+        store.save(7, {"generation": 7})
+        # Bit-flip in the middle of the newest snapshot.
+        path = store.snapshot_path(7)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with caplog.at_level("WARNING"):
+            step, payload = store.load_newest()
+        assert step == 0
+        assert payload == {"generation": 0}
+        assert any("damaged" in r.message for r in caplog.records)
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(0, {"generation": 0})
+        store.save(3, {"generation": 3})
+        path = store.snapshot_path(3)
+        path.write_bytes(path.read_bytes()[: 40])
+        step, payload = store.load_newest()
+        assert step == 0
+
+    def test_all_generations_damaged_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(0, {"generation": 0})
+        store.snapshot_path(0).write_text("not json")
+        assert store.load_newest() is None
+
+    def test_checksum_covers_payload(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(0, {"value": 1})
+        # A *valid-JSON* tamper must still fail the checksum.
+        path = store.snapshot_path(0)
+        envelope = json.loads(path.read_text())
+        envelope["body"]["payload"]["value"] = 2
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(PersistenceError):
+            store.load_generation(0)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append({"type": "intent", "step": 0})
+        journal.append({"type": "commit", "step": 0, "digest": "abc"})
+        journal.close()
+        assert Journal.read(path) == [
+            {"type": "intent", "step": 0},
+            {"type": "commit", "step": 0, "digest": "abc"},
+        ]
+
+    def test_torn_final_line_truncates_cleanly(self, tmp_path, caplog):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.append({"step": 0})
+        journal.append({"step": 1})
+        journal.close()
+        # Chop the last line in half: the SIGKILL-mid-append signature.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])
+        with caplog.at_level("WARNING"):
+            records = Journal.read(path)
+        assert records == [{"step": 0}]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Journal.read(tmp_path / "absent.jsonl") == []
+
+
+def test_canonical_json_is_key_sorted_and_compact():
+    assert canonical_json({"b": 1, "a": [1.5]}) == '{"a":[1.5],"b":1}'
+    assert payload_checksum({"a": 1, "b": 2}) \
+        == payload_checksum({"b": 2, "a": 1})
+
+
+# -- state round-trip -------------------------------------------------------
+
+
+class TestStateRoundTrip:
+    def test_midstream_state_restores_bit_identically(self):
+        first = PersistentCampaign(CONFIG)
+        for _ in range(12):
+            first.step()
+        # Force the state through JSON: what a snapshot actually stores.
+        payload = json.loads(canonical_json(
+            {"config": first.config.as_dict(),
+             "state": first.state_dict()}))
+        second = PersistentCampaign(
+            CampaignConfig.from_dict(payload["config"]))
+        second.load_state_dict(payload["state"])
+        result_a = first.run()
+        result_b = second.run()
+        assert _headline(result_a) == _headline(result_b)
+        assert _metrics_digest(first) == _metrics_digest(second)
+
+    def test_matches_unpersisted_campaign(self):
+        from repro.resilience import FaultPlan, run_chaos_campaign
+
+        persistent = PersistentCampaign(CONFIG).run()
+        classic = run_chaos_campaign(
+            n_nodes=CONFIG.n_nodes, duration_s=CONFIG.duration_s,
+            seed=CONFIG.seed,
+            plan=FaultPlan.from_dict(CONFIG.finalized().plan),
+            label=CONFIG.label)
+        assert _headline(persistent) == _headline(classic)
+
+    def test_rng_streams_survive_the_round_trip(self):
+        campaign = PersistentCampaign(CONFIG)
+        for _ in range(5):
+            campaign.step()
+        state = json.loads(canonical_json(campaign.state_dict()))
+        twin = PersistentCampaign(CONFIG)
+        twin.load_state_dict(state)
+        for node_a, node_b in zip(campaign.cloud.node_list(),
+                                  twin.cloud.node_list()):
+            draws_a = node_a.runtime.rng("chaos.telemetry").random(4)
+            draws_b = node_b.runtime.rng("chaos.telemetry").random(4)
+            assert list(draws_a) == list(draws_b)
+
+    def test_clock_restore_rejects_mismatched_queue(self):
+        campaign = PersistentCampaign(CONFIG)
+        state = campaign.clock.state_dict()
+        state["pending"] = list(state["pending"]) + [99.0]
+        with pytest.raises(PersistenceError):
+            campaign.clock.load_state_dict(state)
+
+
+# -- disk resume -------------------------------------------------------------
+
+
+class TestDiskResume:
+    def test_abandoned_run_resumes_to_identical_end_state(self, tmp_path):
+        reference = PersistentCampaign(CONFIG)
+        result_ref = reference.run()
+
+        abandoned = PersistentCampaign(
+            CONFIG, snapshot_dir=tmp_path, snapshot_every_s=300.0)
+        for _ in range(17):  # dies between generations, mid-journal
+            abandoned.step()
+        del abandoned  # the "crash"
+
+        resumed = PersistentCampaign.resume(
+            tmp_path, snapshot_every_s=300.0,
+            auditor=StateAuditor(strict=True))
+        result = resumed.run()
+        assert _headline(result) == _headline(result_ref)
+        assert _metrics_digest(resumed) == _metrics_digest(reference)
+
+    def test_resume_replays_journal_to_the_crash_step(self, tmp_path):
+        campaign = PersistentCampaign(
+            CONFIG, snapshot_dir=tmp_path, snapshot_every_s=300.0)
+        for _ in range(13):
+            campaign.step()
+        del campaign
+        resumed = PersistentCampaign.resume(tmp_path)
+        assert resumed.step_index == 13
+
+    def test_resume_survives_corrupted_newest_snapshot(
+            self, tmp_path, caplog):
+        reference = PersistentCampaign(CONFIG).run()
+        campaign = PersistentCampaign(
+            CONFIG, snapshot_dir=tmp_path, snapshot_every_s=300.0)
+        for _ in range(17):
+            campaign.step()
+        del campaign
+        newest = sorted(tmp_path.glob("snapshot-*.json"))[-1]
+        raw = bytearray(newest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        with caplog.at_level("WARNING"):
+            resumed = PersistentCampaign.resume(tmp_path)
+        assert any("damaged" in r.message for r in caplog.records)
+        result = resumed.run()
+        assert _headline(result) == _headline(reference)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            PersistentCampaign.resume(tmp_path)
+
+    def test_tampered_journal_digest_fails_replay(self, tmp_path):
+        campaign = PersistentCampaign(
+            CONFIG, snapshot_dir=tmp_path, snapshot_every_s=300.0)
+        for _ in range(7):
+            campaign.step()
+        del campaign
+        journal_path = sorted(tmp_path.glob("journal-*.jsonl"))[-1]
+        lines = journal_path.read_text().splitlines()
+        doctored = []
+        for line in lines:
+            if '"type":"commit"' in line:
+                _, _, body = line.partition(" ")
+                record = json.loads(body)
+                record["digest"] = "0" * 64
+                rewritten = canonical_json(record)
+                checksum = hashlib.sha256(
+                    rewritten.encode()).hexdigest()[:16]
+                doctored.append(f"{checksum} {rewritten}")
+            else:
+                doctored.append(line)
+        journal_path.write_text("\n".join(doctored) + "\n")
+        with pytest.raises(PersistenceError, match="diverged"):
+            PersistentCampaign.resume(tmp_path)
+
+
+# -- auditor ------------------------------------------------------------------
+
+
+class TestStateAuditor:
+    def test_chaotic_campaign_stays_invariant_clean(self):
+        auditor = StateAuditor(strict=True)
+        campaign = PersistentCampaign(CONFIG, auditor=auditor)
+        # Audit every few steps, not just at snapshots.
+        while not campaign.finished:
+            campaign.step()
+            if campaign.step_index % 5 == 0:
+                auditor.audit(campaign.cloud,
+                              context=f"step {campaign.step_index}")
+        campaign.run()
+        assert auditor.violation_count == 0
+        assert auditor.metrics.counter(
+            "persistence.auditor.passes") > 0
+
+    def test_strict_mode_raises_on_forged_double_residency(self):
+        # Calm weather, busy trace: the forge needs a resident VM.
+        campaign = PersistentCampaign(CampaignConfig(
+            n_nodes=3, duration_s=1800.0, seed=1, rate_per_hour=2.0,
+            intensity=0.2, base_rate_per_hour=120.0, step_s=60.0))
+        donor = None
+        while donor is None and not campaign.finished:
+            campaign.step()
+            nodes = campaign.cloud.node_list()
+            donor = next((n for n in nodes if n.hypervisor.vms), None)
+        assert donor is not None, "campaign never admitted a VM"
+        vm = donor.hypervisor.vms[0]
+        other = next(n for n in nodes if n.name != donor.name)
+        # Forge the corruption the auditor exists to catch.
+        other.hypervisor._vms[vm.name] = vm
+        with pytest.raises(InvariantViolation, match="resident on both"):
+            StateAuditor(strict=True).audit(campaign.cloud)
+
+    def test_tolerant_mode_counts_instead_of_raising(self):
+        campaign = PersistentCampaign(CONFIG)
+        for _ in range(10):
+            campaign.step()
+        campaign.cloud._vm_homes["ghost-vm"] = "node0"
+        campaign.cloud.stats.energy_j = -1.0
+        auditor = StateAuditor(strict=False)
+        auditor.audit(campaign.cloud)
+        campaign.cloud.stats.energy_j = -2.0
+        problems = auditor.audit(campaign.cloud)
+        assert problems  # energy decreased between the two audits
+        assert auditor.violation_count >= 1
+        assert auditor.metrics.counter(
+            "persistence.auditor.violations") == auditor.violation_count
+
+    def test_clock_regression_is_flagged(self):
+        campaign = PersistentCampaign(CONFIG)
+        auditor = StateAuditor(strict=False)
+        campaign.step()
+        auditor.audit(campaign.cloud)
+        campaign.clock._now -= 100.0
+        problems = auditor.audit(campaign.cloud)
+        assert any("backwards" in p for p in problems)

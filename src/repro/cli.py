@@ -16,6 +16,7 @@ command          what it runs
 ``validate``     re-check every quantified paper claim
 ``metrics``      seeded rack run, cross-layer metrics dump (JSON)
 ``chaos``        seeded control-plane chaos campaign (policies A/B)
+``sweep``        parallel multi-seed campaign sweep over a config grid
 ===============  ======================================================
 """
 
@@ -212,11 +213,13 @@ def _write_chaos_report(path: str, result, cloud) -> None:
     Canonical-JSON form, so two bit-identical campaigns produce
     byte-identical report files.
     """
-    from dataclasses import asdict
+    from dataclasses import asdict, replace
 
     from .persistence import canonical_json, payload_checksum
 
-    payload = asdict(result)
+    # Detach the experiment first: ``asdict`` deep-copies every field,
+    # and copying the whole rack world just to drop it is wasteful.
+    payload = asdict(replace(result, experiment=None))
     payload.pop("experiment", None)
     report = {
         "result": payload,
@@ -297,7 +300,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.policies == "both":
         comparison = run_chaos_ab(
             n_nodes=args.nodes, duration_s=args.duration,
-            seed=args.seed, plan=plan)
+            seed=args.seed, plan=plan, jobs=args.jobs)
         print(comparison.describe())
         # Exit nonzero only if the ladder actively lost availability.
         return 0 if comparison.availability_gain >= 0 else 1
@@ -316,6 +319,98 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         _write_chaos_report(args.report_json, result,
                             result.experiment.cloud)
     return 0
+
+
+def _parse_seeds(text: str):
+    """``0,1,4:8`` -> (0, 1, 4, 5, 6, 7); ranges are half-open."""
+    seeds = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if ":" in item:
+            lo, hi = item.split(":", 1)
+            seeds.extend(range(int(lo), int(hi)))
+        else:
+            seeds.append(int(item))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return tuple(seeds)
+
+
+def _parse_grid(items):
+    """Repeated ``axis=v1,v2`` options -> {axis: [typed values]}."""
+    from .sweep import GRID_AXES
+
+    grid = {}
+    for item in items:
+        axis, _, values = item.partition("=")
+        axis = axis.strip()
+        if axis not in GRID_AXES:
+            raise ValueError(
+                f"unknown grid axis {axis!r}; known: "
+                f"{', '.join(sorted(GRID_AXES))}")
+        if not values:
+            raise ValueError(f"grid axis {axis!r} needs values, "
+                             f"e.g. {axis}=a,b")
+        _, coerce = GRID_AXES[axis]
+        grid[axis] = [coerce(v.strip()) for v in values.split(",")]
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .sweep import (
+        SweepSpec,
+        report_digest,
+        run_sweep,
+        sweep_report,
+        write_report,
+    )
+
+    try:
+        seeds = _parse_seeds(args.seeds)
+        grid = _parse_grid(args.grid or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = SweepSpec(
+        seeds=seeds, n_nodes=args.nodes, duration_s=args.duration,
+        policies=args.policies, rate_per_hour=args.rate,
+        intensity=args.intensity, grid=grid,
+        snapshot_root=args.snapshot_root)
+    def _progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    progress = None if args.quiet else _progress
+    outcome = run_sweep(spec, jobs=args.jobs,
+                        max_retries=args.max_retries, progress=progress)
+    report = sweep_report(outcome)
+    table_rows = []
+    for point, metrics in report["summary"].items():
+        availability = metrics.get("fleet_availability", {})
+        mttr = metrics.get("mttr_s", {})
+        violations = metrics.get("sla_violations", {})
+        table_rows.append([
+            point, availability.get("count", 0),
+            f"{availability.get('mean', 0.0):.4f}",
+            f"{availability.get('min', 0.0):.4f}",
+            f"{mttr['mean']:.0f}s" if mttr.get("count") else "n/a",
+            f"{violations.get('mean', 0.0):.1f}",
+        ])
+    print(render_table(
+        f"sweep: {len(outcome.rows)} campaigns, "
+        f"{len(spec.seeds)} seed(s), jobs={args.jobs}",
+        ["point", "runs", "avail mean", "avail min", "mttr mean",
+         "sla viol mean"],
+        table_rows))
+    for failure in report["failures"]:
+        print(f"FAILED {failure['point']} seed={failure['seed']}: "
+              f"{failure['error']}", file=sys.stderr)
+    if args.report_json:
+        write_report(args.report_json, report)
+    print(f"report sha256: {report_digest(report)}")
+    return 1 if outcome.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -379,6 +474,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report-json", default=None,
                        help="write the machine-readable campaign "
                             "report (canonical JSON) to this path")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="run the policies A/B arms in parallel "
+                            "worker processes (--policies both only)")
+    sweep = sub.add_parser(
+        "sweep", help="parallel multi-seed campaign sweep")
+    sweep.add_argument("--nodes", type=int, default=4)
+    sweep.add_argument("--duration", type=float, default=3600.0)
+    sweep.add_argument("--rate", type=float, default=8.0,
+                       help="expected faults per node-hour")
+    sweep.add_argument("--intensity", type=float, default=0.7,
+                       help="fault magnitude scale in (0, 1]")
+    sweep.add_argument("--policies", choices=("on", "off"),
+                       default="on",
+                       help="base degradation arm (grid axis "
+                            "policies=on,off sweeps both)")
+    sweep.add_argument("--seeds", default="0",
+                       help="seed list, e.g. 0,1,2 or 0:8 (half-open "
+                            "range), or a mix")
+    sweep.add_argument("--grid", action="append", metavar="AXIS=V1,V2",
+                       help="add a config grid axis (repeatable): "
+                            "nodes, duration, rate, intensity, "
+                            "base_rate, step, policies")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="concurrent worker processes (default 1)")
+    sweep.add_argument("--max-retries", type=int, default=1,
+                       help="per-task retries after a worker crash "
+                            "(default 1)")
+    sweep.add_argument("--report-json", default=None,
+                       help="write the canonical-JSON aggregate "
+                            "report to this path")
+    sweep.add_argument("--snapshot-root", default=None,
+                       help="give every task a crash-safe snapshot "
+                            "directory under this root")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-campaign progress lines")
     return parser
 
 
@@ -393,6 +523,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
+    "sweep": _cmd_sweep,
 }
 
 

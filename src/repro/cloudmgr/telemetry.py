@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
@@ -90,11 +90,19 @@ class RollingWindow:
         return self._values[-1] if self._values else None
 
     def is_anomalous(self, value: float, k_sigma: float = 3.0,
-                     min_samples: int = 10) -> bool:
-        """Whether ``value`` sits outside the EWMA ± k·sigma band."""
+                     min_samples: int = 10,
+                     rel_floor: float = 1e-6) -> bool:
+        """Whether ``value`` sits outside the EWMA ± k·sigma band.
+
+        The band never collapses below ``rel_floor`` of the EWMA
+        magnitude: a perfectly constant series has zero variance, and
+        without the relative floor any ulp-level jitter on it would be
+        flagged as anomalous.
+        """
         if len(self._values) < min_samples or self._ewma is None:
             return False
-        band = max(self.std * k_sigma, 1e-9)
+        band = max(self.std * k_sigma,
+                   rel_floor * abs(self._ewma), 1e-9)
         return abs(value - self._ewma) > band
 
     def state_dict(self) -> Dict[str, object]:
@@ -115,15 +123,33 @@ class RollingWindow:
 
 
 class TelemetryService:
-    """Collects and indexes VM/node samples for the control plane."""
+    """Collects and indexes VM/node samples for the control plane.
 
-    def __init__(self, window: int = 120) -> None:
+    Per-series sample history is *bounded*: each VM/node keeps at most
+    ``retention`` samples (defaulting to the rolling-window length), so
+    neither resident memory nor :meth:`state_dict` size grows with
+    campaign duration.  The anomaly log is likewise capped at a multiple
+    of the retention so a pathological series cannot grow it without
+    bound either.
+    """
+
+    def __init__(self, window: int = 120,
+                 retention: Optional[int] = None) -> None:
+        if retention is not None and retention < 1:
+            raise ConfigurationError("retention must be >= 1")
         self._window = window
-        self._vm_samples: Dict[str, List[VMSample]] = {}
-        self._node_samples: Dict[str, List[NodeSample]] = {}
+        self._retention = retention if retention is not None else window
+        self._anomaly_cap = max(1024, 8 * self._retention)
+        self._vm_samples: Dict[str, Deque[VMSample]] = {}
+        self._node_samples: Dict[str, Deque[NodeSample]] = {}
         self._vm_windows: Dict[Tuple[str, str], RollingWindow] = {}
         self._node_windows: Dict[Tuple[str, str], RollingWindow] = {}
-        self.anomalies: List[str] = []
+        self.anomalies: Deque[str] = deque(maxlen=self._anomaly_cap)
+
+    @property
+    def retention(self) -> int:
+        """Maximum samples retained per VM/node series."""
+        return self._retention
 
     # -- ingestion -----------------------------------------------------------
 
@@ -132,9 +158,14 @@ class TelemetryService:
             table[key] = RollingWindow(maxlen=self._window)
         return table[key]
 
+    def _series_for(self, table: Dict, key: str) -> Deque:
+        if key not in table:
+            table[key] = deque(maxlen=self._retention)
+        return table[key]
+
     def record_vm(self, sample: VMSample) -> None:
         """Ingest one per-VM sample (and check for anomalies)."""
-        self._vm_samples.setdefault(sample.vm_name, []).append(sample)
+        self._series_for(self._vm_samples, sample.vm_name).append(sample)
         for metric, value in (
             ("cpu", sample.cpu_utilization),
             ("mem", sample.memory_mb),
@@ -151,7 +182,7 @@ class TelemetryService:
 
     def record_node(self, sample: NodeSample) -> None:
         """Ingest one per-node sample (and check for anomalies)."""
-        self._node_samples.setdefault(sample.node, []).append(sample)
+        self._series_for(self._node_samples, sample.node).append(sample)
         for metric, value in (
             ("util", sample.utilization),
             ("power", sample.power_w),
@@ -191,12 +222,18 @@ class TelemetryService:
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        """Restore the service saved by :meth:`state_dict`."""
+        """Restore the service saved by :meth:`state_dict`.
+
+        Series longer than the current retention cap (e.g. a snapshot
+        written by an uncapped service) keep their newest samples.
+        """
         self._vm_samples = {
-            str(name): [VMSample(**s) for s in samples]
+            str(name): deque((VMSample(**s) for s in samples),
+                             maxlen=self._retention)
             for name, samples in state["vm_samples"].items()}  # type: ignore[union-attr]
         self._node_samples = {
-            str(name): [NodeSample(**s) for s in samples]
+            str(name): deque((NodeSample(**s) for s in samples),
+                             maxlen=self._retention)
             for name, samples in state["node_samples"].items()}  # type: ignore[union-attr]
         self._vm_windows = {}
         for name, metric, window_state in state["vm_windows"]:  # type: ignore[misc]
@@ -208,7 +245,8 @@ class TelemetryService:
             window = RollingWindow(maxlen=self._window)
             window.load_state_dict(window_state)
             self._node_windows[(str(name), str(metric))] = window
-        self.anomalies = [str(a) for a in state["anomalies"]]  # type: ignore[union-attr]
+        self.anomalies = deque((str(a) for a in state["anomalies"]),  # type: ignore[union-attr]
+                               maxlen=self._anomaly_cap)
 
     # -- queries ------------------------------------------------------------
 
@@ -226,8 +264,8 @@ class TelemetryService:
 
     def recent_error_rate(self, node: str, samples: int = 10) -> float:
         """Mean correctable-error count over the last ``samples`` samples."""
-        history = self._node_samples.get(node, [])
+        history = self._node_samples.get(node)
         if not history:
             return 0.0
-        recent = history[-samples:]
+        recent = list(history)[-samples:]
         return sum(s.correctable_errors for s in recent) / len(recent)

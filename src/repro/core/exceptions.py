@@ -87,5 +87,9 @@ class PersistenceError(UniServerError):
     """A snapshot, journal or state restore operation failed."""
 
 
+class SweepError(UniServerError):
+    """A sweep worker failed permanently after its bounded retries."""
+
+
 class InvariantViolation(PersistenceError):
     """A cross-layer state invariant did not hold (strict auditor mode)."""

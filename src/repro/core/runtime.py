@@ -143,14 +143,19 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Fold one sample into a histogram series."""
+        self.histogram(name).observe(value)
+
+    def histogram(self, name: str) -> HistogramStats:
+        """The live summary of a histogram series.
+
+        A never-observed series is registered on first access, so
+        observations folded into the returned instance are never lost
+        (returning a detached ``HistogramStats`` silently dropped them).
+        """
         stats = self._histograms.get(name)
         if stats is None:
             stats = self._histograms[name] = HistogramStats()
-        stats.observe(value)
-
-    def histogram(self, name: str) -> HistogramStats:
-        """The summary of a histogram series (empty when never observed)."""
-        return self._histograms.get(name, HistogramStats())
+        return stats
 
     # -- introspection -----------------------------------------------------
 

@@ -23,10 +23,11 @@ migration, a reboot) and to *measure* outcomes (SLA accounting).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import asdict, dataclass, replace
 from enum import Enum
 from types import SimpleNamespace
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.exceptions import ConfigurationError
 
@@ -112,6 +113,11 @@ class NodeView:
     optimistic reservations for placements issued since).
     """
 
+    #: Reported (timestamp, reliability) pairs retained for the
+    #: windowed reliability query; at the default 60 s heartbeat period
+    #: this spans over two hours of reports.
+    RELIABILITY_HISTORY = 128
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.state = NodeStatus.HEALTHY
@@ -120,6 +126,8 @@ class NodeView:
         self.last_seen_s: Optional[float] = None
         self._reserved_vcpus = 0
         self._reserved_mb = 0.0
+        self._reliability_reports: Deque[Tuple[float, float]] = deque(
+            maxlen=self.RELIABILITY_HISTORY)
 
     # -- belief updates ----------------------------------------------------
 
@@ -130,6 +138,8 @@ class NodeView:
         self.missed = 0
         self._reserved_vcpus = 0
         self._reserved_mb = 0.0
+        self._reliability_reports.append(
+            (heartbeat.timestamp, heartbeat.metrics.reliability))
 
     def reserve(self, vcpus: int, memory_mb: float) -> None:
         """Optimistically debit capacity for a placement just issued."""
@@ -147,6 +157,8 @@ class NodeView:
             "last_seen_s": self.last_seen_s,
             "reserved_vcpus": self._reserved_vcpus,
             "reserved_mb": self._reserved_mb,
+            "reliability_reports": [list(pair) for pair
+                                    in self._reliability_reports],
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -159,6 +171,10 @@ class NodeView:
         self.last_seen_s = None if seen is None else float(seen)  # type: ignore[arg-type]
         self._reserved_vcpus = int(state["reserved_vcpus"])  # type: ignore[arg-type]
         self._reserved_mb = float(state["reserved_mb"])  # type: ignore[arg-type]
+        self._reliability_reports = deque(
+            ((float(stamp), float(value)) for stamp, value
+             in state.get("reliability_reports", [])),  # type: ignore[union-attr]
+            maxlen=self.RELIABILITY_HISTORY)
 
     # -- the scheduling surface (duck-typing ComputeNode) ------------------
 
@@ -192,8 +208,25 @@ class NodeView:
                        free_memory_mb=self.free_memory_mb())
 
     def reliability(self, window_s: float = 3600.0) -> float:
-        """Last reported reliability metric."""
-        return self.metrics().reliability
+        """Worst reliability reported within the last ``window_s``.
+
+        The window is anchored at the newest received heartbeat (a
+        belief has no "now" of its own) and the *minimum* report inside
+        it is returned — the conservative reading of the ground-truth
+        semantics, where every fault inside the window still dents the
+        score.  Mirrors ``ComputeNode.reliability(window_s)`` so the
+        duck-typed scheduler surface windows the same way.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("reliability window must be positive")
+        latest = self.metrics().reliability
+        if not self._reliability_reports:
+            return latest
+        anchor = self._reliability_reports[-1][0]
+        since = anchor - window_s
+        in_window = [value for stamp, value in self._reliability_reports
+                     if stamp >= since]
+        return min(in_window) if in_window else latest
 
     def utilization(self) -> float:
         """Last reported utilization."""

@@ -239,3 +239,56 @@ class TestNodeHealthView:
         # The next heartbeat clears optimistic reservations.
         health.observe(node.heartbeat())
         assert view.free_vcpus() == before
+
+
+class TestNodeViewWindowedReliability:
+    @staticmethod
+    def _view_with_reports(reports):
+        from dataclasses import replace
+
+        health = NodeHealthView()
+        health.register("node0")
+        view = health.view("node0")
+        template = make_node().heartbeat()
+        for stamp, reliability in reports:
+            view.observe(replace(
+                template, timestamp=stamp,
+                metrics=replace(template.metrics,
+                                reliability=reliability)))
+        return view
+
+    def test_window_excludes_old_reports(self):
+        view = self._view_with_reports(
+            [(0.0, 0.5), (1000.0, 0.9), (2000.0, 0.95)])
+        # Anchored at the newest report (t=2000): a 1500 s window
+        # covers t >= 500 and must not see the 0.5 dip at t=0.
+        assert view.reliability(window_s=1500.0) == 0.9
+        assert view.reliability(window_s=50.0) == 0.95
+
+    def test_window_returns_minimum_inside(self):
+        view = self._view_with_reports(
+            [(0.0, 0.5), (1000.0, 0.9), (2000.0, 0.95)])
+        assert view.reliability(window_s=3600.0) == 0.5
+        assert view.reliability() == 0.5  # default window is 3600 s
+
+    def test_window_must_be_positive(self):
+        view = self._view_with_reports([(0.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            view.reliability(window_s=0.0)
+
+    def test_reports_survive_state_dict_round_trip(self):
+        view = self._view_with_reports([(0.0, 0.4), (100.0, 0.9)])
+        restored = NodeHealthView()
+        restored.register("node0")
+        restored.view("node0").load_state_dict(view.state_dict())
+        assert restored.view("node0").reliability(window_s=200.0) == 0.4
+
+    def test_old_snapshots_without_reports_still_load(self):
+        view = self._view_with_reports([(0.0, 0.4)])
+        state = view.state_dict()
+        del state["reliability_reports"]
+        restored = NodeHealthView()
+        restored.register("node0")
+        restored.view("node0").load_state_dict(state)
+        # Without history the latest reported metric answers.
+        assert restored.view("node0").reliability() == 0.4

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_grid, _parse_seeds, build_parser, main
 
 
 class TestParser:
@@ -14,9 +14,19 @@ class TestParser:
         parser = build_parser()
         for command in ("quickstart", "characterize", "refresh",
                         "figure4", "population", "tco", "edge",
-                        "validate", "metrics", "chaos"):
+                        "validate", "metrics", "chaos", "sweep"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seeds == "0"
+        assert args.jobs == 1
+        assert args.max_retries == 1
+
+    def test_chaos_accepts_jobs(self):
+        args = build_parser().parse_args(["chaos", "--jobs", "2"])
+        assert args.jobs == 2
 
     def test_characterize_chip_choices(self):
         parser = build_parser()
@@ -92,3 +102,44 @@ class TestCommands:
             assert set(node_snapshot) == {"counters", "gauges",
                                           "histograms"}
         assert "layers:" in captured.err
+
+    def test_sweep_small_run_writes_report(self, capsys, tmp_path):
+        report_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--nodes", "2", "--duration", "240",
+                     "--seeds", "0", "--quiet",
+                     "--report-json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 1 campaigns" in out
+        assert "report sha256:" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["rows"][0]["ok"] is True
+        assert "base" in report["summary"]
+
+    def test_sweep_rejects_bad_grid(self, capsys):
+        assert main(["sweep", "--grid", "voltage=1.0"]) == 2
+        assert "unknown grid axis" in capsys.readouterr().err
+
+
+class TestSweepParsing:
+    def test_parse_seeds_mixed(self):
+        assert _parse_seeds("0,1,4:8") == (0, 1, 4, 5, 6, 7)
+
+    def test_parse_seeds_empty_raises(self):
+        with pytest.raises(ValueError):
+            _parse_seeds(" , ")
+
+    def test_parse_grid_types_values(self):
+        grid = _parse_grid(["nodes=2,4", "rate=6.0,12.0",
+                            "policies=on,off"])
+        assert grid == {"nodes": [2, 4], "rate": [6.0, 12.0],
+                        "policies": ["on", "off"]}
+
+    def test_parse_grid_rejects_unknown_axis(self):
+        with pytest.raises(ValueError):
+            _parse_grid(["voltage=1.0"])
+
+    def test_parse_grid_requires_values(self):
+        with pytest.raises(ValueError):
+            _parse_grid(["nodes"])

@@ -108,6 +108,23 @@ class TestRollingWindow:
         with pytest.raises(ConfigurationError):
             RollingWindow(alpha=0.0)
 
+    def test_zero_variance_band_has_relative_floor(self):
+        window = RollingWindow(alpha=0.2)
+        for _ in range(30):
+            window.push(1e6)
+        # A constant series has zero variance; without the relative
+        # floor the band collapses to 1e-9 and ulp-level jitter on a
+        # large-magnitude series reads as anomalous.
+        assert window.is_anomalous(1e6 * (1 + 1e-9)) is False
+        assert window.is_anomalous(1e6 * 1.01) is True
+
+    def test_relative_floor_scales_with_magnitude(self):
+        window = RollingWindow(alpha=0.2)
+        for _ in range(30):
+            window.push(100.0)
+        assert window.is_anomalous(100.0 + 5e-5) is False
+        assert window.is_anomalous(100.0 + 5e-5, rel_floor=1e-9) is True
+
 
 class TestTelemetryService:
     def test_records_and_queries(self):
@@ -145,3 +162,91 @@ class TestTelemetryService:
         svc = TelemetryService()
         assert svc.node_history("ghost") == []
         assert svc.recent_error_rate("ghost") == 0.0
+
+
+def _node_sample(i, node="n0", ce=0):
+    return NodeSample(timestamp=float(i), node=node, utilization=0.5,
+                      power_w=40.0, reliability=1.0,
+                      correctable_errors=ce)
+
+
+def _vm_sample(i, vm="vm0"):
+    return VMSample(timestamp=float(i), vm_name=vm, node="n0",
+                    cpu_utilization=0.6, memory_mb=1000.0,
+                    progress_rate=0.01)
+
+
+class TestTelemetryRetention:
+    def test_node_series_bounded_at_retention(self):
+        svc = TelemetryService(window=20)
+        assert svc.retention == 20
+        for i in range(100):
+            svc.record_node(_node_sample(i))
+        history = svc.node_history("n0")
+        assert len(history) == 20
+        # Newest samples win.
+        assert history[0].timestamp == 80.0
+        assert history[-1].timestamp == 99.0
+
+    def test_vm_series_bounded_at_retention(self):
+        svc = TelemetryService(window=20, retention=5)
+        assert svc.retention == 5
+        for i in range(50):
+            svc.record_vm(_vm_sample(i))
+        assert len(svc.vm_history("vm0")) == 5
+
+    def test_retention_validation(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryService(retention=0)
+
+    def test_recent_error_rate_sees_newest_samples(self):
+        svc = TelemetryService(window=10)
+        for i in range(100):
+            svc.record_node(_node_sample(i, ce=0))
+        for i in range(100, 110):
+            svc.record_node(_node_sample(i, ce=3))
+        assert svc.recent_error_rate("n0") == pytest.approx(3.0)
+
+    def test_anomaly_log_is_bounded(self):
+        svc = TelemetryService(window=10)
+        assert svc.anomalies.maxlen == max(1024, 8 * svc.retention)
+
+    def test_state_dict_size_independent_of_duration(self):
+        short = TelemetryService(window=10)
+        long = TelemetryService(window=10)
+        for i in range(50):
+            short.record_node(_node_sample(i))
+        for i in range(500):  # 10x the samples, same retention
+            long.record_node(_node_sample(i))
+        assert (len(long.state_dict()["node_samples"]["n0"])
+                == len(short.state_dict()["node_samples"]["n0"]))
+
+    def test_load_state_dict_caps_oversized_series(self):
+        uncapped = TelemetryService(window=200)
+        for i in range(150):
+            uncapped.record_node(_node_sample(i))
+        capped = TelemetryService(window=10)
+        capped.load_state_dict(uncapped.state_dict())
+        history = capped.node_history("n0")
+        assert len(history) == 10
+        assert history[-1].timestamp == 149.0  # newest kept
+
+    def test_round_trip_preserves_queries(self):
+        svc = TelemetryService(window=10)
+        for i in range(30):
+            svc.record_node(_node_sample(i, ce=i % 3))
+        restored = TelemetryService(window=10)
+        restored.load_state_dict(svc.state_dict())
+        assert restored.node_history("n0") == svc.node_history("n0")
+        assert (restored.recent_error_rate("n0")
+                == svc.recent_error_rate("n0"))
+
+    def test_compute_node_telemetry_bounded_over_long_runs(self):
+        """Regression: node-local telemetry must not grow with uptime."""
+        clock = SimClock()
+        node = ComputeNode("n0", clock, seed=1)
+        cap = node.local_telemetry.retention
+        for _ in range(cap * 3):
+            node.heartbeat()
+            clock.advance_by(60.0)
+        assert len(node.local_telemetry.node_history("n0")) == cap

@@ -99,6 +99,18 @@ class TestMetricsRegistry:
         assert stats.min_value == 1.0
         assert stats.max_value == 3.0
 
+    def test_histogram_registers_on_first_access(self):
+        registry = MetricsRegistry()
+        stats = registry.histogram("daemons.predictor.latency_s")
+        assert stats.count == 0
+        # The returned summary is the live registered series, not a
+        # detached throwaway: observations through it are visible.
+        stats.observe(2.0)
+        assert registry.histogram("daemons.predictor.latency_s") is stats
+        assert "daemons.predictor.latency_s" in registry.series_names()
+        assert registry.snapshot()["histograms"][
+            "daemons.predictor.latency_s"]["count"] == 1
+
     def test_empty_histogram_dict_is_all_zero(self):
         assert HistogramStats().as_dict() == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,

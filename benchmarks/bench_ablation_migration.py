@@ -16,6 +16,7 @@ from conftest import run_once
 from repro.analysis import render_table
 from repro.cloudmgr import CloudController, SILVER, build_rack
 from repro.core.clock import SimClock
+from repro.eop import EOPPolicy
 from repro.hypervisor.vm import VirtualMachine
 from repro.workloads import spec_workload
 
@@ -31,7 +32,8 @@ def _run_rack(proactive):
     # reviews running — but deployed at nominal (margins applied below
     # by hand, not from the EOP tables).
     nodes = build_rack(N_NODES, clock=clock, seed=100,
-                       characterize=True, apply_margins=False)
+                       characterize=True,
+                       eop_policy=EOPPolicy.conservative())
     cloud = CloudController(clock, nodes,
                             proactive_migration=proactive,
                             node_recovery_s=60.0)

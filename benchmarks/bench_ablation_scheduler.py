@@ -20,6 +20,7 @@ from repro.analysis import render_table
 from repro.cloudmgr import CloudController, RoundRobinScheduler, build_rack
 from repro.cloudmgr.simulation import TraceDrivenSimulation
 from repro.core.clock import SimClock
+from repro.eop import EOPPolicy
 from repro.workloads.traces import TraceConfig, TraceGenerator
 
 DURATION_S = 12 * 3600.0
@@ -32,7 +33,8 @@ def _run(scheduler_factory, trace_seed=17):
     # Full UniServer nodes (Predictor + IsolationManager active),
     # deployed at nominal; degradation is applied by hand below.
     nodes = build_rack(N_NODES, clock=clock, seed=300,
-                       characterize=True, apply_margins=False)
+                       characterize=True,
+                       eop_policy=EOPPolicy.conservative())
     cloud = CloudController(clock, nodes, proactive_migration=False)
     if scheduler_factory is not None:
         cloud.scheduler = scheduler_factory()

@@ -1,0 +1,120 @@
+"""Bench — closed-loop EOP governor vs one-shot margin adoption.
+
+The acceptance bar for ``repro.eop``: under a deterministic
+error-injecting campaign the supervising governor must demote every
+breaching component within a bounded number of ticks, while an
+identically-seeded one-shot arm (adopt once, never supervise) sails on
+at the breaching operating points.  Demoting must not cost the farm:
+the governed arm has to retain at least 80% of the energy saving a
+clean (error-free) run of the same policy achieves.
+
+Determinism is part of the bar: two same-seed runs must reduce to
+byte-identical canonical-JSON reports, and a campaign snapshotted
+mid-run and resumed must land on the governor state table of the
+uninterrupted run.
+
+Scale knobs from the environment:
+
+``EOP_BENCH_DURATION``  campaign seconds (default 1800)
+``EOP_BENCH_SMOKE``     set to 1 for the short CI profile (600 s)
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.eop import (
+    EOPCampaignConfig,
+    ErrorInjection,
+    resume_eop_campaign,
+    run_eop_campaign,
+)
+from repro.persistence import canonical_json
+
+SMOKE = os.environ.get("EOP_BENCH_SMOKE", "") == "1"
+DURATION_S = (600.0 if SMOKE else
+              float(os.environ.get("EOP_BENCH_DURATION", "1800")))
+STEP_S = 30.0
+SEED = 3
+N_VMS = 2 if SMOKE else 4
+
+#: Two storms, one per component kind, both hot enough to blow the
+#: ten-errors-in-300-s HealthLog threshold within a single step.
+INJECTIONS = (
+    ErrorInjection("core2", start_s=120.0, duration_s=120.0,
+                   rate_per_s=0.5),
+    ErrorInjection("channel2", start_s=300.0, duration_s=120.0,
+                   rate_per_s=0.5),
+)
+
+#: Demotion must land within one supervision step of the breach.
+MAX_DEMOTION_DELAY_S = 2 * STEP_S
+
+#: Governed arm keeps at least this much of the clean-run saving.
+MIN_SAVING_RETENTION = 0.8
+
+
+def _config(policy, injections=INJECTIONS):
+    return EOPCampaignConfig(
+        duration_s=DURATION_S, step_s=STEP_S, seed=SEED,
+        policy=policy, n_vms=N_VMS, injections=injections)
+
+
+def _rows(result):
+    return [[row["component"], row["kind"], row["state"],
+             row["demotions"]] for row in result.state_table]
+
+
+def test_governor_demotes_breaching_components(benchmark, emit):
+    governed = run_once(
+        benchmark, lambda: run_eop_campaign(_config("adopt-within-budget")))
+    one_shot = run_eop_campaign(_config("one-shot"))
+    clean = run_eop_campaign(_config("adopt-within-budget",
+                                     injections=()))
+
+    # Every injected component demoted, within the bounded window.
+    for injection in INJECTIONS:
+        delay = governed.demotion_delay_s.get(injection.component)
+        assert delay is not None, \
+            f"{injection.component} breached but was never demoted"
+        assert delay <= MAX_DEMOTION_DELAY_S
+    assert governed.demotions >= len(INJECTIONS)
+
+    # The one-shot arm adopts identically but never reacts.
+    assert one_shot.adopted == governed.adopted
+    assert one_shot.demotions == 0
+    assert one_shot.state_counts["demoted"] == 0
+
+    # Rolling back the breaching components keeps most of the saving.
+    assert clean.demotions == 0
+    assert governed.energy_saving_fraction >= \
+        MIN_SAVING_RETENTION * clean.energy_saving_fraction
+
+    emit("eop_governor", "\n".join([
+        governed.describe(), "", one_shot.describe(), "",
+        f"clean-run saving: {clean.energy_saving_fraction:.4f} "
+        f"(retention bar {MIN_SAVING_RETENTION:.0%})", "",
+        render_table(
+            "governed arm: final state table",
+            ["component", "kind", "state", "demotions"],
+            _rows(governed)),
+    ]))
+
+
+def test_same_seed_runs_are_byte_identical():
+    first = run_eop_campaign(_config("adopt-within-budget"))
+    second = run_eop_campaign(_config("adopt-within-budget"))
+    assert canonical_json(first.as_dict()) == \
+        canonical_json(second.as_dict())
+
+
+def test_snapshot_resume_reproduces_state_table():
+    config = _config("adopt-within-budget")
+    full = run_eop_campaign(config, snapshot_at_s=DURATION_S / 2)
+    assert full.snapshot is not None
+    resumed = resume_eop_campaign(config, full.snapshot)
+    assert resumed.state_table == full.state_table
+    assert resumed.state_counts == full.state_counts
+    assert resumed.demotions == full.demotions
+    assert resumed.energy_saving_fraction == full.energy_saving_fraction

@@ -17,6 +17,7 @@ command          what it runs
 ``metrics``      seeded rack run, cross-layer metrics dump (JSON)
 ``chaos``        seeded control-plane chaos campaign (policies A/B)
 ``sweep``        parallel multi-seed campaign sweep over a config grid
+``eop``          error-injecting EOP-governor campaign, state table
 ===============  ======================================================
 """
 
@@ -321,6 +322,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eop(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .core.exceptions import ConfigurationError
+    from .eop import EOPCampaignConfig, ErrorInjection, run_eop_campaign
+
+    try:
+        injections = tuple(ErrorInjection.parse(spec)
+                           for spec in args.inject or [])
+        config = EOPCampaignConfig(
+            duration_s=args.duration, step_s=args.step, seed=args.seed,
+            policy=args.policy, n_vms=args.vms,
+            error_budget=args.error_budget, probation_s=args.probation,
+            injections=injections)
+        config.build_policy()  # surface bad policy names before the run
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_eop_campaign(config)
+    print(result.describe())
+    print()
+    print(render_table(
+        f"EOP governor state table ({config.policy})",
+        ["component", "kind", "state", "demotions", "p(fail)",
+         "target", "last reason"],
+        [[row["component"], row["kind"], row["state"], row["demotions"],
+          f"{row['failure_probability']:.2e}"
+          if row["failure_probability"] is not None else "n/a",
+          row["target"] or "nominal", row["reason"] or ""]
+         for row in result.state_table],
+    ))
+    if args.report_json:
+        from .persistence import canonical_json, payload_checksum
+
+        payload = result.as_dict()
+        report = {"config": config.as_dict(), "result": payload,
+                  "checksum": payload_checksum(payload)}
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report))
+            handle.write("\n")
+    if result.demotions < args.expect_demotions:
+        print(f"error: expected >= {args.expect_demotions} demotion(s), "
+              f"saw {result.demotions}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _parse_seeds(text: str):
     """``0,1,4:8`` -> (0, 1, 4, 5, 6, 7); ranges are half-open."""
     seeds = []
@@ -509,6 +556,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory under this root")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-campaign progress lines")
+    eop = sub.add_parser(
+        "eop", help="error-injecting EOP-governor campaign")
+    eop.add_argument("--duration", type=float, default=1800.0)
+    eop.add_argument("--step", type=float, default=30.0)
+    eop.add_argument("--vms", type=int, default=4)
+    eop.add_argument("--policy",
+                     choices=("conservative", "adopt-within-budget",
+                              "aggressive", "one-shot"),
+                     default="adopt-within-budget",
+                     help="governor stance (default adopt-within-budget)")
+    eop.add_argument("--error-budget", type=int, default=None,
+                     help="override the policy's per-window error budget")
+    eop.add_argument("--probation", type=float, default=None,
+                     help="override the policy's probation window (s)")
+    eop.add_argument("--inject", action="append",
+                     metavar="COMPONENT:START:DURATION:RATE",
+                     help="deterministic correctable-error storm "
+                          "(repeatable), e.g. core2:120:120:0.5")
+    eop.add_argument("--expect-demotions", type=int, default=0,
+                     help="exit nonzero unless at least this many "
+                          "demotions happened")
+    eop.add_argument("--report-json", default=None,
+                     help="write the canonical-JSON campaign report "
+                          "to this path")
     return parser
 
 
@@ -524,6 +595,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
     "sweep": _cmd_sweep,
+    "eop": _cmd_eop,
 }
 
 

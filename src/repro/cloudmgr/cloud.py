@@ -134,7 +134,9 @@ class CloudController:
                 failure_threshold=self.degradation.breaker_threshold,
                 cooldown_s=self.degradation.breaker_cooldown_s,
             )
-            node.stale_fallback_s = self.degradation.stale_info_fallback_s
+            # Arm the governor's stale-telemetry conservative fallback.
+            node.governor.stale_fallback_s = \
+                self.degradation.stale_info_fallback_s
             if predictor is not None:
                 node.risk_predictor = predictor
         #: Controller-side jitter stream (retry backoff decorrelation).

@@ -21,13 +21,14 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.clock import SimClock
 from ..core.coordinator import UniServerNode
-from ..core.eop import OperatingPoint
 from ..core.events import EventBus
 from ..core.exceptions import ConfigurationError, IsolationError
 from ..core.runtime import NodeRuntime, spawn_runtimes
 from ..daemons.healthlog import HealthLog
 from ..daemons.predictor import Predictor
 from ..daemons.stresslog import StressLog
+from ..eop.governor import EOPGovernor
+from ..eop.policy import EOPPolicy, EOPState
 from ..hardware.faults import FaultClass
 from ..hardware.platform import ServerPlatform
 from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
@@ -67,15 +68,15 @@ class ComputeNode:
     unified lifecycle:
 
     * ``characterize=True`` runs the pre-deployment StressLog cycle,
-      deploys (adopting the EOPs unless ``apply_margins=False``) and
+      deploys under ``eop_policy`` (adopt-within-budget by default) and
       trains the node Predictor from the stress evidence;
     * ``characterize=False`` (the default, and the old behaviour)
       deploys conservatively at nominal with no offline campaign.
 
     Either way the node carries the complete stack — HealthLog,
-    StressLog, Predictor, Hypervisor, IsolationManager, QoSGuard — and
-    :meth:`step` runs periodic isolation reviews alongside hypervisor
-    ticks.
+    StressLog, Predictor, Hypervisor, IsolationManager, QoSGuard, EOP
+    governor — and :meth:`step` runs governor supervision and periodic
+    isolation reviews alongside hypervisor ticks.
     """
 
     def __init__(self, name: str, clock: Optional[SimClock] = None,
@@ -84,7 +85,7 @@ class ComputeNode:
                  seed: int = 0,
                  runtime: Optional[NodeRuntime] = None,
                  characterize: bool = False,
-                 apply_margins: bool = True,
+                 eop_policy: Optional[EOPPolicy] = None,
                  isolation_review_every_s: float = 60.0) -> None:
         if isolation_review_every_s <= 0:
             raise ConfigurationError(
@@ -115,16 +116,15 @@ class ComputeNode:
         #: no risk verdict) / recovery commands are silently swallowed.
         self.predictor_down = False
         self.recovery_stuck = False
-        #: Info vectors older than this trigger the conservative
-        #: fallback to nominal guard-banded V-F-R (None disables).
-        self.stale_fallback_s: Optional[float] = None
-        self._fallback_saved = None
+        if eop_policy is None:
+            eop_policy = (EOPPolicy.adopt_within_budget() if characterize
+                          else EOPPolicy.conservative())
         if characterize:
             self.node.pre_deploy()
-            self.node.deploy(apply_margins=apply_margins)
+            self.node.deploy(eop_policy)
             self.node.train_predictor(include_campaign=False)
         else:
-            self.node.deploy(apply_margins=False)
+            self.node.deploy(eop_policy)
 
     # -- the wrapped stack -------------------------------------------------
 
@@ -172,6 +172,25 @@ class ComputeNode:
     def qos(self) -> QoSGuard:
         """Per-VM QoS guarantees gating local EOP adoption."""
         return self.node.qos
+
+    @property
+    def governor(self) -> EOPGovernor:
+        """The node's EOP governor (supervised margin adoption)."""
+        return self.node.governor
+
+    @property
+    def stale_fallback_s(self) -> Optional[float]:
+        """Telemetry-staleness horizon of the conservative fallback.
+
+        Delegates to the governor, which owns the fallback since the
+        one-shot era; kept as a node attribute because the cloud
+        controller's degradation config arms it per-node.
+        """
+        return self.node.governor.stale_fallback_s
+
+    @stale_fallback_s.setter
+    def stale_fallback_s(self, value: Optional[float]) -> None:
+        self.node.governor.stale_fallback_s = value
 
     # -- capacity ---------------------------------------------------------
 
@@ -224,7 +243,9 @@ class ComputeNode:
         """The UniServer-added node reliability metric in [0, 1].
 
         Derived from the recent error history: correctable errors dent the
-        score mildly, uncorrectable errors and crashes heavily.
+        score mildly, uncorrectable errors and crashes heavily.  Governor
+        state folds in on top — a node whose extended points are being
+        demoted or quarantined is advertising its own margins as suspect.
         """
         now = self.clock.now
         since = now - window_s
@@ -235,6 +256,9 @@ class ComputeNode:
             fault_class=FaultClass.SILENT_DATA_CORRUPTION, since=since)
         crash = ledger.count(fault_class=FaultClass.CRASH, since=since)
         penalty = 0.002 * ce + 0.05 * ue + 0.05 * sdc + 0.25 * crash
+        counts = self.governor.counts()
+        penalty += (0.02 * counts[EOPState.DEMOTED.value]
+                    + 0.05 * counts[EOPState.QUARANTINED.value])
         return max(0.0, 1.0 - penalty)
 
     def frequency_fraction(self) -> float:
@@ -316,6 +340,7 @@ class ComputeNode:
             for vm in self.hypervisor.active_vms()
         )
         self.runtime.metrics.inc("resilience.heartbeats.emitted")
+        counts = self.governor.counts()
         return Heartbeat(
             timestamp=self.clock.now, node=self.name, metrics=metrics,
             sample=sample, vm_samples=vm_samples, risk=self._assess_risk(),
@@ -324,20 +349,15 @@ class ComputeNode:
                 vm.name for vm in self.hypervisor.active_vms()),
             margin_applications=self.hypervisor.stats.margin_applications,
             failure_budget=self.hypervisor.config.failure_budget,
+            eop_adopted=self.governor.adopted_count(),
+            eop_demoted=counts[EOPState.DEMOTED.value],
+            eop_quarantined=counts[EOPState.QUARANTINED.value],
         )
 
     # -- persistence ---------------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:
         """Serializable node state across every wrapped layer."""
-        fallback = None
-        if self._fallback_saved is not None:
-            core_points, refresh_intervals = self._fallback_saved
-            fallback = {
-                "core_points": {str(core_id): point.as_dict()
-                                for core_id, point in core_points.items()},
-                "refresh_intervals": dict(refresh_intervals),
-            }
         return {
             "runtime": self.runtime.state_dict(),
             "metrics": self.runtime.metrics.state_dict(),
@@ -352,8 +372,7 @@ class ComputeNode:
             "since_review": self._since_review,
             "predictor_down": self.predictor_down,
             "recovery_stuck": self.recovery_stuck,
-            "stale_fallback_s": self.stale_fallback_s,
-            "fallback_saved": fallback,
+            "governor": self.governor.state_dict(),
         }
 
     def load_state_dict(self, state: Dict[str, object],
@@ -378,19 +397,7 @@ class ComputeNode:
         self._since_review = float(state["since_review"])  # type: ignore[arg-type]
         self.predictor_down = bool(state["predictor_down"])
         self.recovery_stuck = bool(state["recovery_stuck"])
-        stale = state["stale_fallback_s"]
-        self.stale_fallback_s = None if stale is None else float(stale)  # type: ignore[arg-type]
-        fallback = state["fallback_saved"]
-        if fallback is None:
-            self._fallback_saved = None
-        else:
-            self._fallback_saved = (
-                {int(core_id): OperatingPoint.from_dict(point)
-                 for core_id, point in fallback["core_points"].items()},  # type: ignore[index]
-                {str(name): float(interval)
-                 for name, interval
-                 in fallback["refresh_intervals"].items()},  # type: ignore[index]
-            )
+        self.governor.load_state_dict(state["governor"])  # type: ignore[arg-type]
 
     # -- execution ----------------------------------------------------------
 
@@ -402,44 +409,12 @@ class ComputeNode:
         except IsolationError:
             self.runtime.metrics.inc("hypervisor.isolation.blocked")
 
-    def _review_fallback(self) -> None:
-        """The paper's conservative-fallback semantics, node-side.
-
-        When the HealthLog info vectors go stale (daemon stalled), the
-        hypervisor can no longer trust that the extended operating
-        points are being monitored: it saves the current configuration
-        and falls back to the nominal guard-banded V-F-R point, then
-        restores the EOPs once telemetry freshens again.
-        """
-        if self.stale_fallback_s is None or self.hypervisor.crashed:
-            return
-        age = self.healthlog.info_vector_age_s()
-        if age > self.stale_fallback_s and self._fallback_saved is None:
-            self._fallback_saved = (
-                {core.core_id: self.platform.core_point(core.core_id)
-                 for core in self.platform.chip.cores},
-                {domain.name: domain.refresh_interval_s
-                 for domain in self.platform.memory.domains()
-                 if not domain.reliable},
-            )
-            self.platform.reset_nominal()
-            self.runtime.metrics.inc("resilience.fallback.engaged")
-        elif age <= self.stale_fallback_s and self._fallback_saved:
-            core_points, refresh_intervals = self._fallback_saved
-            for core_id, point in core_points.items():
-                self.platform.set_core_point(core_id, point)
-            for name, interval in refresh_intervals.items():
-                self.platform.memory.domain(name).set_refresh_interval(
-                    interval)
-            self._fallback_saved = None
-            self.runtime.metrics.inc("resilience.fallback.restored")
-
     def step(self, dt_s: float) -> None:
-        """Advance the node: hypervisor ticks, isolation review,
-        availability accounting."""
+        """Advance the node: governor supervision, hypervisor ticks,
+        isolation review, availability accounting."""
         if dt_s < 0:
             raise ConfigurationError("dt must be non-negative")
-        self._review_fallback()
+        self.governor.step()
         if self.hypervisor.crashed:
             self._downtime_s += dt_s
             return
@@ -482,7 +457,7 @@ class ComputeNode:
 def build_rack(n_nodes: int, clock: Optional[SimClock] = None,
                seed: int = 0, name_prefix: str = "node",
                characterize: bool = False,
-               apply_margins: bool = True,
+               eop_policy: Optional[EOPPolicy] = None,
                hypervisor_config: Optional[HypervisorConfig] = None,
                ) -> List[ComputeNode]:
     """A rack of full UniServer nodes on one shared clock.
@@ -497,6 +472,6 @@ def build_rack(n_nodes: int, clock: Optional[SimClock] = None,
         ComputeNode(runtime.name, runtime=runtime,
                     hypervisor_config=hypervisor_config,
                     characterize=characterize,
-                    apply_margins=apply_margins)
+                    eop_policy=eop_policy)
         for runtime in runtimes
     ]

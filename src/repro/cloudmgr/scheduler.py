@@ -49,12 +49,18 @@ def sla_reliability_filter(node: ComputeNode, vm: VirtualMachine,
                            sla: SLA) -> bool:
     """Node failure budget must fit the SLA.
 
-    Gold-tier VMs refuse nodes whose hypervisor *adopted* aggressive EOPs
-    (budget looser than the SLA's own).  A node still running entirely at
-    nominal points is safe for any tier regardless of its configured
-    budget — it has not spent any margin yet.
+    Gold-tier VMs refuse nodes *currently running* extended operating
+    points under a budget looser than the SLA's own.  A node running
+    entirely at nominal — never adopted, or demoted back by its EOP
+    governor — is safe for any tier regardless of its configured budget:
+    it is not spending any margin right now.
     """
-    if node.hypervisor.stats.margin_applications == 0:
+    governor = getattr(node, "governor", None)
+    if governor is not None:
+        adopted = governor.adopted_count()
+    else:
+        adopted = node.hypervisor.stats.margin_applications
+    if adopted == 0:
         return True
     return node.hypervisor.config.failure_budget <= sla.failure_budget
 

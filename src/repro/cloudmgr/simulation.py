@@ -198,7 +198,7 @@ class RackExperiment:
 def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
                         seed: int = 0,
                         characterize: bool = False,
-                        apply_margins: bool = True,
+                        eop_policy=None,
                         proactive_migration: bool = True,
                         base_rate_per_hour: float = 12.0,
                         step_s: float = 60.0,
@@ -214,7 +214,9 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
     ``degradation`` (a :class:`~repro.resilience.policies.DegradationConfig`)
     tunes the controller's graceful-degradation ladder; ``fault_plan``
     (a :class:`~repro.resilience.chaos.FaultPlan`) attaches a chaos
-    engine injecting control-plane faults against it.
+    engine injecting control-plane faults against it.  ``eop_policy``
+    (a :class:`~repro.eop.EOPPolicy`) sets every node's margin-adoption
+    stance; None keeps the per-node default.
     """
     from ..core.clock import SimClock
     from ..resilience.chaos import ChaosEngine
@@ -225,7 +227,7 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
     clock = SimClock()
     nodes = build_rack(n_nodes, clock=clock, seed=seed,
                        characterize=characterize,
-                       apply_margins=apply_margins)
+                       eop_policy=eop_policy)
     chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
     cloud = CloudController(clock, nodes,
                             proactive_migration=proactive_migration,

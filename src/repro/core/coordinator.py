@@ -26,6 +26,8 @@ from ..daemons.healthlog import HealthLog, HealthLogConfig
 from ..daemons.infovector import InfoVector, MarginVector
 from ..daemons.predictor import Predictor
 from ..daemons.stresslog import StressLog, StressTargets
+from ..eop.governor import EOPGovernor
+from ..eop.policy import EOPPolicy
 from ..hardware.platform import ServerPlatform, build_uniserver_node
 from ..hypervisor.hypervisor import Hypervisor, HypervisorConfig
 from ..hypervisor.isolation import IsolationManager, IsolationPolicy
@@ -74,7 +76,8 @@ class UniServerNode:
                  seed: int = 0,
                  runtime: Optional[NodeRuntime] = None,
                  healthlog_config: Optional[HealthLogConfig] = None,
-                 isolation_policy: Optional[IsolationPolicy] = None) -> None:
+                 isolation_policy: Optional[IsolationPolicy] = None,
+                 eop_policy: Optional[EOPPolicy] = None) -> None:
         if runtime is None:
             runtime = NodeRuntime(name="uniserver0", clock=clock, seed=seed)
         elif clock is not None and clock is not runtime.clock:
@@ -100,6 +103,10 @@ class UniServerNode:
                                           policy=isolation_policy,
                                           runtime=runtime)
         self.qos = QoSGuard(self.hypervisor, runtime=runtime)
+        self.governor = EOPGovernor(
+            self.hypervisor, qos=self.qos, healthlog=self.healthlog,
+            policy=eop_policy or EOPPolicy.adopt_within_budget(),
+            runtime=runtime)
         self.margin_history: List[MarginVector] = []
         self._deployed = False
 
@@ -116,23 +123,27 @@ class UniServerNode:
         self.margin_history.append(margins)
         return margins
 
-    def deploy(self, apply_margins: bool = True) -> List[str]:
-        """Bring the node into service, optionally adopting the EOPs.
+    def deploy(self, policy: Optional[EOPPolicy] = None) -> List[str]:
+        """Bring the node into service under an EOP policy.
 
-        Returns the components whose configuration changed.  With
-        ``apply_margins=False`` the node deploys conservatively at
-        nominal — the baseline configuration of the benches — and no
-        prior characterisation is required.
+        Returns the components whose configuration changed.  ``policy``
+        overrides the governor's stance for the rest of the node's life;
+        with :meth:`EOPPolicy.conservative` the node deploys at nominal —
+        the baseline configuration of the benches — and no prior
+        characterisation is required.
         """
-        if apply_margins and not self.margin_history:
+        if policy is not None:
+            self.governor.policy = policy
+        adopting = self.governor.policy.adopt
+        if adopting and not self.margin_history:
             raise ConfigurationError("run pre_deploy() before deploy()")
         self.hypervisor.boot()
         self.healthlog.start()
         self.stresslog.attach_anomaly_trigger(self.bus)
         self._deployed = True
-        if not apply_margins:
+        if not self.margin_history:
             return []
-        return self.hypervisor.apply_margins(self.margin_history[-1])
+        return self.governor.adopt(self.margin_history[-1]).adopted
 
     def launch_vm(self, vm: VirtualMachine) -> None:
         """Admit one VM onto the node."""
@@ -154,6 +165,7 @@ class UniServerNode:
             elapsed += tick
             since_review += tick
             if since_review >= isolation_review_every_s:
+                self.governor.step()
                 self.isolation.review(self.platform.faults, self.clock.now)
                 since_review = 0.0
 

@@ -68,10 +68,16 @@ class ConfigChangeEvent(Event):
 
 @dataclass(frozen=True)
 class AnomalyEvent(Event):
-    """A daemon flagged anomalous behaviour (triggers StressLog re-test)."""
+    """A daemon flagged anomalous behaviour (triggers StressLog re-test).
+
+    ``component`` names the offending component when the anomaly is
+    attributable (the EOP governor keys demotions on it); empty for
+    system-wide anomalies.
+    """
 
     description: str = ""
     severity: str = "warning"
+    component: str = ""
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,16 @@ class MarginUpdateEvent(Event):
 
     component: str = ""
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class EOPTransitionEvent(Event):
+    """The EOP governor moved a component between lifecycle states."""
+
+    component: str = ""
+    from_state: str = ""
+    to_state: str = ""
+    reason: str = ""
 
 
 E = TypeVar("E", bound=Event)

@@ -223,6 +223,7 @@ class HealthLog:
                     f"{self.config.error_window_s:.0f}s; stress re-test advised"
                 ),
                 severity="critical",
+                component=component,
             ))
 
     def clear_flag(self, component: str) -> None:

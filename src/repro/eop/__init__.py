@@ -1,0 +1,31 @@
+"""The EOP control plane: supervised, transactional margin adoption.
+
+This package closes the paper's Fig. 2 feedback loop.  Margin vectors
+out of the StressLog no longer mutate the platform irreversibly; the
+per-node :class:`EOPGovernor` adopts them as transactions under a typed
+:class:`EOPPolicy` and demotes components whose runtime error behaviour
+breaches the budget.
+"""
+
+from .campaign import (
+    EOPCampaignConfig,
+    EOPCampaignResult,
+    ErrorInjection,
+    resume_eop_campaign,
+    run_eop_campaign,
+)
+from .governor import ComponentRecord, EOPGovernor, EOPTransaction
+from .policy import EOPPolicy, EOPState
+
+__all__ = [
+    "ComponentRecord",
+    "EOPCampaignConfig",
+    "EOPCampaignResult",
+    "EOPGovernor",
+    "EOPPolicy",
+    "EOPState",
+    "EOPTransaction",
+    "ErrorInjection",
+    "resume_eop_campaign",
+    "run_eop_campaign",
+]

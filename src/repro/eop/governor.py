@@ -1,0 +1,538 @@
+"""The per-node EOP governor: supervised, transactional margin adoption.
+
+Section 3's feedback loop — HealthLog anomalies, StressLog
+re-characterisation, hypervisor reconfiguration — is only closed if
+adopting an extended operating point is *reversible*.  The governor owns
+a :class:`~repro.eop.policy.EOPState` machine per component and applies
+margins as transactions: every adoption records the component's previous
+point and a rollback closure, so a runtime error-budget breach demotes
+the component back to its last-known-safe point instead of leaving it
+stuck at a margin the hardware has started disproving.
+
+Demotion triggers, in priority order:
+
+* a ``critical`` HealthLog :class:`AnomalyEvent` naming the component;
+* the governor's own error-budget check (errors in the HealthLog ledger
+  within ``policy.error_window_s`` reaching ``policy.error_budget``);
+* stale telemetry — when the HealthLog info vectors age beyond
+  ``stale_fallback_s``, *every* adopted point falls back to nominal
+  until the daemon freshens (the paper's conservative fallback).
+
+A demoted component sits out a probation window, then is re-promoted if
+its ledger stayed clean; ``max_demotions`` breaches quarantine it for
+the rest of the boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.eop import OperatingPoint
+from ..core.events import AnomalyEvent, EOPTransitionEvent
+from ..core.exceptions import ConfigurationError
+from .policy import EOPPolicy, EOPState
+
+if TYPE_CHECKING:
+    from ..core.runtime import NodeRuntime
+    from ..daemons.healthlog import HealthLog
+    from ..daemons.infovector import MarginVector
+    from ..hypervisor.hypervisor import Hypervisor
+    from ..hypervisor.qos import QoSGuard
+
+
+@dataclass
+class ComponentRecord:
+    """One component's position in the governor's state machine."""
+
+    component: str
+    kind: str  # "core" | "domain"
+    state: EOPState = EOPState.NOMINAL
+    #: The characterised extended point (last seen margin).
+    target: Optional[OperatingPoint] = None
+    failure_probability: float = 0.0
+    #: The point to roll back to on demotion (pre-adoption configuration).
+    saved_point: Optional[OperatingPoint] = None
+    adopted_at: Optional[float] = None
+    demoted_at: Optional[float] = None
+    probation_until: Optional[float] = None
+    demotions: int = 0
+    #: Demoted by the stale-telemetry fallback (no probation; restored
+    #: as soon as telemetry freshens).
+    stale_demoted: bool = False
+    last_reason: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return {
+            "component": self.component,
+            "kind": self.kind,
+            "state": self.state.value,
+            "target": None if self.target is None else self.target.as_dict(),
+            "failure_probability": self.failure_probability,
+            "saved_point": (None if self.saved_point is None
+                            else self.saved_point.as_dict()),
+            "adopted_at": self.adopted_at,
+            "demoted_at": self.demoted_at,
+            "probation_until": self.probation_until,
+            "demotions": self.demotions,
+            "stale_demoted": self.stale_demoted,
+            "last_reason": self.last_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "ComponentRecord":
+        """Inverse of :meth:`as_dict`."""
+        def _point(value: object) -> Optional[OperatingPoint]:
+            return None if value is None else OperatingPoint.from_dict(value)  # type: ignore[arg-type]
+
+        def _time(value: object) -> Optional[float]:
+            return None if value is None else float(value)  # type: ignore[arg-type]
+
+        return cls(
+            component=str(state["component"]),
+            kind=str(state["kind"]),
+            state=EOPState(str(state["state"])),
+            target=_point(state["target"]),
+            failure_probability=float(state["failure_probability"]),  # type: ignore[arg-type]
+            saved_point=_point(state["saved_point"]),
+            adopted_at=_time(state["adopted_at"]),
+            demoted_at=_time(state["demoted_at"]),
+            probation_until=_time(state["probation_until"]),
+            demotions=int(state["demotions"]),  # type: ignore[arg-type]
+            stale_demoted=bool(state["stale_demoted"]),
+            last_reason=str(state["last_reason"]),
+        )
+
+
+@dataclass
+class EOPTransaction:
+    """One batch adoption: what changed, and how to undo it."""
+
+    timestamp: float
+    #: Components whose hardware configuration changed.
+    adopted: List[str] = field(default_factory=list)
+    #: Margins dropped before the budget gate (unknown / quarantined).
+    skipped: List[str] = field(default_factory=list)
+    #: Margins rejected by the budget or probation gate.
+    rejected: List[str] = field(default_factory=list)
+    committed: bool = False
+    _rollbacks: List[Tuple[str, Callable[[], None]]] = field(
+        default_factory=list, repr=False)
+
+    def rollback(self) -> List[str]:
+        """Undo every applied change, newest first."""
+        undone: List[str] = []
+        for component, undo in reversed(self._rollbacks):
+            undo()
+            undone.append(component)
+        self._rollbacks.clear()
+        self.committed = False
+        return undone
+
+
+class EOPGovernor:
+    """Supervises one node's extended operating points.
+
+    The governor sits between characterisation (margin vectors out of
+    the StressLog) and the hardware-facing hypervisor setters.  It is
+    the only code path that adopts margins at runtime; policy decides
+    whether it adopts at all and how strictly it supervises afterwards.
+    """
+
+    def __init__(self, hypervisor: "Hypervisor",
+                 qos: Optional["QoSGuard"] = None,
+                 healthlog: Optional["HealthLog"] = None,
+                 policy: Optional[EOPPolicy] = None,
+                 runtime: Optional["NodeRuntime"] = None) -> None:
+        self.hypervisor = hypervisor
+        self.qos = qos
+        self.healthlog = healthlog
+        self.policy = policy or EOPPolicy.adopt_within_budget()
+        self.clock = hypervisor.clock
+        self.bus = hypervisor.bus
+        self.metrics = (runtime.metrics if runtime is not None
+                        else hypervisor.metrics)
+        #: Telemetry-staleness horizon; mutable so the cloud controller's
+        #: degradation config can (un)arm the conservative fallback.
+        self.stale_fallback_s: Optional[float] = self.policy.stale_fallback_s
+        #: Chaos switch: a wedged governor stops supervising (step() and
+        #: anomaly demotions become no-ops) without touching the platform.
+        self.wedged = False
+        self._records: Dict[str, ComponentRecord] = {}
+        self._fallback_saved: Optional[Tuple[
+            Dict[int, OperatingPoint], Dict[str, float]]] = None
+        self._unsubscribe = self.bus.subscribe(AnomalyEvent, self._on_anomaly)
+        # Register the gauge up front so metrics snapshots have the same
+        # key set whether or not any adoption (or state restore) happened.
+        self._refresh_gauges()
+
+    @property
+    def platform(self):
+        """The hardware platform behind the hypervisor."""
+        return self.hypervisor.platform
+
+    # -- adoption (the transaction) -----------------------------------------
+
+    def adopt(self, margins: "MarginVector") -> EOPTransaction:
+        """Adopt a margin vector as one transaction.
+
+        QoS filtering, the (policy-scaled) failure-budget gate and the
+        per-component state machine all run before any hardware setter;
+        if a setter raises mid-batch, every change already applied in
+        this transaction is rolled back before the error propagates.
+        """
+        txn = EOPTransaction(timestamp=self.clock.now)
+        vector = (self.qos.filter_margins(margins)
+                  if self.qos is not None else margins)
+        budget = (self.hypervisor.config.failure_budget
+                  * self.policy.failure_budget_scale)
+        try:
+            for margin in vector.margins:
+                self._adopt_one(margin, budget, txn)
+        except Exception:
+            undone = txn.rollback()
+            for component in undone:
+                record = self._records.get(component)
+                if record is not None and record.state is EOPState.ADOPTED:
+                    self._transition(record, EOPState.CANDIDATE,
+                                     "transaction rolled back")
+            self.metrics.inc("eop.transactions_rolled_back")
+            raise
+        if txn.adopted:
+            self.hypervisor.stats.margin_applications += 1
+            self.metrics.inc("hypervisor.margin_applications")
+        txn.committed = True
+        self._refresh_gauges()
+        return txn
+
+    def _adopt_one(self, margin, budget: float, txn: EOPTransaction) -> None:
+        """Run one margin through the state machine and (maybe) apply it."""
+        from ..hypervisor.hypervisor import Hypervisor
+
+        component = margin.component
+        if Hypervisor._core_id(component) is not None:
+            kind = "core"
+        elif component in self.platform.memory:
+            kind = "domain"
+        else:
+            self.metrics.inc("eop.unknown_component")
+            txn.skipped.append(component)
+            return
+        record = self._ensure_record(component, kind)
+        record.target = margin.safe_point
+        record.failure_probability = margin.failure_probability
+        if record.state is EOPState.QUARANTINED:
+            self.metrics.inc("eop.quarantine_blocked")
+            txn.skipped.append(component)
+            return
+        if (record.state is EOPState.DEMOTED
+                and record.probation_until is not None
+                and self.clock.now < record.probation_until):
+            txn.rejected.append(component)
+            record.last_reason = "re-adoption blocked: on probation"
+            return
+        if not self.policy.adopt:
+            if record.state is EOPState.NOMINAL:
+                self._transition(
+                    record, EOPState.CANDIDATE,
+                    f"policy {self.policy.name!r} declines adoption")
+            txn.rejected.append(component)
+            return
+        if margin.failure_probability > budget:
+            self.metrics.inc("hypervisor.margin_skips")
+            if record.state is EOPState.NOMINAL:
+                self._transition(
+                    record, EOPState.CANDIDATE,
+                    f"failure probability {margin.failure_probability:.2e} "
+                    f"over budget {budget:.2e}")
+            txn.rejected.append(component)
+            return
+        old = self._current_point(record)
+        undo = self.hypervisor.apply_component(component, margin.safe_point)
+        if undo is not None:
+            txn.adopted.append(component)
+            txn._rollbacks.append((component, undo))
+            record.saved_point = old
+        if record.state is not EOPState.ADOPTED:
+            record.adopted_at = self.clock.now
+            record.probation_until = None
+            record.stale_demoted = False
+            self._transition(record, EOPState.ADOPTED, "margin adopted")
+            self.metrics.inc("eop.adopted")
+
+    def _current_point(self, record: ComponentRecord) -> OperatingPoint:
+        """The component's live configuration, as a rollback target."""
+        from ..hypervisor.hypervisor import Hypervisor
+
+        if record.kind == "core":
+            core_id = Hypervisor._core_id(record.component)
+            assert core_id is not None
+            return self.platform.core_point(core_id)
+        domain = self.platform.memory.domain(record.component)
+        base = record.target or self.platform.chip.spec.nominal
+        return base.with_refresh(domain.refresh_interval_s)
+
+    # -- demotion and re-promotion ------------------------------------------
+
+    def demote(self, component: str, reason: str,
+               count: bool = True) -> bool:
+        """Roll one adopted component back to its last-known-safe point.
+
+        Returns True when a rollback actually happened.  ``count=False``
+        demotions (stale telemetry) carry no probation and do not move
+        the component toward quarantine.
+        """
+        record = self._records.get(component)
+        if record is None or record.state is not EOPState.ADOPTED:
+            return False
+        if record.saved_point is not None:
+            self.hypervisor.apply_component(component, record.saved_point)
+        now = self.clock.now
+        record.demoted_at = now
+        if count:
+            record.demotions += 1
+            if record.demotions >= self.policy.max_demotions:
+                self._transition(record, EOPState.QUARANTINED, reason)
+                self.metrics.inc("eop.quarantined")
+            else:
+                record.probation_until = now + self.policy.probation_s
+                self._transition(record, EOPState.DEMOTED, reason)
+        else:
+            record.stale_demoted = True
+            record.probation_until = None
+            self._transition(record, EOPState.DEMOTED, reason)
+        self.metrics.inc("eop.demoted")
+        self._refresh_gauges()
+        return True
+
+    def _promote(self, record: ComponentRecord, reason: str) -> None:
+        """Re-adopt a demoted component's target after clean probation."""
+        if record.target is not None:
+            record.saved_point = self._current_point(record)
+            self.hypervisor.apply_component(record.component, record.target)
+        record.adopted_at = self.clock.now
+        record.probation_until = None
+        record.stale_demoted = False
+        self._transition(record, EOPState.ADOPTED, reason)
+        self.metrics.inc("eop.promoted")
+        if self.healthlog is not None:
+            # Probation served: re-arm the HealthLog anomaly trigger so a
+            # fresh breach at the re-adopted point raises again.
+            self.healthlog.clear_flag(record.component)
+        self._refresh_gauges()
+
+    # -- the supervision loop ------------------------------------------------
+
+    def step(self) -> None:
+        """One supervision pass: stale fallback, budgets, probations."""
+        if self.hypervisor.crashed:
+            return
+        if self.wedged:
+            self.metrics.inc("eop.wedged_ticks")
+            return
+        now = self.clock.now
+        self._review_stale_fallback(now)
+        if not (self.policy.adopt and self.policy.supervise):
+            return
+        if self._fallback_saved is not None:
+            return  # everything is nominal until telemetry freshens
+        window = self.policy.error_window_s
+        for record in list(self._records.values()):
+            if record.state is EOPState.ADOPTED:
+                errors = self._ledger_count(record.component, now - window)
+                if errors >= self.policy.error_budget:
+                    self.demote(
+                        record.component,
+                        f"{errors} errors within {window:.0f}s")
+            elif (record.state is EOPState.DEMOTED
+                  and not record.stale_demoted
+                  and record.probation_until is not None
+                  and now >= record.probation_until):
+                errors = self._ledger_count(record.component, now - window)
+                if errors < self.policy.error_budget:
+                    self._promote(record, "probation served clean")
+                else:
+                    record.probation_until = now + self.policy.probation_s
+                    record.last_reason = "probation extended"
+
+    def _ledger_count(self, component: str, since: float) -> int:
+        """Runtime errors attributed to ``component`` since ``since``.
+
+        The HealthLog ledger is the superset view (it also sees faults
+        injected on the bus); the platform ledger is the fallback when
+        the governor runs without daemons.
+        """
+        ledger = (self.healthlog.ledger if self.healthlog is not None
+                  else self.platform.faults)
+        return ledger.count(component=component, since=since)
+
+    def _on_anomaly(self, event: AnomalyEvent) -> None:
+        """A critical HealthLog anomaly demotes the named component."""
+        if self.wedged or not (self.policy.adopt and self.policy.supervise):
+            return
+        if event.severity != "critical" or not event.component:
+            return
+        self.demote(event.component,
+                    f"healthlog anomaly: {event.description}")
+
+    # -- the stale-telemetry conservative fallback ---------------------------
+
+    def _review_stale_fallback(self, now: float) -> None:
+        """The paper's conservative-fallback semantics.
+
+        When the HealthLog info vectors go stale the governor can no
+        longer trust that extended points are being monitored: it saves
+        the current configuration, resets the platform to nominal and
+        marks every adopted component stale-demoted; once telemetry
+        freshens the saved configuration is restored and the components
+        re-promoted.  Both edges are level-triggered but idempotent —
+        the save/restore pair runs at most once per stale episode.
+        """
+        if self.stale_fallback_s is None or self.healthlog is None:
+            return
+        age = self.healthlog.info_vector_age_s()
+        if age > self.stale_fallback_s and self._fallback_saved is None:
+            self._fallback_saved = (
+                {core.core_id: self.platform.core_point(core.core_id)
+                 for core in self.platform.chip.cores},
+                {domain.name: domain.refresh_interval_s
+                 for domain in self.platform.memory.domains()
+                 if not domain.reliable},
+            )
+            self.platform.reset_nominal()
+            self.metrics.inc("resilience.fallback.engaged")
+            for record in self._records.values():
+                if record.state is EOPState.ADOPTED:
+                    record.stale_demoted = True
+                    record.demoted_at = now
+                    record.probation_until = None
+                    self._transition(
+                        record, EOPState.DEMOTED,
+                        f"telemetry stale ({age:.0f}s); nominal fallback")
+                    self.metrics.inc("eop.demoted")
+        elif age <= self.stale_fallback_s and self._fallback_saved:
+            core_points, refresh_intervals = self._fallback_saved
+            for core_id, point in core_points.items():
+                self.platform.set_core_point(core_id, point)
+            for name, interval in refresh_intervals.items():
+                self.platform.memory.domain(name).set_refresh_interval(
+                    interval)
+            self._fallback_saved = None
+            self.metrics.inc("resilience.fallback.restored")
+            for record in self._records.values():
+                if record.state is EOPState.DEMOTED and record.stale_demoted:
+                    record.stale_demoted = False
+                    record.adopted_at = now
+                    self._transition(record, EOPState.ADOPTED,
+                                     "telemetry fresh; fallback restored")
+                    self.metrics.inc("eop.promoted")
+            self._refresh_gauges()
+
+    # -- introspection -------------------------------------------------------
+
+    def record(self, component: str) -> Optional[ComponentRecord]:
+        """The state-machine record for one component, if any."""
+        return self._records.get(component)
+
+    def records(self) -> List[ComponentRecord]:
+        """All records, sorted by component name."""
+        return sorted(self._records.values(), key=lambda r: r.component)
+
+    def counts(self) -> Dict[str, int]:
+        """Component count per state (all states present, zero-filled)."""
+        counts = {state.value: 0 for state in EOPState}
+        for record in self._records.values():
+            counts[record.state.value] += 1
+        return counts
+
+    def adopted_count(self) -> int:
+        """Components currently running an extended point."""
+        return sum(1 for r in self._records.values()
+                   if r.state is EOPState.ADOPTED)
+
+    def state_table(self) -> List[Dict[str, object]]:
+        """Per-component rows for the ``repro eop`` CLI table."""
+        return [
+            {
+                "component": r.component,
+                "kind": r.kind,
+                "state": r.state.value,
+                "demotions": r.demotions,
+                "failure_probability": r.failure_probability,
+                "target": "" if r.target is None else r.target.describe(),
+                "reason": r.last_reason,
+            }
+            for r in self.records()
+        ]
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.set_gauge("eop.components_adopted",
+                               float(self.adopted_count()))
+
+    def _ensure_record(self, component: str, kind: str) -> ComponentRecord:
+        record = self._records.get(component)
+        if record is None:
+            record = ComponentRecord(component=component, kind=kind)
+            self._records[component] = record
+        return record
+
+    def _transition(self, record: ComponentRecord, state: EOPState,
+                    reason: str) -> None:
+        old = record.state
+        record.state = state
+        record.last_reason = reason
+        self.bus.publish(EOPTransitionEvent(
+            timestamp=self.clock.now, source="eop-governor",
+            component=record.component, from_state=old.value,
+            to_state=state.value, reason=reason,
+        ))
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable governor state (policy is config, not state)."""
+        fallback = None
+        if self._fallback_saved is not None:
+            core_points, refresh_intervals = self._fallback_saved
+            fallback = {
+                "core_points": {str(core_id): point.as_dict()
+                                for core_id, point in core_points.items()},
+                "refresh_intervals": dict(refresh_intervals),
+            }
+        return {
+            "records": {name: record.as_dict()
+                        for name, record in self._records.items()},
+            "stale_fallback_s": self.stale_fallback_s,
+            "wedged": self.wedged,
+            "fallback_saved": fallback,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        Operating points themselves live in the platform's state dict;
+        the governor only restores its bookkeeping on top.
+        """
+        records = state["records"]
+        if not isinstance(records, dict):
+            raise ConfigurationError("governor state: records must be a dict")
+        self._records = {
+            str(name): ComponentRecord.from_dict(record)
+            for name, record in records.items()
+        }
+        stale = state["stale_fallback_s"]
+        self.stale_fallback_s = None if stale is None else float(stale)  # type: ignore[arg-type]
+        self.wedged = bool(state["wedged"])
+        fallback = state["fallback_saved"]
+        if fallback is None:
+            self._fallback_saved = None
+        else:
+            self._fallback_saved = (
+                {int(core_id): OperatingPoint.from_dict(point)
+                 for core_id, point in fallback["core_points"].items()},  # type: ignore[index]
+                {str(name): float(interval)
+                 for name, interval
+                 in fallback["refresh_intervals"].items()},  # type: ignore[index]
+            )
+        self._refresh_gauges()

@@ -1,0 +1,165 @@
+"""EOP adoption policies and the per-component state machine vocabulary.
+
+The paper treats margin reduction as a *supervised* process: a component
+may run at an extended operating point only while its runtime error
+behaviour stays inside an explicit budget.  An :class:`EOPPolicy` is the
+typed knob bundle that replaced the old boolean adoption flag —
+whether to adopt characterised points at all, whether to keep
+supervising them afterwards, and how aggressively to trade failure
+probability for energy.
+
+The governor (:mod:`repro.eop.governor`) drives each component through
+
+    NOMINAL -> CANDIDATE -> ADOPTED -> DEMOTED -> (probation) -> ADOPTED
+                                    \\-> QUARANTINED
+
+where CANDIDATE marks a characterised point that did not fit the budget,
+DEMOTED is a rollback to the last-known-safe point with a probation
+timer, and QUARANTINED is a component that breached its budget too many
+times to trust again this boot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..core.exceptions import ConfigurationError
+
+
+class EOPState(enum.Enum):
+    """Lifecycle of one component's extended operating point."""
+
+    #: Running the guard-banded factory point; no margin adopted.
+    NOMINAL = "nominal"
+    #: A characterised point exists but was rejected (over budget / QoS).
+    CANDIDATE = "candidate"
+    #: Running the characterised extended point under supervision.
+    ADOPTED = "adopted"
+    #: Rolled back to the last-known-safe point; on probation.
+    DEMOTED = "demoted"
+    #: Breached the error budget too often; never re-promoted this boot.
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class EOPPolicy:
+    """How eagerly a node adopts — and how strictly it supervises — EOPs.
+
+    ``failure_budget_scale`` multiplies the hypervisor's failure budget
+    when gating adoption (>1 admits riskier points).  ``error_budget``
+    errors within ``error_window_s`` demote an adopted component;
+    ``max_demotions`` demotions quarantine it.  A demoted component is
+    re-promoted after a clean ``probation_s``.  ``stale_fallback_s`` is
+    the telemetry-staleness horizon beyond which every adopted point is
+    demoted back to nominal until the HealthLog freshens (None disables
+    the check).
+    """
+
+    name: str
+    adopt: bool = True
+    supervise: bool = True
+    failure_budget_scale: float = 1.0
+    error_budget: int = 10
+    error_window_s: float = 300.0
+    probation_s: float = 600.0
+    max_demotions: int = 2
+    stale_fallback_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("policy name must be non-empty")
+        if self.failure_budget_scale <= 0:
+            raise ConfigurationError("failure_budget_scale must be positive")
+        if self.error_budget < 1:
+            raise ConfigurationError("error_budget must be >= 1")
+        if self.error_window_s <= 0:
+            raise ConfigurationError("error_window_s must be positive")
+        if self.probation_s <= 0:
+            raise ConfigurationError("probation_s must be positive")
+        if self.max_demotions < 1:
+            raise ConfigurationError("max_demotions must be >= 1")
+        if self.stale_fallback_s is not None and self.stale_fallback_s <= 0:
+            raise ConfigurationError("stale_fallback_s must be positive")
+
+    # -- the three paper-facing stances (plus the legacy one-shot) ------------
+
+    @classmethod
+    def conservative(cls) -> "EOPPolicy":
+        """Never leave nominal: characterisation informs, nothing adopts."""
+        return cls(name="conservative", adopt=False, supervise=False)
+
+    @classmethod
+    def adopt_within_budget(cls) -> "EOPPolicy":
+        """The paper's default: adopt within budget, supervise, roll back."""
+        return cls(name="adopt-within-budget")
+
+    @classmethod
+    def aggressive(cls) -> "EOPPolicy":
+        """Chase energy: a 10x budget and a short probation window."""
+        return cls(name="aggressive", failure_budget_scale=10.0,
+                   probation_s=300.0, max_demotions=3)
+
+    @classmethod
+    def one_shot(cls) -> "EOPPolicy":
+        """The pre-governor behaviour: adopt once, never supervise.
+
+        Kept as the governor-off arm of A/B benchmarks; not a stance the
+        paper recommends.
+        """
+        return cls(name="one-shot", supervise=False)
+
+    _BY_NAME = {
+        "conservative": "conservative",
+        "adopt-within-budget": "adopt_within_budget",
+        "aggressive": "aggressive",
+        "one-shot": "one_shot",
+    }
+
+    @classmethod
+    def from_name(cls, name: str) -> "EOPPolicy":
+        """The named stance, e.g. for CLI ``--policy`` flags."""
+        try:
+            factory = cls._BY_NAME[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown EOP policy {name!r}; "
+                f"choose from {sorted(cls._BY_NAME)}") from None
+        return getattr(cls, factory)()
+
+    def with_overrides(self, **changes: object) -> "EOPPolicy":
+        """A copy with individual knobs replaced (validation re-runs)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- persistence ----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return {
+            "name": self.name,
+            "adopt": self.adopt,
+            "supervise": self.supervise,
+            "failure_budget_scale": self.failure_budget_scale,
+            "error_budget": self.error_budget,
+            "error_window_s": self.error_window_s,
+            "probation_s": self.probation_s,
+            "max_demotions": self.max_demotions,
+            "stale_fallback_s": self.stale_fallback_s,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "EOPPolicy":
+        """Inverse of :meth:`as_dict`."""
+        stale = state["stale_fallback_s"]
+        return cls(
+            name=str(state["name"]),
+            adopt=bool(state["adopt"]),
+            supervise=bool(state["supervise"]),
+            failure_budget_scale=float(state["failure_budget_scale"]),  # type: ignore[arg-type]
+            error_budget=int(state["error_budget"]),  # type: ignore[arg-type]
+            error_window_s=float(state["error_window_s"]),  # type: ignore[arg-type]
+            probation_s=float(state["probation_s"]),  # type: ignore[arg-type]
+            max_demotions=int(state["max_demotions"]),  # type: ignore[arg-type]
+            stale_fallback_s=None if stale is None else float(stale),  # type: ignore[arg-type]
+        )

@@ -290,36 +290,86 @@ class Hypervisor:
 
     # -- EOP configuration --------------------------------------------------------
 
+    @staticmethod
+    def _core_id(component: str) -> Optional[int]:
+        """Parse ``"core<N>"`` into N; None for anything else."""
+        if not component.startswith("core"):
+            return None
+        try:
+            return int(component[len("core"):])
+        except ValueError:
+            return None
+
+    def apply_component(self, component: str,
+                        point: OperatingPoint) -> Optional[Callable[[], None]]:
+        """Reconfigure one component, returning a rollback closure.
+
+        This is the hardware-facing transactional setter the EOP governor
+        builds on: no budget gate, no batch bookkeeping.  Core components
+        adopt the point's V-F (refresh stays per-domain); memory domains
+        adopt only its refresh interval.  Returns ``None`` when the
+        component is unknown, the domain is reliability-hardened, or the
+        configuration would not change.
+        """
+        core_id = self._core_id(component)
+        if core_id is not None and 0 <= core_id < self.platform.chip.n_cores:
+            old = self.platform.core_point(core_id)
+            new = point.with_refresh(old.refresh_interval_s)
+            if new == old:
+                return None
+            self._set_core_point(component, core_id, old, new)
+            return lambda: self._set_core_point(component, core_id, new, old)
+        if component in self.platform.memory:
+            domain = self.platform.memory.domain(component)
+            if domain.reliable:
+                return None
+            old_interval = domain.refresh_interval_s
+            new_interval = point.refresh_interval_s
+            if new_interval == old_interval:
+                return None
+            self._set_refresh(component, old_interval, new_interval)
+            return lambda: self._set_refresh(
+                component, new_interval, old_interval)
+        return None
+
+    def _set_core_point(self, component: str, core_id: int,
+                        old: OperatingPoint, new: OperatingPoint) -> None:
+        self.platform.set_core_point(core_id, new)
+        self.bus.publish(ConfigChangeEvent(
+            timestamp=self.clock.now, source="hypervisor",
+            component=component, old_point=old.describe(),
+            new_point=new.describe(),
+        ))
+
+    def _set_refresh(self, component: str, old_interval: float,
+                     new_interval: float) -> None:
+        domain = self.platform.memory.domain(component)
+        domain.set_refresh_interval(new_interval)
+        self.bus.publish(ConfigChangeEvent(
+            timestamp=self.clock.now, source="hypervisor",
+            component=component,
+            old_point=f"refresh {old_interval * 1e3:.0f} ms",
+            new_point=f"refresh {domain.refresh_interval_s * 1e3:.0f} ms",
+        ))
+
     def apply_margins(self, margins: MarginVector) -> List[str]:
         """Adopt characterised safe points that fit the failure budget.
 
         Returns the components whose configuration changed.  A margin with
-        failure probability above the budget is skipped — the component
-        stays at its current (safer) point.
+        failure probability above the budget is skipped (counted in the
+        ``hypervisor.margin_skips`` metric) — the component stays at its
+        current, safer point.  Supervised adoption with rollback lives in
+        :class:`repro.eop.EOPGovernor`, which drives this hypervisor's
+        :meth:`apply_component` primitive instead.
         """
         changed: List[str] = []
         for margin in margins.margins:
             if margin.failure_probability > self.config.failure_budget:
+                self.metrics.inc("hypervisor.margin_skips")
                 continue
-            component = margin.component
-            if component.startswith("core"):
-                core_id = int(component[len("core"):])
-                old = self.platform.core_point(core_id)
-                new = margin.safe_point.with_refresh(old.refresh_interval_s)
-                self.platform.set_core_point(core_id, new)
-                self.bus.publish(ConfigChangeEvent(
-                    timestamp=self.clock.now, source="hypervisor",
-                    component=component, old_point=old.describe(),
-                    new_point=new.describe(),
-                ))
-                changed.append(component)
-            elif component in self.platform.memory:
-                domain = self.platform.memory.domain(component)
-                old_interval = domain.refresh_interval_s
-                domain.set_refresh_interval(
-                    margin.safe_point.refresh_interval_s)
-                if domain.refresh_interval_s != old_interval:
-                    changed.append(component)
+            if self.apply_component(margin.component,
+                                    margin.safe_point) is not None:
+                changed.append(margin.component)
         if changed:
             self.stats.margin_applications += 1
             self.metrics.inc("hypervisor.margin_applications")

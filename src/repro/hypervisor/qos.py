@@ -155,12 +155,14 @@ class QoSGuard:
         Core margins violating a resident VM's frequency floor or
         failure cap are dropped (the core stays at its current, safer
         point); memory-domain margins pass through — refresh relaxation
-        does not affect guest performance guarantees.
+        does not affect guest performance guarantees.  Margins naming a
+        component that is not a parseable core pass through untouched;
+        downstream adoption decides what to do with them.
         """
         kept: List[ComponentMargin] = []
         for margin in vector.margins:
-            if margin.component.startswith("core"):
-                core_id = int(margin.component[len("core"):])
+            core_id = Hypervisor._core_id(margin.component)
+            if core_id is not None:
                 if not self.admits(core_id, margin):
                     self.metrics.inc("hypervisor.qos.margins_rejected")
                     continue
@@ -200,7 +202,3 @@ class QoSGuard:
         self.metrics.set_gauge("hypervisor.qos.violations",
                                float(len(violations)))
         return violations
-
-    def apply_margins_with_qos(self, vector: MarginVector) -> List[str]:
-        """Filter then adopt: the QoS-safe version of ``apply_margins``."""
-        return self.hypervisor.apply_margins(self.filter_margins(vector))

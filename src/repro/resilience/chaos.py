@@ -51,6 +51,10 @@ class FaultKind(Enum):
     CRASH_LOOP = "crash_loop"
     #: Recovery commands are swallowed: reboot requests do nothing.
     STUCK_RECOVERY = "stuck_recovery"
+    #: The EOP governor wedges: supervision stops (no demotions, no
+    #: probation reviews) while the window lasts.  Not in the random
+    #: menu — adding a kind there would re-roll every seeded plan.
+    EOP_GOVERNOR_WEDGE = "eop_governor_wedge"
 
 
 #: Fault kinds whose effect is a window, not an instant.
@@ -63,6 +67,7 @@ _WINDOWED = frozenset({
     FaultKind.MIGRATION_FAILURE,
     FaultKind.CRASH_LOOP,
     FaultKind.STUCK_RECOVERY,
+    FaultKind.EOP_GOVERNOR_WEDGE,
 })
 
 
@@ -274,6 +279,12 @@ class ChaosEngine:
             if stuck is not None and not node.recovery_stuck:
                 self._count(FaultKind.STUCK_RECOVERY)
             node.recovery_stuck = stuck is not None
+
+            wedge = self._active(
+                FaultKind.EOP_GOVERNOR_WEDGE, node.name, now)
+            if wedge is not None and not node.governor.wedged:
+                self._count(FaultKind.EOP_GOVERNOR_WEDGE)
+            node.governor.wedged = wedge is not None
 
             for index, spec in enumerate(self.plan.specs):
                 if spec.node == node.name \

@@ -61,6 +61,11 @@ class Heartbeat:
     #: EOP bookkeeping the SLA filters need.
     margin_applications: int = 0
     failure_budget: float = 1e-4
+    #: Governor state counts (components currently adopted / demoted /
+    #: quarantined) — the cloud's view of the node's EOP control plane.
+    eop_adopted: int = 0
+    eop_demoted: int = 0
+    eop_quarantined: int = 0
 
 
 def heartbeat_to_dict(heartbeat: Heartbeat) -> Dict[str, object]:
@@ -93,6 +98,9 @@ def heartbeat_from_dict(state: Dict[str, object]) -> Heartbeat:
         active_vms=tuple(str(v) for v in state["active_vms"]),  # type: ignore[union-attr]
         margin_applications=int(state["margin_applications"]),  # type: ignore[arg-type]
         failure_budget=float(state["failure_budget"]),  # type: ignore[arg-type]
+        eop_adopted=int(state.get("eop_adopted", 0)),  # type: ignore[arg-type]
+        eop_demoted=int(state.get("eop_demoted", 0)),  # type: ignore[arg-type]
+        eop_quarantined=int(state.get("eop_quarantined", 0)),  # type: ignore[arg-type]
     )
 
 
@@ -252,6 +260,18 @@ class NodeView:
             config=SimpleNamespace(
                 failure_budget=hb.failure_budget if hb else 1e-4),
         )
+
+    @property
+    def governor(self) -> SimpleNamespace:
+        """Shim for scheduler filters that peek at ``node.governor``.
+
+        Mirrors the heartbeat's governor counts so the reliability
+        filter sees the same "is this node spending margin right now"
+        signal it reads from a live :class:`~repro.eop.EOPGovernor`.
+        """
+        hb = self.last
+        adopted = hb.eop_adopted if hb else 0
+        return SimpleNamespace(adopted_count=lambda: adopted)
 
     def describe(self) -> str:
         """One-line belief summary."""

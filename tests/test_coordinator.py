@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import UniServerNode
 from repro.core.exceptions import ConfigurationError
+from repro.eop import EOPPolicy
 from repro.hypervisor import make_vm_fleet
 from repro.workloads import spec_workload
 
@@ -44,7 +45,7 @@ class TestDeploymentFlow:
     def test_conservative_deploy_stays_nominal(self):
         node = UniServerNode(seed=2)
         node.pre_deploy()
-        changed = node.deploy(apply_margins=False)
+        changed = node.deploy(EOPPolicy.conservative())
         assert changed == []
         nominal = node.platform.chip.spec.nominal
         assert all(

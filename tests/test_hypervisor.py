@@ -111,6 +111,20 @@ class TestMarginApplication:
         assert hv.apply_margins(vector) == []
         assert hv.platform.core_point(0) == nominal
 
+    def test_over_budget_skips_are_counted(self, hv):
+        """Over-budget margins increment ``hypervisor.margin_skips``
+        instead of vanishing silently."""
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("core0", nominal.with_voltage(0.75),
+                            pfail=0.5),
+                     margin("core1", nominal.with_voltage(0.75),
+                            pfail=0.2)),
+        )
+        hv.apply_margins(vector)
+        assert hv.metrics.counter("hypervisor.margin_skips") == 2.0
+
     def test_domain_margin_relaxes_refresh(self, hv):
         nominal = hv.platform.chip.spec.nominal
         vector = MarginVector(
@@ -121,6 +135,23 @@ class TestMarginApplication:
         assert changed == ["channel1"]
         assert hv.platform.memory.domain("channel1").refresh_interval_s \
             == 1.5
+
+    def test_domain_margin_publishes_config_change(self, hv):
+        """Memory-domain refresh changes announce themselves on the bus
+        exactly like core V-F changes do."""
+        from repro.core.events import ConfigChangeEvent
+
+        seen = []
+        hv.bus.subscribe(ConfigChangeEvent, seen.append)
+        nominal = hv.platform.chip.spec.nominal
+        vector = MarginVector(
+            timestamp=0.0, node="n",
+            margins=(margin("channel1", nominal.with_refresh(1.5)),),
+        )
+        hv.apply_margins(vector)
+        assert [e.component for e in seen] == ["channel1"]
+        assert "refresh" in seen[0].old_point
+        assert "refresh" in seen[0].new_point
 
     def test_margin_preserves_core_refresh_field(self, hv):
         nominal = hv.platform.chip.spec.nominal

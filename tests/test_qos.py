@@ -135,7 +135,24 @@ class TestMarginFiltering:
         relaxed = margin("channel1", nominal.with_refresh(1.5))
         assert len(guard.filter_margins(vector(relaxed)).margins) == 1
 
-    def test_apply_with_qos_end_to_end(self, setup):
+    def test_unoccupied_core_margin_passes_and_adopts(self, setup):
+        """Satellite: a core with no resident VMs is unconstrained all
+        the way through a governor transaction."""
+        from repro.eop import EOPGovernor
+
+        platform, hypervisor, guard = setup
+        nominal = platform.chip.spec.nominal
+        slow = nominal.scaled(voltage_factor=0.85, frequency_factor=0.6)
+        governor = EOPGovernor(hypervisor, qos=guard)
+        txn = governor.adopt(vector(margin("core7", slow)))
+        assert txn.adopted == ["core7"]
+        assert platform.core_point(7).frequency_hz == slow.frequency_hz
+
+    def test_gold_tier_vetoes_aggressive_margin(self, setup):
+        """Satellite: the gold floor vetoes a slow margin end to end —
+        the governor transaction adopts nothing."""
+        from repro.eop import EOPGovernor, EOPState
+
         platform, hypervisor, guard = setup
         vm = VirtualMachine(name="gold", workload=spec_workload("mcf"))
         hypervisor.create_vm(vm)
@@ -143,10 +160,36 @@ class TestMarginFiltering:
         guard.register("gold", requirement_from_sla(GOLD))
         nominal = platform.chip.spec.nominal
         slow = nominal.scaled(voltage_factor=0.85, frequency_factor=0.6)
-        changed = guard.apply_margins_with_qos(
-            vector(margin(f"core{core_id}", slow)))
-        assert changed == []
+        governor = EOPGovernor(hypervisor, qos=guard)
+        txn = governor.adopt(vector(margin(f"core{core_id}", slow)))
+        assert txn.adopted == []
         assert platform.core_point(core_id) == nominal
+        assert governor.record(f"core{core_id}") is None  # filtered out
+        assert governor.counts()[EOPState.ADOPTED.value] == 0
+
+    def test_unknown_component_margin_passes_filter(self, setup):
+        """Satellite: margins naming unknown components survive the QoS
+        filter untouched (adoption decides later), and malformed core
+        names do not crash the core-id parse."""
+        platform, hypervisor, guard = setup
+        nominal = platform.chip.spec.nominal
+        odd = vector(margin("fpga0", nominal.with_voltage(0.9)),
+                     margin("coreX", nominal.with_voltage(0.9)))
+        filtered = guard.filter_margins(odd)
+        assert [m.component for m in filtered.margins] == ["fpga0", "coreX"]
+
+    def test_unknown_component_skipped_by_governor(self, setup):
+        """The governor drops unknown components from the transaction
+        instead of raising."""
+        from repro.eop import EOPGovernor
+
+        platform, hypervisor, guard = setup
+        nominal = platform.chip.spec.nominal
+        governor = EOPGovernor(hypervisor, qos=guard)
+        txn = governor.adopt(vector(margin("fpga0", nominal)))
+        assert txn.adopted == []
+        assert txn.skipped == ["fpga0"]
+        assert governor.metrics.counter("eop.unknown_component") == 1.0
 
 
 class TestCloudIntegration:

@@ -178,10 +178,10 @@ class TestComputeNodeWrapsUniServerNode:
         from repro.cloudmgr import ComputeNode
 
         wrapped = ComputeNode("n0", runtime=NodeRuntime(name="n0", seed=9),
-                              characterize=True, apply_margins=True)
+                              characterize=True)
         manual = UniServerNode(runtime=NodeRuntime(name="n0", seed=9))
         manual.pre_deploy()
-        manual.deploy(apply_margins=True)
+        manual.deploy()
         manual.train_predictor(include_campaign=False)
         wrapped_points = [
             wrapped.platform.core_point(c.core_id)

@@ -78,11 +78,25 @@ class TestFilterScheduler:
         assert sla_performance_filter(node, make_vm(), BRONZE) is True
 
     def test_reliability_filter_spares_nominal_nodes(self):
+        from repro.daemons.infovector import ComponentMargin, MarginVector
+        from repro.eop import EOPPolicy
+
         clock = SimClock()
         node = make_nodes(clock, n=1)[0]
         # Node at nominal: acceptable for gold despite loose budget.
         assert sla_reliability_filter(node, make_vm(), GOLD) is True
-        node.hypervisor.stats.margin_applications = 1
+        # One live adoption flips the verdict: the node is now spending
+        # margin under its own (looser) failure budget.
+        node.governor.policy = EOPPolicy.adopt_within_budget()
+        nominal = node.platform.chip.spec.nominal
+        node.governor.adopt(MarginVector(
+            timestamp=0.0, node=node.name,
+            margins=(ComponentMargin(
+                component="core0",
+                safe_point=nominal.with_voltage(nominal.voltage_v * 0.9),
+                failure_probability=1e-9, relative_power=0.8,
+                stress_workload="virus"),)))
+        assert node.governor.adopted_count() == 1
         assert sla_reliability_filter(node, make_vm(), GOLD) is False
 
     def test_scheduler_needs_filters_and_weighers(self):

@@ -18,6 +18,9 @@ command          what it runs
 ``chaos``        seeded control-plane chaos campaign (policies A/B)
 ``sweep``        parallel multi-seed campaign sweep over a config grid
 ``eop``          error-injecting EOP-governor campaign, state table
+``fleet``        zone-sharded fleet campaign (vectorized or object
+                 stack), energy-proportionality report
+``profile``      short campaign under cProfile, top-N hot paths
 ===============  ======================================================
 """
 
@@ -460,6 +463,107 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.failures else 0
 
 
+def _write_canonical(path: str, report) -> None:
+    """Write a canonical-JSON report file (newline-terminated)."""
+    from .persistence import canonical_json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(report))
+        handle.write("\n")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .persistence import payload_checksum
+
+    if args.engine == "zoned":
+        from .fleet import rack_report, run_zoned_rack_experiment
+
+        experiment = run_zoned_rack_experiment(
+            n_nodes=args.nodes, shards=args.shards,
+            duration_s=args.duration, seed=args.seed,
+            base_rate_per_hour=args.rate)
+        report = rack_report(experiment.cloud, experiment.stats)
+        print(f"zoned rack: {args.nodes} nodes in {args.shards} "
+              f"zone(s), {report['steps']} steps")
+        print(f"admitted {report['simulation']['admitted']}, "
+              f"energy {report['energy_j'] / 3.6e6:.3f} kWh, "
+              f"availability {report['fleet_availability']:.4f}")
+        digest = payload_checksum(report)
+    else:
+        from .fleet import (
+            FleetCampaignConfig,
+            FleetConfig,
+            run_fleet_campaign,
+        )
+
+        config = FleetCampaignConfig(
+            fleet=FleetConfig(n_nodes=args.nodes, seed=args.seed),
+            duration_s=args.duration,
+            arrivals_per_hour=args.rate,
+            shards=args.shards, stepper=args.stepper)
+        report = run_fleet_campaign(
+            config, jobs=args.jobs, snapshot_dir=args.snapshot_dir,
+            snapshot_every_steps=args.snapshot_every,
+            resume=args.resume)
+        totals = report["totals"]
+        ep = report["energy_proportionality"]
+        print(f"fleet campaign: {args.nodes} nodes, "
+              f"{args.shards} shard(s), jobs={args.jobs}, "
+              f"stepper={args.stepper}")
+        print(f"steps {totals['steps']}, admitted {totals['admitted']}, "
+              f"rejected {totals['rejected']}, "
+              f"completed {totals['completed']}")
+        print(f"energy {totals['energy_j'] / 3.6e6:.3f} kWh, "
+              f"violations {totals['violations']}, "
+              f"margins adopted {totals['margins_adopted_final']}"
+              f"/{args.nodes}")
+        print(f"energy proportionality: dynamic range "
+              f"{ep['dynamic_range']:.3f}, index "
+              f"{ep['proportionality_index']:.3f}"
+              if ep["proportionality_index"] is not None else
+              "energy proportionality: no samples")
+        digest = report["report_sha256"]
+    if args.report_json:
+        _write_canonical(args.report_json, report)
+    print(f"report sha256: {digest}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    if args.what == "fleet":
+        from .fleet import (
+            FleetCampaignConfig,
+            FleetConfig,
+            run_fleet_campaign,
+        )
+
+        config = FleetCampaignConfig(
+            fleet=FleetConfig(n_nodes=args.nodes, seed=args.seed),
+            duration_s=args.duration)
+        profiler.enable()
+        run_fleet_campaign(config)
+        profiler.disable()
+    else:
+        from .cloudmgr import run_rack_experiment
+
+        profiler.enable()
+        run_rack_experiment(n_nodes=args.nodes,
+                            duration_s=args.duration, seed=args.seed)
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"# profile: {args.what} campaign, {args.nodes} nodes, "
+          f"{args.duration:.0f}s, seed {args.seed}")
+    print(stream.getvalue())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -580,6 +684,51 @@ def build_parser() -> argparse.ArgumentParser:
     eop.add_argument("--report-json", default=None,
                      help="write the canonical-JSON campaign report "
                           "to this path")
+    fleet = sub.add_parser(
+        "fleet", help="zone-sharded fleet campaign")
+    fleet.add_argument("--nodes", type=int, default=64)
+    fleet.add_argument("--duration", type=float, default=3600.0)
+    fleet.add_argument("--rate", type=float, default=120.0,
+                       help="VM arrivals per hour (default 120)")
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="contiguous node shards/zones (default 1); "
+                            "reports are shard-invariant")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes stepping shards in "
+                            "parallel (vector engine only)")
+    fleet.add_argument("--engine", choices=("vector", "zoned"),
+                       default="vector",
+                       help="vectorized batch campaign or the zoned "
+                            "object-stack rack (default vector)")
+    fleet.add_argument("--stepper", choices=("vector", "scalar"),
+                       default="vector",
+                       help="batch kernels or the naive per-node loop "
+                            "(identical output; scalar is the bench "
+                            "baseline)")
+    fleet.add_argument("--snapshot-dir", default=None,
+                       help="persist checksummed snapshot generations "
+                            "here (vector engine)")
+    fleet.add_argument("--snapshot-every", type=int, default=None,
+                       metavar="STEPS",
+                       help="snapshot period in steps")
+    fleet.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid snapshot in "
+                            "--snapshot-dir")
+    fleet.add_argument("--report-json", default=None,
+                       help="write the canonical-JSON fleet report "
+                            "to this path")
+    profile = sub.add_parser(
+        "profile", help="short campaign under cProfile")
+    profile.add_argument("--what", choices=("rack", "fleet"),
+                         default="rack",
+                         help="which campaign to profile (default rack)")
+    profile.add_argument("--nodes", type=int, default=4)
+    profile.add_argument("--duration", type=float, default=1800.0)
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows of the hot-path table (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"),
+                         help="pstats sort key (default cumulative)")
     return parser
 
 
@@ -596,6 +745,8 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "sweep": _cmd_sweep,
     "eop": _cmd_eop,
+    "fleet": _cmd_fleet,
+    "profile": _cmd_profile,
 }
 
 

@@ -13,8 +13,9 @@ measures.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.exceptions import ConfigurationError, SchedulingError
 from ..hypervisor.vm import VirtualMachine
@@ -27,6 +28,24 @@ TIER_MAP: Dict[str, SLA] = {
     "silver": SILVER,
     "bronze": BRONZE,
 }
+
+#: Nominal core frequency the admission scaling assumes.
+NOMINAL_HZ = 2.4e9
+
+
+def vm_from_event(event: ArrivalEvent) -> VirtualMachine:
+    """The VM shell an arrival event admits.
+
+    Scales the workload so it runs for roughly the drawn lifetime at
+    nominal frequency; the VM terminates on its departure time
+    regardless (interactive services do not "complete").  Shared by the
+    live admission path and the snapshot-restore VM factory so both
+    rebuild identical shells.
+    """
+    workload = event.workload.scaled(
+        max(0.01, event.lifetime_s * NOMINAL_HZ
+            / event.workload.duration_cycles))
+    return VirtualMachine(name=event.vm_name, workload=workload)
 
 
 @dataclass
@@ -58,6 +77,10 @@ class TraceDrivenSimulation:
         self.step_s = step_s
         self.stats = SimulationStats()
         self._departures: Dict[str, float] = {}
+        #: Min-heap of (departure_time, vm_name) with lazy deletion —
+        #: ``_departures`` stays the source of truth (and the persisted
+        #: form); stale heap entries are skipped on pop.
+        self._departure_heap: List[Tuple[float, str]] = []
         self._next_event = 0
         self.now = 0.0
 
@@ -92,19 +115,15 @@ class TraceDrivenSimulation:
         )
         self._departures = {str(k): float(v) for k, v
                             in state["departures"].items()}  # type: ignore[union-attr]
+        self._departure_heap = [(when, name) for name, when
+                                in self._departures.items()]
+        heapq.heapify(self._departure_heap)
         self._next_event = int(state["next_event"])  # type: ignore[arg-type]
         self.now = float(state["now"])  # type: ignore[arg-type]
 
     def _admit(self, event: ArrivalEvent, now: float) -> None:
         sla = TIER_MAP[event.tier]
-        # Scale the workload so it runs for roughly the drawn lifetime
-        # at nominal frequency; the VM terminates on its departure time
-        # regardless (interactive services do not "complete").
-        nominal_hz = 2.4e9
-        workload = event.workload.scaled(
-            max(0.01, event.lifetime_s * nominal_hz
-                / event.workload.duration_cycles))
-        vm = VirtualMachine(name=event.vm_name, workload=workload)
+        vm = vm_from_event(event)
         self.stats.arrivals += 1
         try:
             self.cloud.launch(vm, sla)
@@ -114,11 +133,17 @@ class TraceDrivenSimulation:
                 self.stats.rejected_by_tier.get(event.tier, 0) + 1)
             return
         self.stats.admitted += 1
-        self._departures[event.vm_name] = now + event.lifetime_s
+        departure = now + event.lifetime_s
+        self._departures[event.vm_name] = departure
+        heapq.heappush(self._departure_heap, (departure, event.vm_name))
 
     def _terminate_departed(self, now: float) -> None:
-        for vm_name, departure in list(self._departures.items()):
-            if departure > now:
+        # Pop only what is due: O(departed log n) per step instead of a
+        # linear scan over every pending VM.
+        while self._departure_heap and self._departure_heap[0][0] <= now:
+            departure, vm_name = heapq.heappop(self._departure_heap)
+            if self._departures.get(vm_name) != departure:
+                # Stale entry (lazy deletion): superseded or restored.
                 continue
             del self._departures[vm_name]
             try:

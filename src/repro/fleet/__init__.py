@@ -1,0 +1,73 @@
+"""Fleet-scale stepping: vectorized shards under zoned control.
+
+Four pieces (see ``docs/fleet.md``):
+
+* :mod:`repro.fleet.state` — struct-of-arrays fleet state and configs;
+* :mod:`repro.fleet.vectors` — counter-based RNG and numpy batch
+  models, byte-identical to per-node stepping on any shard split;
+* :mod:`repro.fleet.zone` — ``CloudController`` split into
+  ``ZoneController`` shards under a thin ``FleetScheduler`` router;
+* :mod:`repro.fleet.campaign` — one campaign over parallel shard
+  workers with a deterministic per-step barrier and snapshot/resume.
+"""
+
+from .campaign import (
+    FleetCampaign,
+    FleetCampaignConfig,
+    run_fleet_campaign,
+)
+from .report import (
+    energy_proportionality,
+    fleet_campaign_report,
+    rack_report,
+)
+from .state import DYNAMIC_FIELDS, FleetConfig, FleetState, shard_bounds
+from .vectors import (
+    ARRIVAL_STREAM,
+    VECTOR_STREAM,
+    FleetVectors,
+    arrival_counter_key,
+    build_fleet_state,
+    counter_bits,
+    counter_gaussian,
+    counter_uniform,
+    fleet_counter_keys,
+    runtime_counter_key,
+    splitmix64,
+    stream_counter_key,
+)
+from .zone import (
+    FleetScheduler,
+    ZoneController,
+    build_zoned_rack,
+    run_zoned_rack_experiment,
+)
+
+__all__ = [
+    "ARRIVAL_STREAM",
+    "DYNAMIC_FIELDS",
+    "VECTOR_STREAM",
+    "FleetCampaign",
+    "FleetCampaignConfig",
+    "FleetConfig",
+    "FleetScheduler",
+    "FleetState",
+    "FleetVectors",
+    "ZoneController",
+    "arrival_counter_key",
+    "build_fleet_state",
+    "build_zoned_rack",
+    "counter_bits",
+    "counter_gaussian",
+    "counter_uniform",
+    "energy_proportionality",
+    "fleet_campaign_report",
+    "fleet_counter_keys",
+    "rack_report",
+    "run_fleet_campaign",
+    "run_zoned_rack_experiment",
+    "runtime_counter_key",
+    "shard_bounds",
+    "splitmix64",
+    "stream_counter_key",
+]

@@ -1,0 +1,552 @@
+"""Vectorized fleet campaigns: shards in parallel within one run.
+
+The sweep engine parallelizes *across* campaigns; this module
+parallelizes *within* one.  The fleet is split into contiguous node
+shards (:func:`~repro.fleet.state.shard_bounds`); each shard steps
+through the :class:`~repro.fleet.vectors.FleetVectors` batch models,
+either in-process or across shared-nothing worker subprocesses started
+the same way the sweep engine starts its workers
+(:func:`~repro.sweep.engine.default_mp_context`).
+
+**Determinism contract** (pinned by ``tests/test_fleet_campaign.py``
+and priced by ``benchmarks/bench_fleet_scaling.py``): the campaign
+report is byte-identical across ``stepper`` (vector vs. naive per-node
+loop), ``shards`` and ``jobs``.  Three mechanisms carry it:
+
+* all randomness is counter-based (:mod:`repro.fleet.vectors`), so a
+  draw depends on ``(node key, step, channel, lane)`` — never on which
+  shard or process computed it;
+* the arrival/placement/departure process runs entirely in the parent
+  over the global node arrays, so admission decisions cannot depend on
+  the shard split;
+* workers advance in lockstep behind a per-step barrier — the parent
+  collects every shard's acknowledgement (in worker order) before the
+  next step — and telemetry reductions run in the parent over arrays
+  reassembled in node-index order.
+
+Snapshots reuse the :class:`~repro.persistence.snapshot.SnapshotStore`
+rebuild-from-config-then-overlay protocol: statics regenerate from the
+config, only dynamics ride in the payload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.clock import step_count
+from ..core.exceptions import ConfigurationError, PersistenceError
+from ..persistence.snapshot import SnapshotStore
+from ..sweep.engine import default_mp_context
+from .report import fleet_campaign_report
+from .state import (
+    DYNAMIC_FIELDS,
+    FleetConfig,
+    shard_bounds,
+)
+from .vectors import (
+    CH_ARRIVAL_COUNT,
+    CH_ARRIVAL_LIFETIME,
+    CH_ARRIVAL_SIZE,
+    FleetVectors,
+    arrival_counter_key,
+    build_fleet_state,
+    counter_uniform,
+)
+
+STEPPERS = ("vector", "scalar")
+
+
+@dataclass(frozen=True)
+class FleetCampaignConfig:
+    """Everything needed to rebuild a fleet campaign from scratch.
+
+    ``shards``/``stepper`` are execution knobs: they ride in snapshots
+    (a resume rebuilds the same execution by default) but are excluded
+    from the report's config echo, because the report must not depend
+    on them.
+    """
+
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    duration_s: float = 3600.0
+    arrivals_per_hour: float = 120.0
+    mean_lifetime_s: float = 1800.0
+    max_vcpus: int = 4
+    telemetry_every_steps: int = 10
+    shards: int = 1
+    stepper: str = "vector"
+    label: str = "fleet"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.arrivals_per_hour < 0:
+            raise ConfigurationError("arrival rate cannot be negative")
+        if self.mean_lifetime_s <= 0:
+            raise ConfigurationError("mean lifetime must be positive")
+        if not 1 <= self.max_vcpus <= self.fleet.vcpus_per_node:
+            raise ConfigurationError(
+                "max_vcpus must be in [1, vcpus_per_node]")
+        if self.telemetry_every_steps < 1:
+            raise ConfigurationError(
+                "telemetry_every_steps must be >= 1")
+        if self.stepper not in STEPPERS:
+            raise ConfigurationError(
+                f"stepper must be one of {STEPPERS}")
+        shard_bounds(self.fleet.n_nodes, self.shards)  # validates
+
+    @property
+    def n_steps(self) -> int:
+        """Total steps in the campaign window."""
+        return step_count(self.duration_s, self.fleet.step_s)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full plain-dict form (snapshot payloads)."""
+        state = {
+            "fleet": self.fleet.as_dict(),
+            "duration_s": self.duration_s,
+            "arrivals_per_hour": self.arrivals_per_hour,
+            "mean_lifetime_s": self.mean_lifetime_s,
+            "max_vcpus": self.max_vcpus,
+            "telemetry_every_steps": self.telemetry_every_steps,
+            "shards": self.shards,
+            "stepper": self.stepper,
+            "label": self.label,
+        }
+        return state
+
+    def as_report_dict(self) -> Dict[str, object]:
+        """Config echo for reports: execution knobs stripped."""
+        state = self.as_dict()
+        del state["shards"]
+        del state["stepper"]
+        return state
+
+    @staticmethod
+    def from_dict(state: Dict[str, object]) -> "FleetCampaignConfig":
+        """Rebuild a config saved by :meth:`as_dict`."""
+        state = dict(state)
+        state["fleet"] = FleetConfig.from_dict(state["fleet"])  # type: ignore[arg-type]
+        return FleetCampaignConfig(**state)  # type: ignore[arg-type]
+
+
+# -- executors ----------------------------------------------------------------
+
+
+class _InProcessExecutor:
+    """Steps every shard sequentially in the calling process."""
+
+    def __init__(self, config: FleetCampaignConfig) -> None:
+        self.config = config
+        self.state = build_fleet_state(config.fleet)
+        self.vectors = FleetVectors(config.fleet)
+        self.bounds = shard_bounds(config.fleet.n_nodes, config.shards)
+        self._views = [self.state.view(lo, hi)
+                       for lo, hi in self.bounds]
+
+    def step(self, t: int, used: np.ndarray) -> None:
+        self.state.used_vcpus[:] = used
+        for (lo, hi), view in zip(self.bounds, self._views):
+            if self.config.stepper == "vector":
+                self.vectors.step(view, t)
+            else:
+                for index in range(hi - lo):
+                    self.vectors.step_node(view, index, t)
+
+    def sample(self) -> Dict[str, np.ndarray]:
+        return {"power_w": self.state.power_w.copy(),
+                "margin_on": self.state.margin_on.copy()}
+
+    def gather(self) -> Dict[str, object]:
+        return self.state.state_dict()
+
+    def load(self, state: Dict[str, object]) -> None:
+        self.state.load_state_dict(state)
+
+    def close(self) -> None:
+        pass
+
+
+def _fleet_worker_main(config_state: Dict[str, object],
+                       shard_indices: List[int], conn) -> None:
+    """Worker entry: own a subset of shards, step on command.
+
+    The worker rebuilds the *full* fleet state from config (statics are
+    pure functions of it) but steps only its assigned shard views —
+    shared-nothing over shards, byte-identical to any other partition.
+    """
+    config = FleetCampaignConfig.from_dict(config_state)
+    state = build_fleet_state(config.fleet)
+    vectors = FleetVectors(config.fleet)
+    bounds = shard_bounds(config.fleet.n_nodes, config.shards)
+    mine = [(bounds[i], state.view(*bounds[i])) for i in shard_indices]
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "load":
+            state.load_state_dict(message[1])
+            conn.send(("ok",))
+            continue
+        if kind == "step":
+            _, t, used, want_sample = message
+            state.used_vcpus[:] = used
+            for (lo, hi), view in mine:
+                if config.stepper == "vector":
+                    vectors.step(view, t)
+                else:
+                    for index in range(hi - lo):
+                        vectors.step_node(view, index, t)
+            if want_sample:
+                conn.send(("sample", [
+                    (i, {"power_w": view.power_w.copy(),
+                         "margin_on": view.margin_on.copy()})
+                    for i, ((lo, hi), view)
+                    in zip(shard_indices, mine)]))
+            else:
+                conn.send(("ok",))
+            continue
+        if kind == "gather":
+            conn.send(("state", [
+                (i, {name: getattr(view, name).copy()
+                     for name, _ in DYNAMIC_FIELDS})
+                for i, ((lo, hi), view)
+                in zip(shard_indices, mine)]))
+            continue
+        raise RuntimeError(f"unknown fleet worker command {kind!r}")
+    conn.close()
+
+
+class _ProcessExecutor:
+    """Steps shards across shared-nothing worker subprocesses.
+
+    Shards are dealt round-robin to ``jobs`` workers; every step is a
+    barrier: the parent broadcasts, then collects acknowledgements in
+    worker order before continuing.
+    """
+
+    def __init__(self, config: FleetCampaignConfig, jobs: int,
+                 mp_context=None) -> None:
+        self.config = config
+        self.bounds = shard_bounds(config.fleet.n_nodes, config.shards)
+        ctx = mp_context if mp_context is not None \
+            else default_mp_context()
+        jobs = min(jobs, len(self.bounds))
+        assignments = [list(range(w, len(self.bounds), jobs))
+                       for w in range(jobs)]
+        self._assignment = assignments
+        self._workers = []
+        config_state = config.as_dict()
+        for shard_indices in assignments:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_fleet_worker_main,
+                args=(config_state, shard_indices, child_conn),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    def _collect(self, expected: str) -> List[Tuple[int, Dict]]:
+        pieces: List[Tuple[int, Dict]] = []
+        for process, conn in self._workers:
+            reply = conn.recv()
+            if reply[0] == expected and len(reply) > 1:
+                pieces.extend(reply[1])
+            elif reply[0] not in ("ok", expected):
+                raise PersistenceError(
+                    f"fleet worker protocol error: {reply[0]!r}")
+        return pieces
+
+    def step(self, t: int, used: np.ndarray) -> None:
+        for _, conn in self._workers:
+            conn.send(("step", t, used, False))
+        self._collect("ok")
+
+    def _assemble(self, pieces: List[Tuple[int, Dict]],
+                  names: Sequence[str]) -> Dict[str, np.ndarray]:
+        n = self.config.fleet.n_nodes
+        out = {}
+        by_shard = dict(pieces)
+        for name in names:
+            parts = [by_shard[i][name]
+                     for i in range(len(self.bounds))]
+            out[name] = np.concatenate(parts)
+            if out[name].shape[0] != n:
+                raise PersistenceError("shard reassembly size mismatch")
+        return out
+
+    def step_and_sample(self, t: int,
+                        used: np.ndarray) -> Dict[str, np.ndarray]:
+        for _, conn in self._workers:
+            conn.send(("step", t, used, True))
+        pieces = self._collect("sample")
+        return self._assemble(pieces, ("power_w", "margin_on"))
+
+    def sample(self) -> Dict[str, np.ndarray]:
+        raise NotImplementedError  # parent always uses step_and_sample
+
+    def gather(self) -> Dict[str, object]:
+        for _, conn in self._workers:
+            conn.send(("gather",))
+        pieces = self._collect("state")
+        names = [name for name, _ in DYNAMIC_FIELDS]
+        arrays = self._assemble(pieces, names)
+        state: Dict[str, object] = {
+            "n_nodes": self.config.fleet.n_nodes}
+        for name in names:
+            state[name] = arrays[name].tolist()
+        return state
+
+    def load(self, state: Dict[str, object]) -> None:
+        for _, conn in self._workers:
+            conn.send(("load", state))
+        self._collect("ok")
+
+    def close(self) -> None:
+        for process, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in self._workers:
+            process.join(timeout=10)
+            conn.close()
+
+
+# -- the campaign loop --------------------------------------------------------
+
+
+class FleetCampaign:
+    """One vectorized fleet campaign: arrivals, stepping, telemetry.
+
+    The parent owns the whole admission layer (arrival draws, argmax
+    placement over global free capacity, the departure heap); the
+    executor owns only physics stepping.  Everything the parent does is
+    therefore trivially shard- and jobs-invariant.
+    """
+
+    def __init__(self, config: FleetCampaignConfig, jobs: int = 1,
+                 snapshot_dir=None,
+                 snapshot_every_steps: Optional[int] = None,
+                 mp_context=None) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.config = config
+        self.jobs = jobs
+        if jobs == 1:
+            self.executor = _InProcessExecutor(config)
+        else:
+            self.executor = _ProcessExecutor(config, jobs,
+                                             mp_context=mp_context)
+        self.store = (SnapshotStore(snapshot_dir)
+                      if snapshot_dir is not None else None)
+        self.snapshot_every_steps = snapshot_every_steps
+        n = config.fleet.n_nodes
+        self._arrival_key = arrival_counter_key(config.fleet.seed)
+        self._used = np.zeros(n, dtype=np.int64)
+        #: Min-heap of (departure_time_s, seq, node_index, vcpus).
+        self._departures: List[Tuple[float, int, int, int]] = []
+        self._arrival_seq = 0
+        self.step_index = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.series: List[Dict[str, object]] = []
+
+    # -- admission (parent-side, partition-invariant) ---------------------
+
+    def _terminate_departed(self, now_s: float) -> None:
+        while self._departures and self._departures[0][0] <= now_s:
+            _, _, node, vcpus = heapq.heappop(self._departures)
+            self._used[node] -= vcpus
+            self.completed += 1
+
+    def _admit_arrivals(self, t: int) -> None:
+        cfg = self.config
+        step_s = cfg.fleet.step_s
+        expected = cfg.arrivals_per_hour * step_s / 3600.0
+        count = int(math.floor(expected))
+        fraction = expected - count
+        if fraction > 0 and float(counter_uniform(
+                self._arrival_key, np.uint64(t),
+                CH_ARRIVAL_COUNT)) < fraction:
+            count += 1
+        capacity = cfg.fleet.vcpus_per_node
+        now_s = t * step_s
+        for _ in range(count):
+            seq = self._arrival_seq
+            self._arrival_seq += 1
+            size_draw = float(counter_uniform(
+                self._arrival_key, np.uint64(seq), CH_ARRIVAL_SIZE))
+            vcpus = min(cfg.max_vcpus, 1 + int(size_draw * cfg.max_vcpus))
+            life_draw = float(counter_uniform(
+                self._arrival_key, np.uint64(seq), CH_ARRIVAL_LIFETIME))
+            lifetime_s = -cfg.mean_lifetime_s * math.log1p(-life_draw)
+            free = capacity - self._used
+            node = int(np.argmax(free))
+            if free[node] < vcpus:
+                self.rejected += 1
+                continue
+            self._used[node] += vcpus
+            heapq.heappush(self._departures,
+                           (now_s + lifetime_s, seq, node, vcpus))
+            self.admitted += 1
+
+    # -- telemetry reduction ----------------------------------------------
+
+    def _record_sample(self, t: int,
+                       arrays: Dict[str, np.ndarray]) -> None:
+        cfg = self.config.fleet
+        n = cfg.n_nodes
+        power = arrays["power_w"]
+        fleet_power = math.fsum(float(p) for p in power)
+        total_used = int(self._used.sum())
+        self.series.append({
+            "step": t,
+            "time_s": (t + 1) * cfg.step_s,
+            "fleet_power_w": fleet_power,
+            "mean_power_w": fleet_power / n,
+            "mean_util": total_used / (n * cfg.vcpus_per_node),
+            "active_vcpus": total_used,
+            "margins_adopted": int(np.count_nonzero(
+                arrays["margin_on"])),
+        })
+
+    # -- snapshots ----------------------------------------------------------
+
+    def take_snapshot(self) -> None:
+        """Persist config + campaign dynamics + fleet dynamics."""
+        if self.store is None:
+            raise PersistenceError(
+                "campaign was built without a snapshot directory")
+        payload = {
+            "config": self.config.as_dict(),
+            "campaign": {
+                "step_index": self.step_index,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "arrival_seq": self._arrival_seq,
+                "used": self._used.tolist(),
+                "departures": sorted(
+                    [list(entry) for entry in self._departures]),
+                "series": list(self.series),
+            },
+            "fleet": self.executor.gather(),
+        }
+        self.store.save(self.step_index, payload)
+
+    def _load_snapshot(self, payload: Dict[str, object]) -> None:
+        campaign = payload["campaign"]
+        self.step_index = int(campaign["step_index"])  # type: ignore[index]
+        self.admitted = int(campaign["admitted"])  # type: ignore[index]
+        self.rejected = int(campaign["rejected"])  # type: ignore[index]
+        self.completed = int(campaign["completed"])  # type: ignore[index]
+        self._arrival_seq = int(campaign["arrival_seq"])  # type: ignore[index]
+        self._used[:] = np.asarray(campaign["used"], dtype=np.int64)  # type: ignore[index]
+        self._departures = [
+            (float(when), int(seq), int(node), int(vcpus))
+            for when, seq, node, vcpus in campaign["departures"]]  # type: ignore[index]
+        heapq.heapify(self._departures)
+        self.series = [dict(entry) for entry in campaign["series"]]  # type: ignore[index]
+        self.executor.load(payload["fleet"])  # type: ignore[arg-type]
+
+    def resume(self) -> bool:
+        """Load the newest valid snapshot; False when starting fresh."""
+        if self.store is None:
+            raise PersistenceError(
+                "campaign was built without a snapshot directory")
+        loaded = self.store.load_newest()
+        if loaded is None:
+            return False
+        _generation, payload = loaded
+        saved = FleetCampaignConfig.from_dict(payload["config"])  # type: ignore[arg-type]
+        ours = replace(self.config, shards=saved.shards,
+                       stepper=saved.stepper)
+        if saved != ours:
+            raise PersistenceError(
+                "snapshot belongs to a different campaign config")
+        self._load_snapshot(payload)
+        return True
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self, until_step: Optional[int] = None) -> None:
+        """Advance to ``until_step`` (exclusive; default: completion)."""
+        cfg = self.config
+        n_steps = cfg.n_steps
+        stop = n_steps if until_step is None \
+            else min(until_step, n_steps)
+        telemetry_every = cfg.telemetry_every_steps
+        while self.step_index < stop:
+            t = self.step_index
+            self._terminate_departed(t * cfg.fleet.step_s)
+            self._admit_arrivals(t)
+            want_sample = ((t + 1) % telemetry_every == 0
+                           or t == n_steps - 1)
+            if want_sample and isinstance(self.executor,
+                                          _ProcessExecutor):
+                arrays = self.executor.step_and_sample(t, self._used)
+            else:
+                self.executor.step(t, self._used)
+                arrays = (self.executor.sample()
+                          if want_sample else None)
+            if want_sample and arrays is not None:
+                self._record_sample(t, arrays)
+            self.step_index = t + 1
+            if (self.store is not None
+                    and self.snapshot_every_steps is not None
+                    and self.step_index % self.snapshot_every_steps
+                    == 0):
+                self.take_snapshot()
+
+    def report(self) -> Dict[str, object]:
+        """The canonical campaign report (shards/jobs/stepper
+        invariant)."""
+        final = self.executor.gather()
+        totals = {
+            "steps": self.step_index,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "active_vcpus_final": int(self._used.sum()),
+            "energy_j": math.fsum(float(e) for e in final["energy_j"]),  # type: ignore[union-attr]
+            "violations": int(sum(final["violations_total"])),  # type: ignore[arg-type]
+            "retention_errors": int(sum(
+                final["retention_errors_total"])),  # type: ignore[arg-type]
+            "demotions": int(sum(final["demotions"])),  # type: ignore[arg-type]
+            "adoptions": int(sum(final["adoptions"])),  # type: ignore[arg-type]
+            "margins_adopted_final": int(sum(final["margin_on"])),  # type: ignore[arg-type]
+        }
+        return fleet_campaign_report(
+            self.config.as_report_dict(), self.config.fleet,
+            totals, self.series)
+
+    def close(self) -> None:
+        """Tear down the executor (a no-op for the in-process one)."""
+        self.executor.close()
+
+
+def run_fleet_campaign(config: FleetCampaignConfig, jobs: int = 1,
+                       snapshot_dir=None,
+                       snapshot_every_steps: Optional[int] = None,
+                       resume: bool = False,
+                       mp_context=None) -> Dict[str, object]:
+    """Run one fleet campaign to completion and return its report."""
+    campaign = FleetCampaign(config, jobs=jobs,
+                             snapshot_dir=snapshot_dir,
+                             snapshot_every_steps=snapshot_every_steps,
+                             mp_context=mp_context)
+    try:
+        if resume:
+            campaign.resume()
+        campaign.run()
+        return campaign.report()
+    finally:
+        campaign.close()

@@ -1,0 +1,172 @@
+"""Canonical fleet reports and energy-proportionality metrics.
+
+Two report families share this module:
+
+* :func:`rack_report` — the object-stack campaign surface, duck-typed
+  over a monolithic :class:`~repro.cloudmgr.cloud.CloudController` and
+  a zoned :class:`~repro.fleet.zone.FleetScheduler`.  Every float
+  aggregate is computed here with ``math.fsum`` over *name-sorted*
+  per-entity values instead of trusting accumulation order, so the
+  monolith and any zone split serialize to identical bytes.
+* :func:`fleet_campaign_report` — the vectorized campaign surface,
+  invariant to ``shards``/``jobs``/stepper because its inputs already
+  are (the campaign layer guarantees that; the report only orders and
+  rounds nothing).
+
+The energy-proportionality block follows the Barroso/Hölzle framing
+the PAPERS.md subsystem-level power-management line builds on:
+``dynamic_range`` is the idle-to-peak power spread, and the
+``proportionality_index`` scores how closely observed power tracked
+utilization between those anchors (1.0 = perfectly proportional).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..persistence import payload_checksum
+from .state import FleetConfig
+from .vectors import FleetVectors
+
+
+def _mean_sorted(values: Sequence[float]) -> Optional[float]:
+    """Order-insensitive mean: fsum over the sorted values."""
+    if not values:
+        return None
+    return math.fsum(sorted(values)) / len(values)
+
+
+# -- the object-stack (rack/zoned) report -----------------------------------
+
+
+def rack_report(controller, sim_stats) -> Dict[str, object]:
+    """Canonical report of one trace-driven rack campaign.
+
+    ``controller`` is a CloudController or FleetScheduler; both expose
+    ``node_list``/``placement_log``/``stats``/``availability_summary``/
+    ``violations_total``/``repair_episodes``/``metrics_snapshot``.
+    Energy comes from the per-node hypervisor meters (fsum, name
+    sorted), never from the controller's running float accumulator,
+    whose grouping differs between the monolith and a zone merge.
+    """
+    from dataclasses import asdict
+
+    nodes = sorted(controller.node_list(), key=lambda n: n.name)
+    energy_by_node = {
+        node.name: node.hypervisor.stats.energy_j for node in nodes}
+    availability = controller.availability_summary()
+    episodes = controller.repair_episodes()
+    stats = controller.stats
+    return {
+        "nodes": len(nodes),
+        "steps": stats.steps,
+        "energy_j": math.fsum(energy_by_node[name]
+                              for name in sorted(energy_by_node)),
+        "energy_by_node_j": {name: energy_by_node[name]
+                             for name in sorted(energy_by_node)},
+        "fleet_availability": (
+            math.fsum(availability[name]
+                      for name in sorted(availability))
+            / len(availability) if availability else 1.0),
+        "availability_by_vm": {name: availability[name]
+                               for name in sorted(availability)},
+        "sla_violations": controller.violations_total(),
+        "mttr_s": _mean_sorted(episodes),
+        "repair_episodes": len(episodes),
+        "controller": {
+            "launched": stats.launched,
+            "completed": stats.completed,
+            "node_crashes": stats.node_crashes,
+            "evacuations": stats.evacuations,
+            "recoveries": stats.recoveries,
+            "recovery_attempts": stats.recovery_attempts,
+            "failed_recoveries": stats.failed_recoveries,
+            "failovers": stats.failovers,
+            "failed_failovers": stats.failed_failovers,
+            "migration_retries": stats.migration_retries,
+            "breaker_trips": stats.breaker_trips,
+            "flaps": stats.flaps,
+            "heartbeats_received": stats.heartbeats_received,
+            "heartbeats_missed": stats.heartbeats_missed,
+        },
+        "simulation": {
+            "arrivals": sim_stats.arrivals,
+            "admitted": sim_stats.admitted,
+            "rejected": sim_stats.rejected,
+            "terminated": sim_stats.terminated,
+            "rejected_by_tier": dict(sim_stats.rejected_by_tier),
+        },
+        "placements": [asdict(p) for p in controller.placement_log],
+        "metrics_sha256": payload_checksum(
+            controller.metrics_snapshot()),
+    }
+
+
+# -- energy proportionality --------------------------------------------------
+
+
+def energy_proportionality(
+        series: Sequence[Dict[str, float]],
+        idle_power_w: float,
+        peak_power_w: float) -> Dict[str, object]:
+    """Fleet energy-proportionality metrics from a telemetry series.
+
+    ``dynamic_range`` is ``1 - idle/peak`` (how much of peak power the
+    fleet can shed when idle); ``proportionality_index`` is one minus
+    the mean absolute gap between normalized power and utilization over
+    the sampled series (1.0 when power tracks load perfectly, lower
+    when the fleet burns idle power at low load).
+    """
+    span = peak_power_w - idle_power_w
+    gaps: List[float] = []
+    for entry in series:
+        if span <= 0:
+            break
+        normalized = (float(entry["mean_power_w"]) - idle_power_w) / span
+        gaps.append(abs(normalized - float(entry["mean_util"])))
+    index = (1.0 - math.fsum(sorted(gaps)) / len(gaps)) if gaps else None
+    return {
+        "idle_power_w": idle_power_w,
+        "peak_power_w": peak_power_w,
+        "dynamic_range": (1.0 - idle_power_w / peak_power_w
+                          if peak_power_w > 0 else 0.0),
+        "proportionality_index": index,
+        "samples": len(gaps),
+    }
+
+
+# -- the vectorized campaign report ------------------------------------------
+
+
+def fleet_campaign_report(config_echo: Dict[str, object],
+                          fleet_config: FleetConfig,
+                          totals: Dict[str, object],
+                          series: Sequence[Dict[str, float]],
+                          ) -> Dict[str, object]:
+    """Canonical report of one vectorized fleet campaign.
+
+    ``config_echo`` must already exclude execution-only knobs (shards,
+    jobs, stepper) — the report is the identity surface those knobs
+    must not perturb.  The EP anchors are deterministic fixed points of
+    the config alone, so every execution of the same campaign reports
+    the same proportionality block.
+    """
+    vectors = FleetVectors(fleet_config)
+    # Per-node anchors, matching the series' ``mean_power_w`` scale
+    # (both are fleet totals divided by n, so the index is the same
+    # either way — per-node keeps the numbers human-sized).
+    idle_w = vectors.equilibrium_power_w(
+        0.0, margin_on=bool(fleet_config.adopt_margins))
+    peak_w = vectors.equilibrium_power_w(
+        1.0, margin_on=bool(fleet_config.adopt_margins))
+    report = {
+        "config": dict(config_echo),
+        "totals": dict(totals),
+        "energy_proportionality": energy_proportionality(
+            series, idle_w, peak_w),
+        "series": list(series),
+    }
+    report["report_sha256"] = payload_checksum(
+        {k: v for k, v in report.items()})
+    return report

@@ -1,0 +1,314 @@
+"""Vectorized per-step batch models for fleet-scale node stepping.
+
+The scalar stack draws its randomness from stateful per-node generator
+streams (:meth:`repro.core.runtime.NodeRuntime.rng`); a batch model
+cannot share a stateful stream across nodes without serializing the
+draws.  The fleet path therefore uses a **counter-based** construction:
+
+* every node's 64-bit counter key derives from the *same* seeding
+  discipline as the scalar rack — ``SeedSequence(seed).spawn(n)`` per
+  node, then the ``"fleet.vectors"`` named-stream child exactly as
+  :meth:`NodeRuntime.stream_sequence` derives it — so a vectorized
+  fleet and a scalar rack built from one seed share stream identities;
+* each random draw hashes ``(key, step, channel, lane)`` through a
+  splitmix64 finalizer, so any slice of nodes can be stepped in any
+  partition, in any process, and reproduce the same bits.
+
+Every kernel is elementwise over nodes (axis 0) with reductions only
+along component lanes (axis 1).  That makes the whole step function
+*slice-invariant*: stepping nodes ``[i, i+1)`` one at a time (the naive
+per-object loop, :meth:`FleetVectors.step_node`) is byte-identical to
+stepping the whole shard at once (:meth:`FleetVectors.step`), which is
+the determinism contract ``tests/test_fleet_vectors.py`` pins down and
+``benchmarks/bench_fleet_scaling.py`` prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.runtime import NodeRuntime, _stream_key
+from .state import FleetConfig, FleetState
+
+#: Named stream backing the per-node counter keys (a sibling of the
+#: scalar stack's "hardware.*" and "workload.*" streams).
+VECTOR_STREAM = "fleet.vectors"
+#: Fleet-level stream for the campaign arrival process.
+ARRIVAL_STREAM = "fleet.arrivals"
+
+#: Draw channels.  The chain is positional — ``key -> step -> channel
+#: -> lane`` — so channels only need to be unique, not disjoint from
+#: step numbers.
+CH_STATIC_VMIN = 1
+CH_STATIC_RETENTION = 2
+CH_DROOP = 3
+CH_VMIN_JITTER = 4
+CH_RETENTION = 5
+CH_ARRIVAL_COUNT = 10
+CH_ARRIVAL_SIZE = 11
+CH_ARRIVAL_LIFETIME = 12
+#: Box-Muller pair salts (appended last in the chain).
+_CH_GAUSS_U1 = 101
+_CH_GAUSS_U2 = 102
+
+_PHI = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+_S11 = np.uint64(11)
+_INV53 = float(2.0 ** -53)
+
+
+def splitmix64(value):
+    """The splitmix64 finalizer over ``uint64`` scalars or arrays."""
+    with np.errstate(over="ignore"):
+        z = np.asarray(value, dtype=np.uint64) + _PHI
+        z = (z ^ (z >> _S30)) * _MIX1
+        z = (z ^ (z >> _S27)) * _MIX2
+        return z ^ (z >> _S31)
+
+
+def counter_bits(keys, *salts):
+    """Hash ``(keys, salt0, salt1, ...)`` to uniform ``uint64`` bits.
+
+    ``keys`` and each salt may be scalars or broadcastable ``uint64``
+    arrays; the chain folds salts in order, one finalizer round each.
+    """
+    acc = np.asarray(keys, dtype=np.uint64)
+    for salt in salts:
+        acc = splitmix64(acc ^ np.asarray(salt, dtype=np.uint64))
+    return acc
+
+
+def counter_uniform(keys, *salts):
+    """Uniform float64 draws in ``[0, 1)`` from the counter hash."""
+    return (counter_bits(keys, *salts) >> _S11).astype(np.float64) * _INV53
+
+
+def counter_gaussian(keys, *salts):
+    """Standard-normal float64 draws (Box-Muller over two channels)."""
+    u1 = counter_uniform(keys, *salts, _CH_GAUSS_U1)
+    u2 = counter_uniform(keys, *salts, _CH_GAUSS_U2)
+    # 1 - u1 is in (0, 1], so the log is finite.
+    return np.sqrt(-2.0 * np.log1p(-u1)) * np.cos(2.0 * np.pi * u2)
+
+
+# -- key derivation ----------------------------------------------------------
+
+
+def stream_counter_key(sequence: np.random.SeedSequence,
+                       stream: str = VECTOR_STREAM) -> np.uint64:
+    """The 64-bit counter key of one named stream under ``sequence``.
+
+    Extends ``spawn_key`` with the stable stream hash exactly as
+    :meth:`NodeRuntime.stream_sequence` does, then draws the child's
+    first generated word — the scalar and vector paths agree on stream
+    identity by construction.
+    """
+    child = np.random.SeedSequence(
+        entropy=sequence.entropy,
+        spawn_key=(*sequence.spawn_key, _stream_key(stream)),
+    )
+    return np.uint64(child.generate_state(1, np.uint64)[0])
+
+
+def runtime_counter_key(runtime: NodeRuntime) -> np.uint64:
+    """The vector counter key of one scalar-rack node runtime."""
+    return np.uint64(runtime.stream_sequence(
+        VECTOR_STREAM).generate_state(1, np.uint64)[0])
+
+
+def fleet_counter_keys(n_nodes: int, seed: int) -> np.ndarray:
+    """Per-node counter keys for a fleet built from one seed.
+
+    ``SeedSequence(seed).spawn(n)`` children, one per node, mirroring
+    :func:`repro.core.runtime.spawn_runtimes` — node ``i`` of a scalar
+    rack and row ``i`` of a vector fleet share the same key.
+    """
+    root = np.random.SeedSequence(seed)
+    return np.array([stream_counter_key(child)
+                     for child in root.spawn(n_nodes)], dtype=np.uint64)
+
+
+def arrival_counter_key(seed: int) -> np.uint64:
+    """The fleet-level arrival-process key (not tied to any node)."""
+    return stream_counter_key(np.random.SeedSequence(seed),
+                              ARRIVAL_STREAM)
+
+
+# -- the batch models --------------------------------------------------------
+
+
+class FleetVectors:
+    """Numpy batch models for the per-step hot paths of a fleet shard.
+
+    One instance is stateless apart from precomputed constants; all
+    mutable state lives in the :class:`FleetState` passed to
+    :meth:`step`.  The same instance safely steps any shard view.
+    """
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self._core_lanes = np.arange(config.cores_per_node,
+                                     dtype=np.uint64)[None, :]
+        self._dimm_lanes = np.arange(config.dimms_per_node,
+                                     dtype=np.uint64)[None, :]
+        self._vcpus_per_node = float(config.vcpus_per_node)
+        self._margined_v = config.nominal_v - config.margin_v
+        self._thermal_decay = float(np.exp(-config.step_s / config.tau_s))
+
+    # -- static (build-time) draws ----------------------------------------
+
+    def static_vmin(self, keys: np.ndarray) -> np.ndarray:
+        """Per-core static Vmin variation, ``(n, cores)`` volts."""
+        cfg = self.config
+        spread = counter_gaussian(keys[:, None], CH_STATIC_VMIN,
+                                  self._core_lanes)
+        return cfg.vmin_mean_v + cfg.vmin_sigma_v * spread
+
+    def static_retention_weakness(self, keys: np.ndarray) -> np.ndarray:
+        """Per-DIMM lognormal retention weakness, ``(n, dimms)``."""
+        cfg = self.config
+        spread = counter_gaussian(keys[:, None], CH_STATIC_RETENTION,
+                                  self._dimm_lanes)
+        return np.exp(cfg.retention_weak_sigma * spread)
+
+    # -- per-step physics ---------------------------------------------------
+
+    def _power_w(self, v, activity, temperature_c, margin_on):
+        """CMOS + leakage + DRAM + platform power (vectorized)."""
+        cfg = self.config
+        dynamic = (cfg.cores_per_node * cfg.c_eff_f * v * v
+                   * cfg.frequency_hz * activity)
+        leakage = (cfg.cores_per_node * cfg.leak_per_core_w
+                   * np.exp(cfg.leak_v_exp * (v - cfg.nominal_v))
+                   * np.exp(cfg.leak_t_exp
+                            * (temperature_c - cfg.leak_t_ref_c)))
+        interval = np.where(margin_on, cfg.refresh_relaxed_s,
+                            cfg.refresh_nominal_s)
+        dram = cfg.dimms_per_node * (
+            cfg.dram_base_w_per_dimm
+            + cfg.dram_refresh_w_per_dimm
+            * (cfg.refresh_nominal_s / interval))
+        return dynamic + leakage + dram + cfg.idle_platform_w
+
+    def step(self, state: FleetState, t: int) -> None:
+        """Advance one shard by one step (in place).
+
+        Every operation is elementwise over nodes or a per-node lane
+        reduction, so ``step`` over ``[lo, hi)`` equals ``step`` over
+        each ``[i, i+1)`` — the shard/monolith byte-identity contract.
+        """
+        cfg = self.config
+        keys = state.keys[:, None]
+        step_salt = np.uint64(t)
+
+        util = state.used_vcpus / self._vcpus_per_node
+        activity = util
+        v = np.where(state.margin_on, self._margined_v, cfg.nominal_v)
+
+        # Vmin/droop sampling per core: activity-scaled stochastic droop
+        # against the per-core static Vmin plus per-step jitter.
+        droop = (cfg.droop_base_v * (0.3 + 0.7 * activity)[:, None]
+                 * (1.0 + cfg.droop_sigma * counter_gaussian(
+                     keys, step_salt, CH_DROOP, self._core_lanes)))
+        vmin_now = (state.vmin_core_v
+                    + cfg.vmin_jitter_v * counter_gaussian(
+                        keys, step_salt, CH_VMIN_JITTER,
+                        self._core_lanes))
+        margin_violations = np.add.reduce(
+            (v[:, None] - droop < vmin_now).astype(np.int64), axis=1)
+
+        # DRAM retention draw: relaxed refresh trades power for a
+        # temperature- and weakness-scaled retention failure rate.
+        interval = np.where(state.margin_on, cfg.refresh_relaxed_s,
+                            cfg.refresh_nominal_s)
+        retention_factor = 2.0 ** (
+            (cfg.retention_ref_c - state.temperature_c)
+            / cfg.retention_halving_c)
+        relax = interval / cfg.refresh_nominal_s - 1.0
+        p_fail = np.clip(
+            cfg.retention_fail_scale * relax[:, None]
+            * state.retention_weak / retention_factor[:, None],
+            0.0, 0.5)
+        retention_errors = np.add.reduce(
+            (counter_uniform(keys, step_salt, CH_RETENTION,
+                             self._dimm_lanes) < p_fail)
+            .astype(np.int64), axis=1)
+
+        # Power/thermal integration: power at the pre-step temperature,
+        # then the exact exponential RC step toward the new target.
+        power = self._power_w(v, activity, state.temperature_c,
+                              state.margin_on)
+        target = cfg.ambient_c + cfg.r_th_c_per_w * power
+        state.temperature_c[:] = (
+            target + (state.temperature_c - target) * self._thermal_decay)
+        state.power_w[:] = power
+        state.energy_j += power * cfg.step_s
+
+        violations = margin_violations + retention_errors
+        state.window_violations += violations
+        state.violations_total += violations
+        state.retention_errors_total += retention_errors
+
+        # Margin governor review: demote over-budget nodes, re-adopt
+        # nodes whose probation expired.  Elementwise, so a node's
+        # verdict never depends on its shard-mates.
+        if (t + 1) % cfg.review_every_steps == 0:
+            demote = state.margin_on & (state.window_violations
+                                        > cfg.error_budget_per_window)
+            state.margin_on &= ~demote
+            state.demotions += demote
+            state.probation_until_step[:] = np.where(
+                demote, t + cfg.probation_steps,
+                state.probation_until_step)
+            if cfg.adopt_margins:
+                adopt = (~state.margin_on) & (
+                    t >= state.probation_until_step)
+                state.margin_on |= adopt
+                state.adoptions += adopt
+            state.window_violations[:] = 0
+
+    def step_node(self, state: FleetState, index: int, t: int) -> None:
+        """The naive per-object path: step exactly one node.
+
+        Runs the same kernels on a one-node view — the bench baseline,
+        and the anchor of the scalar/vector byte-identity tests.
+        """
+        self.step(state.view(index, index + 1), t)
+
+    # -- deterministic operating-point anchors ------------------------------
+
+    def equilibrium_power_w(self, util: float, margin_on: bool) -> float:
+        """Steady-state per-node power at a fixed utilization.
+
+        Iterates the thermal fixed point (power warms the node, heat
+        raises leakage) to convergence; pure scalar float math, so both
+        report paths compute identical anchors from config alone.
+        """
+        cfg = self.config
+        v = self._margined_v if margin_on else cfg.nominal_v
+        temperature = cfg.ambient_c
+        power = 0.0
+        for _ in range(64):
+            power = float(self._power_w(v, util, temperature, margin_on))
+            temperature = cfg.ambient_c + cfg.r_th_c_per_w * power
+        return power
+
+
+def build_fleet_state(config: FleetConfig) -> FleetState:
+    """Deterministically build the fleet's struct-of-arrays state.
+
+    Keys and statics are pure functions of ``(seed, n_nodes)`` and the
+    hardware constants, so every shard worker rebuilding the fleet from
+    config regenerates bit-identical arrays.
+    """
+    keys = fleet_counter_keys(config.n_nodes, config.seed)
+    vectors = FleetVectors(config)
+    return FleetState(
+        config, keys,
+        vmin_core_v=vectors.static_vmin(keys),
+        retention_weak=vectors.static_retention_weakness(keys),
+    )

@@ -1,0 +1,534 @@
+"""Zone controllers and the thin fleet scheduler above them.
+
+The monolithic :class:`~repro.cloudmgr.cloud.CloudController` owns every
+node in one object; at fleet scale that is both a single point of
+control and a single Python hot loop.  This module splits it:
+
+* a :class:`ZoneController` **is** a ``CloudController`` scoped to one
+  shard of nodes — it owns their heartbeats, health beliefs, SLA
+  tracking, recovery ladder and local failover, unchanged;
+* a :class:`FleetScheduler` routes placements and cross-zone
+  migrations over the zones' published views, merges their summaries,
+  and never touches a node object directly.
+
+**Determinism contract** (pinned by ``tests/test_fleet_zone.py``): a
+rack split into zones produces a report byte-identical to the monolith.
+Two mechanisms make that hold:
+
+* :meth:`FleetScheduler.step` runs the monolith's control loop
+  *phase-major*, not zone-major — every node steps, then every
+  heartbeat lands, then beliefs reconcile in global name order, then
+  risk handling, then accounting — so cross-zone actions interleave
+  exactly as the monolith's did.  Zones are contiguous node-index
+  ranges, so zone-major iteration inside a phase equals the monolith's
+  insertion-order iteration.
+* Placement and failover scheduling run over the *union* of every
+  zone's schedulable views with the shared
+  :class:`~repro.cloudmgr.scheduler.FilterScheduler`, so the candidate
+  set — and therefore the choice — matches the monolith's.
+
+Known divergence: each zone draws evacuation-retry backoff jitter from
+its own stream where the monolith used one; the streams only advance
+when migrations abort mid-flight, so clean runs are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cloudmgr.cloud import CloudController, ControllerStats, _RetryState
+from ..cloudmgr.node import ComputeNode, build_rack
+from ..cloudmgr.scheduler import FilterScheduler, Placement
+from ..cloudmgr.simulation import (
+    RackExperiment,
+    TraceDrivenSimulation,
+    run_trace_experiment,
+)
+from ..core.clock import SimClock, step_count
+from ..core.exceptions import ConfigurationError, SchedulingError
+from ..hypervisor.vm import VirtualMachine, VMState
+from ..resilience.health import NodeView
+from .state import shard_bounds
+
+#: ControllerStats counters merged by summation (``steps`` is the same
+#: in every zone and merged by max; ``repair_times_s`` concatenates).
+_SUMMED_STATS = tuple(
+    f.name for f in fields(ControllerStats)
+    if f.name not in ("steps", "repair_times_s"))
+
+
+class ZoneController(CloudController):
+    """One zone of the fleet: a CloudController over a node shard.
+
+    Standalone it behaves exactly like its parent.  Under a
+    :class:`FleetScheduler` (``self.fleet`` set), failover and
+    evacuation delegate upward so targets span every zone.
+    """
+
+    def __init__(self, *args, zone: str = "zone0", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.zone = zone
+        #: Backref set by FleetScheduler; None when standalone.
+        self.fleet: Optional["FleetScheduler"] = None
+
+    def zone_summary(self) -> Dict[str, object]:
+        """The zone's published summary view (the routing surface)."""
+        views = self.health.schedulable_views()
+        return {
+            "zone": self.zone,
+            "nodes": len(self.nodes),
+            "schedulable": len(views),
+            "free_vcpus": int(sum(v.free_vcpus() for v in views)),
+            "tracked_vms": len(self.tracker.tracked_vms()),
+            "steps": self.stats.steps,
+            "launched": self.stats.launched,
+            "failovers": self.stats.failovers,
+            "evacuations": self.stats.evacuations,
+        }
+
+    def _failover_vms(self, source: ComputeNode) -> None:
+        if self.fleet is not None:
+            self.fleet._failover_vms(self, source)
+        else:
+            super()._failover_vms(source)
+
+    def _attempt_evacuation(self, name: str) -> None:
+        if self.fleet is not None:
+            self.fleet._attempt_evacuation(self, name)
+        else:
+            super()._attempt_evacuation(name)
+
+
+class FleetScheduler:
+    """Thin placement/migration router over a set of zones.
+
+    Presents the same surface :class:`TraceDrivenSimulation` and the
+    report layer use on a monolithic controller (``launch``, ``locate``,
+    ``forget_vm``, ``step``, ``node_list``, ``stats``,
+    ``metrics_snapshot`` …), while every node-owning concern lives in
+    the zones.
+    """
+
+    def __init__(self, zones: Sequence[ZoneController],
+                 scheduler: Optional[FilterScheduler] = None) -> None:
+        if not zones:
+            raise ConfigurationError("the fleet needs at least one zone")
+        zone_names = [z.zone for z in zones]
+        if len(set(zone_names)) != len(zone_names):
+            raise ConfigurationError("zone names must be unique")
+        clock = zones[0].clock
+        if any(z.clock is not clock for z in zones):
+            raise ConfigurationError("zones must share one clock")
+        self.zones: List[ZoneController] = list(zones)
+        self.scheduler = scheduler or zones[0].scheduler
+        self.clock = clock
+        self.chaos = zones[0].chaos
+        self.proactive_migration = zones[0].proactive_migration
+        self._zone_by_node: Dict[str, ZoneController] = {}
+        for zone in self.zones:
+            zone.fleet = self
+            for name in zone.nodes:
+                if name in self._zone_by_node:
+                    raise ConfigurationError(
+                        f"node {name!r} appears in two zones")
+                self._zone_by_node[name] = zone
+        #: The fleet-wide placement trace, in admission order (the
+        #: per-zone logs only see their own share).
+        self.placement_log: List[Placement] = []
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> Dict[str, ComputeNode]:
+        """Merged name->node map, zone-major (= node-index) order."""
+        merged: Dict[str, ComputeNode] = {}
+        for zone in self.zones:
+            merged.update(zone.nodes)
+        return merged
+
+    def node_list(self) -> List[ComputeNode]:
+        """All nodes, zone-major (= monolith insertion) order."""
+        return [node for zone in self.zones
+                for node in zone.node_list()]
+
+    def zone_of(self, node_name: str) -> ZoneController:
+        """The zone owning a node."""
+        try:
+            return self._zone_by_node[node_name]
+        except KeyError:
+            raise KeyError(f"node {node_name!r} is not in any zone") \
+                from None
+
+    def zone_summaries(self) -> Dict[str, Dict[str, object]]:
+        """Every zone's published summary view, zone-name sorted."""
+        return {zone.zone: zone.zone_summary()
+                for zone in sorted(self.zones, key=lambda z: z.zone)}
+
+    # -- placement --------------------------------------------------------
+
+    def _global_schedulable(self, exclude: str = "",
+                            honor_probation: bool = False) -> List[NodeView]:
+        """Union of every zone's schedulable views.
+
+        The same candidate set the monolith would offer its scheduler;
+        ``honor_probation`` additionally drops nodes still on
+        post-recovery probation (the failover rule).
+        """
+        views: List[NodeView] = []
+        for zone in self.zones:
+            for view in zone.health.schedulable_views():
+                if view.name == exclude:
+                    continue
+                if honor_probation and view.name in zone._probation_until:
+                    continue
+                views.append(view)
+        return views
+
+    def launch(self, vm: VirtualMachine, sla) -> Placement:
+        """Admit a VM: schedule fleet-wide, place in the owning zone."""
+        placement = self.scheduler.schedule(
+            self._global_schedulable(), vm, sla)
+        zone = self._zone_by_node[placement.node]
+        zone.place(vm, sla, placement)
+        self.placement_log.append(placement)
+        return placement
+
+    def locate(self, vm_name: str) -> ComputeNode:
+        """The node currently hosting a VM, fleet-wide."""
+        for zone in self.zones:
+            try:
+                return zone.locate(vm_name)
+            except KeyError:
+                continue
+        raise KeyError(f"VM {vm_name!r} is not placed on any node")
+
+    def forget_vm(self, vm_name: str) -> None:
+        """Drop per-VM bookkeeping in whichever zone holds it."""
+        for zone in self.zones:
+            zone.forget_vm(vm_name)
+
+    # -- cross-zone moves -------------------------------------------------
+
+    def _transfer_vm(self, vm_name: str, source: ZoneController,
+                     destination: ZoneController) -> None:
+        """Move a VM's control-plane records between zones.
+
+        The hosting zone must own the SLA record and restart/outage
+        bookkeeping, or its measurement loop would silently skip the
+        arrival (and the source zone would keep billing a ghost).
+        """
+        destination.tracker.transfer_in(
+            vm_name, source.tracker.transfer_out(vm_name))
+        if vm_name in source._seen_restarts:
+            destination._seen_restarts[vm_name] = \
+                source._seen_restarts.pop(vm_name)
+        if vm_name in source._vm_down_since:
+            destination._vm_down_since[vm_name] = \
+                source._vm_down_since.pop(vm_name)
+        source._vm_homes.pop(vm_name, None)
+
+    def _failover_vms(self, zone: ZoneController,
+                      source: ComputeNode) -> None:
+        """Monolith failover with fleet-wide targets (see parent)."""
+        for vm in list(source.hypervisor.vms):
+            if vm.name not in zone.tracker.tracked_vms():
+                continue
+            sla = zone.tracker.sla_for(vm.name)
+            targets = self._global_schedulable(
+                exclude=source.name, honor_probation=True)
+            try:
+                placement = self.scheduler.schedule(targets, vm, sla)
+            except SchedulingError:
+                zone.stats.failed_failovers += 1
+                continue
+            dest_zone = self._zone_by_node[placement.node]
+            destination = dest_zone.nodes[placement.node]
+            if not destination.can_host(vm):
+                zone.stats.failed_failovers += 1
+                continue
+            source.hypervisor.detach_vm(vm.name)
+            requirement = source.qos.requirement_for(vm.name)
+            source.qos.unregister(vm.name)
+            if vm.is_active:
+                vm.fail()
+            if vm.state is VMState.FAILED:
+                vm.restart()
+            vm.state = VMState.PENDING
+            destination.hypervisor.create_vm(vm)
+            if requirement is not None:
+                destination.qos.register(vm.name, requirement)
+            dest_zone.health.view(destination.name).reserve(
+                vm.vcpus, vm.guest_os_mb + vm.workload.demand.memory_mb)
+            if dest_zone is not zone:
+                self._transfer_vm(vm.name, zone, dest_zone)
+            dest_zone._vm_homes[vm.name] = destination.name
+            zone.stats.failovers += 1
+            source.runtime.metrics.inc("resilience.failovers")
+            destination.runtime.metrics.inc(
+                "cloudmgr.migration.vms_received")
+
+    def _attempt_evacuation(self, zone: ZoneController,
+                            name: str) -> None:
+        """Monolith evacuation with fleet-wide targets (see parent)."""
+        now = self.clock.now
+        node = zone.nodes[name]
+        targets = self._global_schedulable(exclude=name)
+        attempted_from = len(zone.migrations.records)
+        moved = zone.migrations.evacuate(
+            node, targets, zone.tracker, proactive=True,
+            resolve=lambda destination:
+                self._zone_by_node[destination].nodes[destination])
+        failed = [r for r in zone.migrations.records[attempted_from:]
+                  if not r.succeeded]
+        if moved:
+            zone.stats.evacuations += 1
+            node.runtime.metrics.inc("cloudmgr.migration.evacuations")
+            for record in moved:
+                dest_zone = self._zone_by_node[record.destination]
+                if dest_zone is not zone:
+                    self._transfer_vm(record.vm_name, zone, dest_zone)
+                dest_zone._vm_homes[record.vm_name] = record.destination
+                dest_zone.nodes[record.destination].runtime.metrics.inc(
+                    "cloudmgr.migration.vms_received")
+        if not failed:
+            zone._evac_retry.pop(name, None)
+            return
+        node.runtime.metrics.inc(
+            "resilience.migration.aborts", len(failed))
+        retry = zone.degradation.retry
+        state = zone._evac_retry.get(name) or _RetryState(
+            attempt=0, first_at=now, next_at=now)
+        attempt = state.attempt + 1
+        if retry.should_retry(attempt, state.first_at, now):
+            zone._evac_retry[name] = _RetryState(
+                attempt=attempt, first_at=state.first_at,
+                next_at=now + retry.delay_s(attempt, zone._rng))
+        else:
+            zone._evac_retry.pop(name, None)
+
+    def _handle_risk(self) -> None:
+        """Risk-driven evacuation over all zones, global name order."""
+        now = self.clock.now
+        pairs: List[Tuple[ZoneController, NodeView]] = sorted(
+            ((zone, view) for zone in self.zones
+             for view in zone.health.schedulable_views()),
+            key=lambda pair: pair[1].name)
+        for zone, view in pairs:
+            beat = view.last
+            if beat is None or beat.risk is None \
+                    or not beat.risk.at_risk:
+                continue
+            if not beat.active_vms:
+                continue
+            pending = zone._evac_retry.get(view.name)
+            if pending is not None and now < pending.next_at:
+                continue
+            if pending is not None:
+                zone.stats.migration_retries += 1
+            self._attempt_evacuation(zone, view.name)
+
+    # -- the control loop -------------------------------------------------
+
+    def step(self, dt_s: float = 1.0) -> None:
+        """One control-loop iteration, phase-major across zones.
+
+        Each phase sweeps every zone before the next begins; inside a
+        phase, zones run in order and zones are contiguous node-index
+        ranges — so the global node sequence each phase sees equals the
+        monolith's, and the reports match byte-for-byte.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError("dt must be positive")
+        for zone in self.zones:
+            zone.stats.steps += 1
+        if self.chaos is not None:
+            self.chaos.apply(self.node_list(), self.clock.now)
+        for zone in self.zones:
+            for node in zone.node_list():
+                node.step(dt_s)
+                energy = node.hypervisor.stats.energy_j
+                zone.stats.energy_j += energy \
+                    - zone._last_energy[node.name]
+                zone._last_energy[node.name] = energy
+        for zone in self.zones:
+            zone._ingest_heartbeats()
+        reconcile: List[Tuple[ZoneController, NodeView]] = sorted(
+            ((zone, view) for zone in self.zones
+             for view in zone.health.views()),
+            key=lambda pair: pair[1].name)
+        for zone, view in reconcile:
+            zone._reconcile_node(view)
+        if self.proactive_migration:
+            self._handle_risk()
+        for zone in self.zones:
+            zone._account_service(dt_s)
+
+    def run(self, duration_s: float, dt_s: float = 1.0) -> None:
+        """Run the control loop for a stretch of simulated time."""
+        for _ in range(step_count(duration_s, dt_s)):
+            self.step(dt_s)
+            self.clock.advance_by(dt_s)
+
+    # -- summaries --------------------------------------------------------
+
+    @property
+    def stats(self) -> ControllerStats:
+        """Merged controller counters across zones.
+
+        Counter fields sum; ``steps`` is identical per zone (merged by
+        max); repair episodes concatenate zone-major.  ``energy_j``
+        merges in zone-sum order, which may differ from the monolith's
+        interleaved accumulation in the last ulp — reports therefore
+        derive energy from the per-node hypervisor meters instead.
+        """
+        merged = ControllerStats()
+        merged.steps = max(z.stats.steps for z in self.zones)
+        for name in _SUMMED_STATS:
+            setattr(merged, name,
+                    sum(getattr(z.stats, name) for z in self.zones))
+        merged.repair_times_s = [
+            t for z in self.zones for t in z.stats.repair_times_s]
+        return merged
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Per-node metrics registries, globally node-name sorted."""
+        merged = {}
+        for zone in self.zones:
+            merged.update(zone.metrics_snapshot())
+        return {name: merged[name] for name in sorted(merged)}
+
+    def availability_summary(self) -> Dict[str, float]:
+        """Achieved availability per VM, merged across zone trackers."""
+        merged: Dict[str, float] = {}
+        for zone in self.zones:
+            merged.update(zone.tracker.availability_summary())
+        return merged
+
+    def violations_total(self) -> int:
+        """Summed SLA violations across zones."""
+        return sum(z.tracker.violations_total() for z in self.zones)
+
+    def repair_episodes(self) -> List[float]:
+        """Closed plus still-open VM repair episodes, fleet-wide."""
+        episodes: List[float] = []
+        for zone in self.zones:
+            episodes.extend(zone.repair_episodes())
+        return episodes
+
+    def fleet_availability(self) -> float:
+        """Mean achieved availability across tracked VMs."""
+        summary = self.availability_summary()
+        if not summary:
+            return 1.0
+        return sum(summary.values()) / len(summary)
+
+    def mttr_s(self) -> Optional[float]:
+        """Mean VM service-restoration time (None without outages)."""
+        episodes = self.repair_episodes()
+        if not episodes:
+            return None
+        return sum(episodes) / len(episodes)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary, one block per zone."""
+        lines = [f"fleet: {len(self.zones)} zones, "
+                 f"{sum(len(z.nodes) for z in self.zones)} nodes"]
+        for zone in self.zones:
+            summary = zone.zone_summary()
+            lines.append(
+                f"  {summary['zone']}: {summary['nodes']} nodes, "
+                f"{summary['schedulable']} schedulable, "
+                f"{summary['tracked_vms']} tracked VMs")
+        return "\n".join(lines)
+
+    # -- persistence ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable fleet state: zones plus the global trace."""
+        return {
+            "zones": {zone.zone: zone.state_dict()
+                      for zone in self.zones},
+            "placement_log": [asdict(p) for p in self.placement_log],
+        }
+
+    def load_state_dict(self, state: Dict[str, object],
+                        vm_factory: Callable[[str], VirtualMachine],
+                        ) -> None:
+        """Restore the fleet saved by :meth:`state_dict`."""
+        zone_states = state["zones"]
+        for zone in self.zones:
+            zone.load_state_dict(zone_states[zone.zone], vm_factory)  # type: ignore[index]
+        self.placement_log = [
+            Placement(**p) for p in state["placement_log"]]  # type: ignore[union-attr]
+
+
+# -- builders -------------------------------------------------------------
+
+
+def build_zoned_rack(n_nodes: int, shards: int, clock: SimClock,
+                     seed: int = 0, *,
+                     characterize: bool = False,
+                     eop_policy=None,
+                     proactive_migration: bool = True,
+                     degradation=None,
+                     chaos=None) -> FleetScheduler:
+    """A rack split into ``shards`` contiguous zones under one router.
+
+    Nodes come from the same :func:`~repro.cloudmgr.node.build_rack`
+    call a monolith would make (identical SeedSequence spawns), the
+    zones share one scheduler, one clock and one chaos engine — the
+    preconditions of the zoned/monolith identity contract.
+    """
+    nodes = build_rack(n_nodes, clock=clock, seed=seed,
+                       characterize=characterize, eop_policy=eop_policy)
+    scheduler = FilterScheduler()
+    zones = []
+    for index, (lo, hi) in enumerate(shard_bounds(n_nodes, shards)):
+        zones.append(ZoneController(
+            clock, nodes[lo:hi], scheduler=scheduler,
+            proactive_migration=proactive_migration,
+            degradation=degradation, chaos=chaos, control_seed=seed,
+            zone=f"zone{index}"))
+    return FleetScheduler(zones, scheduler=scheduler)
+
+
+def run_zoned_rack_experiment(n_nodes: int = 4, shards: int = 1,
+                              duration_s: float = 3600.0, seed: int = 0,
+                              characterize: bool = False,
+                              eop_policy=None,
+                              proactive_migration: bool = True,
+                              base_rate_per_hour: float = 12.0,
+                              step_s: float = 60.0,
+                              degradation=None,
+                              fault_plan=None) -> RackExperiment:
+    """The zoned twin of :func:`~repro.cloudmgr.simulation.run_rack_experiment`.
+
+    Same seed discipline, same trace, same per-node stack — only the
+    control plane is sharded.  With ``shards=1`` this is a monolith in
+    a one-zone coat; with more, the identity tests hold it to the same
+    report bytes.
+    """
+    from ..resilience.chaos import ChaosEngine
+
+    if n_nodes < 1:
+        raise ConfigurationError("the rack needs at least one node")
+    clock = SimClock()
+    chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
+    fleet = build_zoned_rack(
+        n_nodes, shards, clock, seed=seed, characterize=characterize,
+        eop_policy=eop_policy, proactive_migration=proactive_migration,
+        degradation=degradation, chaos=chaos)
+    stats = run_trace_experiment(
+        fleet, duration_s, trace_seed=seed,
+        base_rate_per_hour=base_rate_per_hour, step_s=step_s)
+    return RackExperiment(cloud=fleet, stats=stats)
+
+
+__all__ = [
+    "FleetScheduler",
+    "ZoneController",
+    "build_zoned_rack",
+    "run_zoned_rack_experiment",
+    "TraceDrivenSimulation",
+]

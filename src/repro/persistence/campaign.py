@@ -39,10 +39,6 @@ from .snapshot import Journal, SnapshotStore, payload_checksum
 
 logger = logging.getLogger(__name__)
 
-#: Nominal frequency used to scale arrival workloads to their lifetimes
-#: (must match ``TraceDrivenSimulation._admit``).
-_NOMINAL_HZ = 2.4e9
-
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -148,16 +144,15 @@ class PersistentCampaign:
 
     def _vm_factory(self, name: str) -> VirtualMachine:
         """Rebuild the named VM shell exactly as admission created it."""
+        from ..cloudmgr.simulation import vm_from_event
+
         try:
             event = self._events_by_name[name]
         except KeyError:
             raise PersistenceError(
                 f"snapshot references VM {name!r} absent from the "
                 "regenerated arrival trace") from None
-        workload = event.workload.scaled(
-            max(0.01, event.lifetime_s * _NOMINAL_HZ
-                / event.workload.duration_cycles))
-        return VirtualMachine(name=event.vm_name, workload=workload)
+        return vm_from_event(event)
 
     # -- state ------------------------------------------------------------------
 

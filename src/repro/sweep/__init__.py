@@ -13,6 +13,7 @@ from .engine import (
     SweepSpec,
     SweepTask,
     campaign_result_from_row,
+    default_mp_context,
     run_sweep,
     run_sweep_task,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "SweepSpec",
     "SweepTask",
     "campaign_result_from_row",
+    "default_mp_context",
     "report_digest",
     "run_sweep",
     "run_sweep_task",

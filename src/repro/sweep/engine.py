@@ -290,12 +290,21 @@ def _worker_main(worker: Callable[[SweepTask], SweepRow],
     conn.close()
 
 
-def _default_context():
+def default_mp_context():
     """Prefer ``fork`` (workers inherit interpreter configuration, so
-    jobs-1 and jobs-N agree byte-for-byte); fall back to ``spawn``."""
+    jobs-1 and jobs-N agree byte-for-byte); fall back to ``spawn``.
+
+    Shared by the sweep engine and the fleet campaign executor — any
+    shared-nothing worker pool in the repo should start workers the
+    same way for the same determinism argument.
+    """
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+#: Backwards-compatible private alias.
+_default_context = default_mp_context
 
 
 def run_sweep(spec: SweepSpec, jobs: int = 1, max_retries: int = 1,

@@ -14,9 +14,24 @@ class TestParser:
         parser = build_parser()
         for command in ("quickstart", "characterize", "refresh",
                         "figure4", "population", "tco", "edge",
-                        "validate", "metrics", "chaos", "sweep"):
+                        "validate", "metrics", "chaos", "sweep",
+                        "fleet", "profile"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.nodes == 64
+        assert args.shards == 1
+        assert args.jobs == 1
+        assert args.engine == "vector"
+        assert args.stepper == "vector"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.what == "rack"
+        assert args.top == 25
+        assert args.sort == "cumulative"
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
@@ -120,6 +135,32 @@ class TestCommands:
     def test_sweep_rejects_bad_grid(self, capsys):
         assert main(["sweep", "--grid", "voltage=1.0"]) == 2
         assert "unknown grid axis" in capsys.readouterr().err
+
+    def test_fleet_vector_writes_report(self, capsys, tmp_path):
+        report_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--nodes", "8", "--duration", "1200",
+                     "--report-json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "report sha256:" in out
+        assert "proportionality" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["totals"]["steps"] == 20
+        assert "report_sha256" in report
+
+    def test_fleet_zoned_engine(self, capsys):
+        assert main(["fleet", "--engine", "zoned", "--nodes", "4",
+                     "--shards", "2", "--duration", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "2 zone(s)" in out
+        assert "report sha256:" in out
+
+    def test_profile_fleet_prints_table(self, capsys):
+        assert main(["profile", "--what", "fleet", "--nodes", "4",
+                     "--duration", "600", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out or "cumtime" in out
 
 
 class TestSweepParsing:

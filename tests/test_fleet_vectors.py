@@ -1,0 +1,184 @@
+"""Tests for the counter-based RNG and vectorized fleet stepping."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.runtime import spawn_runtimes
+from repro.fleet import (
+    FleetConfig,
+    FleetVectors,
+    build_fleet_state,
+    counter_gaussian,
+    counter_uniform,
+    fleet_counter_keys,
+    runtime_counter_key,
+    shard_bounds,
+    splitmix64,
+)
+from repro.fleet.state import DYNAMIC_FIELDS, FleetState
+
+
+def assert_states_identical(a, b):
+    for name, _ in DYNAMIC_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+class TestCounterRNG:
+    def test_splitmix64_repeatable_and_spread(self):
+        bits = splitmix64(np.arange(1024, dtype=np.uint64))
+        again = splitmix64(np.arange(1024, dtype=np.uint64))
+        assert np.array_equal(bits, again)
+        assert len(np.unique(bits)) == 1024  # no collisions on a ramp
+
+    def test_uniform_range_and_salt_sensitivity(self):
+        keys = np.arange(4096, dtype=np.uint64)
+        u = counter_uniform(keys, np.uint64(7), 3)
+        assert float(u.min()) >= 0.0
+        assert float(u.max()) < 1.0
+        other = counter_uniform(keys, np.uint64(8), 3)
+        assert not np.array_equal(u, other)  # step salt matters
+        assert abs(float(u.mean()) - 0.5) < 0.02
+
+    def test_gaussian_moments(self):
+        draws = counter_gaussian(np.arange(20000, dtype=np.uint64), 1)
+        assert np.all(np.isfinite(draws))
+        assert abs(float(draws.mean())) < 0.03
+        assert abs(float(draws.std()) - 1.0) < 0.03
+
+
+class TestKeyDerivation:
+    def test_keys_match_scalar_runtime_streams(self):
+        # Node i of a scalar rack and row i of a vector fleet must
+        # derive the same "fleet.vectors" stream key from one seed.
+        runtimes = spawn_runtimes(5, seed=7)
+        keys = fleet_counter_keys(5, 7)
+        for i, runtime in enumerate(runtimes):
+            assert keys[i] == runtime_counter_key(runtime)
+
+    def test_keys_distinct_across_nodes_and_seeds(self):
+        a = fleet_counter_keys(16, 0)
+        b = fleet_counter_keys(16, 1)
+        assert len(set(a.tolist())) == 16
+        assert set(a.tolist()).isdisjoint(b.tolist())
+
+
+class TestShardBounds:
+    def test_contiguous_cover(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        assert [hi - lo for lo, hi in bounds] == [4, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, 0)
+        with pytest.raises(ConfigurationError):
+            shard_bounds(4, 5)
+
+
+class TestVectorStepping:
+    def test_scalar_loop_matches_vector_step(self):
+        config = FleetConfig(n_nodes=6, seed=3)
+        vectors = FleetVectors(config)
+        whole = build_fleet_state(config)
+        per_node = build_fleet_state(config)
+        rng = np.random.default_rng(42)
+        for t in range(25):
+            used = rng.integers(0, config.vcpus_per_node + 1, size=6)
+            whole.used_vcpus[:] = used
+            per_node.used_vcpus[:] = used
+            vectors.step(whole, t)
+            for i in range(6):
+                vectors.step_node(per_node, i, t)
+            assert_states_identical(whole, per_node)
+
+    def test_arbitrary_shard_split_matches(self):
+        config = FleetConfig(n_nodes=7, seed=1)
+        vectors = FleetVectors(config)
+        whole = build_fleet_state(config)
+        sharded = build_fleet_state(config)
+        views = [sharded.view(lo, hi)
+                 for lo, hi in shard_bounds(7, 3)]
+        for t in range(15):
+            whole.used_vcpus[:] = (t * 3) % (config.vcpus_per_node + 1)
+            sharded.used_vcpus[:] = whole.used_vcpus
+            vectors.step(whole, t)
+            for view in views:
+                vectors.step(view, t)
+            assert_states_identical(whole, sharded)
+
+    def test_governor_demotes_and_readopts(self):
+        config = FleetConfig(n_nodes=32, seed=0,
+                             error_budget_per_window=0,
+                             review_every_steps=2,
+                             probation_steps=4)
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        state.used_vcpus[:] = config.vcpus_per_node  # full load
+        for t in range(40):
+            vectors.step(state, t)
+        assert int(state.demotions.sum()) > 0
+        assert int(state.adoptions.sum()) > 0
+
+    def test_energy_and_temperature_advance(self):
+        config = FleetConfig(n_nodes=4, seed=0)
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        vectors.step(state, 0)
+        assert np.all(state.power_w > 0)
+        assert np.all(state.energy_j == state.power_w * config.step_s)
+        assert np.all(state.temperature_c > config.ambient_c)
+
+
+class TestStateRoundTrip:
+    def test_state_dict_round_trip(self):
+        config = FleetConfig(n_nodes=5, seed=9)
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        state.used_vcpus[:] = 3
+        for t in range(12):
+            vectors.step(state, t)
+        saved = state.state_dict()
+
+        restored = build_fleet_state(config)
+        restored.load_state_dict(saved)
+        assert_states_identical(state, restored)
+        # Continuing from the restored state stays identical.
+        vectors.step(state, 12)
+        vectors.step(restored, 12)
+        assert_states_identical(state, restored)
+
+    def test_load_rejects_wrong_size(self):
+        config = FleetConfig(n_nodes=5, seed=0)
+        state = build_fleet_state(config)
+        saved = build_fleet_state(
+            FleetConfig(n_nodes=4, seed=0)).state_dict()
+        with pytest.raises(ConfigurationError):
+            state.load_state_dict(saved)
+
+
+class TestEquilibriumAnchors:
+    def test_monotonic_in_util_and_margin_saves_power(self):
+        vectors = FleetVectors(FleetConfig())
+        idle = vectors.equilibrium_power_w(0.0, margin_on=False)
+        peak = vectors.equilibrium_power_w(1.0, margin_on=False)
+        assert 0.0 < idle < peak
+        assert (vectors.equilibrium_power_w(1.0, margin_on=True)
+                < peak)
+
+    def test_anchor_is_deterministic(self):
+        vectors = FleetVectors(FleetConfig())
+        assert (vectors.equilibrium_power_w(0.5, margin_on=True)
+                == vectors.equilibrium_power_w(0.5, margin_on=True))
+
+
+class TestViewSemantics:
+    def test_view_shares_memory(self):
+        state = build_fleet_state(FleetConfig(n_nodes=6, seed=0))
+        view = state.view(2, 5)
+        assert isinstance(view, FleetState)
+        view.used_vcpus[:] = 7
+        assert np.array_equal(state.used_vcpus[2:5], [7, 7, 7])
+        assert state.used_vcpus[0] == 0

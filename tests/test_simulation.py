@@ -80,6 +80,53 @@ class TestSimulation:
             simulation.run(0.0)
 
 
+class TestDepartureHeap:
+    def test_heap_mirrors_departure_dict(self):
+        duration = 2 * 3600.0
+        simulation = TraceDrivenSimulation(
+            make_cloud(), make_events(duration), step_s=120.0)
+        simulation.run(duration)
+        live = {(when, name) for name, when
+                in simulation._departures.items()}
+        assert live <= set(simulation._departure_heap)
+        # Nothing still pending is already due.
+        assert all(when > simulation.now for when, _ in live)
+
+    def test_load_state_dict_rebuilds_heap(self):
+        duration = 2 * 3600.0
+        events = make_events(duration)
+        first = TraceDrivenSimulation(make_cloud(), events,
+                                      step_s=120.0)
+        while first.now < duration / 2:
+            first.step_once()
+        state = first.state_dict()
+
+        second = TraceDrivenSimulation(make_cloud(), events,
+                                       step_s=120.0)
+        second.load_state_dict(state)
+        assert sorted(second._departure_heap) == sorted(
+            (when, name) for name, when
+            in second._departures.items())
+        assert second._departure_heap[0] == min(second._departure_heap)
+
+    def test_stale_heap_entries_are_skipped(self):
+        simulation = TraceDrivenSimulation(make_cloud(), [],
+                                           step_s=60.0)
+        import heapq
+
+        # A superseded entry (lazy deletion) must not terminate the VM
+        # at the stale time.
+        simulation._departures["vm0"] = 500.0
+        heapq.heappush(simulation._departure_heap, (100.0, "vm0"))
+        heapq.heappush(simulation._departure_heap, (500.0, "vm0"))
+        simulation._terminate_departed(200.0)
+        assert simulation.stats.terminated == 0
+        assert "vm0" in simulation._departures
+        simulation._terminate_departed(600.0)
+        assert simulation.stats.terminated == 1
+        assert "vm0" not in simulation._departures
+
+
 class TestConvenienceWrapper:
     def test_run_trace_experiment(self):
         cloud = make_cloud()

@@ -472,6 +472,21 @@ def _write_canonical(path: str, report) -> None:
         handle.write("\n")
 
 
+def _parse_kill_specs(specs) -> list:
+    """Parse repeatable ``STEP:WORKER`` kill-injection arguments."""
+    kills = []
+    for spec in specs:
+        step, sep, worker = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            kills.append((int(step), int(worker)))
+        except ValueError:
+            raise SystemExit(
+                f"--kill-worker-at expects STEP:WORKER, got {spec!r}")
+    return kills
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .persistence import payload_checksum
 
@@ -481,7 +496,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         experiment = run_zoned_rack_experiment(
             n_nodes=args.nodes, shards=args.shards,
             duration_s=args.duration, seed=args.seed,
-            base_rate_per_hour=args.rate)
+            base_rate_per_hour=args.rate,
+            chaos_seed=args.chaos_seed,
+            chaos_rate_per_hour=args.chaos_rate,
+            chaos_intensity=args.chaos_intensity)
         report = rack_report(experiment.cloud, experiment.stats)
         print(f"zoned rack: {args.nodes} nodes in {args.shards} "
               f"zone(s), {report['steps']} steps")
@@ -500,11 +518,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             fleet=FleetConfig(n_nodes=args.nodes, seed=args.seed),
             duration_s=args.duration,
             arrivals_per_hour=args.rate,
-            shards=args.shards, stepper=args.stepper)
+            shards=args.shards, stepper=args.stepper,
+            chaos_seed=args.chaos_seed,
+            chaos_rate_per_hour=args.chaos_rate,
+            chaos_intensity=args.chaos_intensity)
         report = run_fleet_campaign(
             config, jobs=args.jobs, snapshot_dir=args.snapshot_dir,
             snapshot_every_steps=args.snapshot_every,
-            resume=args.resume)
+            resume=args.resume,
+            worker_timeout_s=args.worker_timeout,
+            max_worker_restarts=args.max_worker_restarts,
+            kill_worker_at=_parse_kill_specs(args.kill_worker_at))
         totals = report["totals"]
         ep = report["energy_proportionality"]
         print(f"fleet campaign: {args.nodes} nodes, "
@@ -513,6 +537,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"steps {totals['steps']}, admitted {totals['admitted']}, "
               f"rejected {totals['rejected']}, "
               f"completed {totals['completed']}")
+        if args.chaos_seed is not None:
+            print(f"chaos: seed {args.chaos_seed}, "
+                  f"crashes {totals['crashes']}, "
+                  f"vm failures {totals['vm_failures']}, "
+                  f"nodes down at end {totals['nodes_down_final']}")
+        quarantine = report.get("quarantine")
+        if quarantine:
+            print(f"quarantine: {quarantine['nodes']} node(s) frozen "
+                  f"in ranges {quarantine['node_ranges']} after "
+                  f"{quarantine['worker_restarts']} worker restart(s)")
         print(f"energy {totals['energy_j'] / 3.6e6:.3f} kWh, "
               f"violations {totals['violations']}, "
               f"margins adopted {totals['margins_adopted_final']}"
@@ -717,6 +751,29 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--report-json", default=None,
                        help="write the canonical-JSON fleet report "
                             "to this path")
+    fleet.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed a vectorized fault plan (crash "
+                            "storms, telemetry dropout, governor "
+                            "wedges); changes the physics, so it is "
+                            "part of the report identity")
+    fleet.add_argument("--chaos-rate", type=float, default=6.0,
+                       help="expected faults per node-hour "
+                            "(default 6)")
+    fleet.add_argument("--chaos-intensity", type=float, default=0.5,
+                       help="fault magnitude scale in (0, 1] "
+                            "(default 0.5)")
+    fleet.add_argument("--kill-worker-at", action="append", default=[],
+                       metavar="STEP:WORKER",
+                       help="SIGKILL worker WORKER at step STEP "
+                            "(repeatable; needs --jobs >= 2); the "
+                            "report must not change")
+    fleet.add_argument("--max-worker-restarts", type=int, default=2,
+                       help="respawns per worker before its shards "
+                            "are quarantined (default 2)")
+    fleet.add_argument("--worker-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="supervision deadline per worker reply "
+                            "(default 30)")
     profile = sub.add_parser(
         "profile", help="short campaign under cProfile")
     profile.add_argument("--what", choices=("rack", "fleet"),

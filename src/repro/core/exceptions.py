@@ -91,5 +91,22 @@ class SweepError(UniServerError):
     """A sweep worker failed permanently after its bounded retries."""
 
 
+class FleetWorkerError(UniServerError):
+    """A fleet shard worker died, wedged, or broke protocol.
+
+    Carries enough context for the supervisor (and for error reports
+    when supervision is exhausted): which worker failed, which shards
+    it owned, and the last step it acknowledged — ``None`` when it
+    never acked at all.
+    """
+
+    def __init__(self, message: str, worker: int = -1,
+                 shards=(), last_acked_step=None):
+        super().__init__(message)
+        self.worker = worker
+        self.shards = tuple(shards)
+        self.last_acked_step = last_acked_step
+
+
 class InvariantViolation(PersistenceError):
     """A cross-layer state invariant did not hold (strict auditor mode)."""

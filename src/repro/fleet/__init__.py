@@ -1,20 +1,31 @@
 """Fleet-scale stepping: vectorized shards under zoned control.
 
-Four pieces (see ``docs/fleet.md``):
+Five pieces (see ``docs/fleet.md``):
 
 * :mod:`repro.fleet.state` — struct-of-arrays fleet state and configs;
 * :mod:`repro.fleet.vectors` — counter-based RNG and numpy batch
   models, byte-identical to per-node stepping on any shard split;
+* :mod:`repro.fleet.chaos` — seeded fault plans compiled to
+  slice-invariant per-step mask kernels;
 * :mod:`repro.fleet.zone` — ``CloudController`` split into
   ``ZoneController`` shards under a thin ``FleetScheduler`` router;
-* :mod:`repro.fleet.campaign` — one campaign over parallel shard
-  workers with a deterministic per-step barrier and snapshot/resume.
+* :mod:`repro.fleet.campaign` — one campaign over supervised parallel
+  shard workers with a deterministic per-step barrier, replay-on-crash
+  recovery, quarantine escalation, and snapshot/resume.
 """
 
 from .campaign import (
     FleetCampaign,
     FleetCampaignConfig,
     run_fleet_campaign,
+)
+from .chaos import (
+    CH_FLEET_DROPOUT,
+    FLEET_FAULT_KINDS,
+    FleetChaos,
+    fleet_fault_plan,
+    fleet_node_index,
+    fleet_node_name,
 )
 from .report import (
     energy_proportionality,
@@ -45,10 +56,13 @@ from .zone import (
 
 __all__ = [
     "ARRIVAL_STREAM",
+    "CH_FLEET_DROPOUT",
     "DYNAMIC_FIELDS",
+    "FLEET_FAULT_KINDS",
     "VECTOR_STREAM",
     "FleetCampaign",
     "FleetCampaignConfig",
+    "FleetChaos",
     "FleetConfig",
     "FleetScheduler",
     "FleetState",
@@ -63,6 +77,9 @@ __all__ = [
     "energy_proportionality",
     "fleet_campaign_report",
     "fleet_counter_keys",
+    "fleet_fault_plan",
+    "fleet_node_index",
+    "fleet_node_name",
     "rack_report",
     "run_fleet_campaign",
     "run_zoned_rack_experiment",

@@ -1,4 +1,4 @@
-"""Vectorized fleet campaigns: shards in parallel within one run.
+"""Vectorized fleet campaigns: supervised shards in parallel in one run.
 
 The sweep engine parallelizes *across* campaigns; this module
 parallelizes *within* one.  The fleet is split into contiguous node
@@ -9,39 +9,68 @@ the same way the sweep engine starts its workers
 (:func:`~repro.sweep.engine.default_mp_context`).
 
 **Determinism contract** (pinned by ``tests/test_fleet_campaign.py``
-and priced by ``benchmarks/bench_fleet_scaling.py``): the campaign
-report is byte-identical across ``stepper`` (vector vs. naive per-node
-loop), ``shards`` and ``jobs``.  Three mechanisms carry it:
+and priced by ``benchmarks/bench_fleet_scaling.py`` /
+``benchmarks/bench_fleet_chaos.py``): the campaign report is
+byte-identical across ``stepper`` (vector vs. naive per-node loop),
+``shards``, ``jobs`` — and across **worker deaths**.  Four mechanisms
+carry it:
 
-* all randomness is counter-based (:mod:`repro.fleet.vectors`), so a
-  draw depends on ``(node key, step, channel, lane)`` — never on which
-  shard or process computed it;
+* all randomness is counter-based (:mod:`repro.fleet.vectors`,
+  :mod:`repro.fleet.chaos`), so a draw depends on ``(node key, step,
+  channel, lane)`` — never on which shard or process computed it;
 * the arrival/placement/departure process runs entirely in the parent
   over the global node arrays, so admission decisions cannot depend on
   the shard split;
 * workers advance in lockstep behind a per-step barrier — the parent
   collects every shard's acknowledgement (in worker order) before the
   next step — and telemetry reductions run in the parent over arrays
-  reassembled in node-index order.
+  reassembled in node-index order;
+* every worker exchange is *supervised*: receives poll with a
+  deadline, a dead or wedged worker is SIGKILLed, respawned, and
+  deterministically **replayed** — its shards rebuilt from the last
+  per-shard checkpoint plus re-stepping the counter-based kernels over
+  the recorded admission inputs — so the respawned worker reaches the
+  exact state the dead one would have had.
+
+When a worker exhausts ``max_worker_restarts``, its shards are
+**quarantined**: their nodes are marked DOWN in :class:`FleetState`,
+admission routes around them, their physics freeze at the failure
+step, and the quarantine is recorded in the report — the campaign
+degrades gracefully instead of dying.
 
 Snapshots reuse the :class:`~repro.persistence.snapshot.SnapshotStore`
-rebuild-from-config-then-overlay protocol: statics regenerate from the
-config, only dynamics ride in the payload.
+rebuild-from-config-then-overlay protocol at **per-shard granularity**
+(:func:`~repro.persistence.snapshot.shard_entries`): statics regenerate
+from the config, each shard's dynamics ride in an individually
+checksummed entry.
 """
 
 from __future__ import annotations
 
 import heapq
+import logging
 import math
+import os
+import signal
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.clock import step_count
-from ..core.exceptions import ConfigurationError, PersistenceError
-from ..persistence.snapshot import SnapshotStore
+from ..core.exceptions import (
+    ConfigurationError,
+    FleetWorkerError,
+    PersistenceError,
+)
+from ..persistence.snapshot import (
+    SnapshotStore,
+    shard_entries,
+    verify_shard_entries,
+)
 from ..sweep.engine import default_mp_context
+from .chaos import FleetChaos, fleet_fault_plan
 from .report import fleet_campaign_report
 from .state import (
     DYNAMIC_FIELDS,
@@ -58,7 +87,16 @@ from .vectors import (
     counter_uniform,
 )
 
+logger = logging.getLogger(__name__)
+
 STEPPERS = ("vector", "scalar")
+
+#: Granularity of the supervised receive loop (seconds between
+#: liveness checks while waiting on a worker reply).
+_POLL_S = 0.05
+
+#: ``down_until_step`` sentinel for permanently quarantined nodes.
+_FOREVER = 2**62
 
 
 @dataclass(frozen=True)
@@ -68,7 +106,11 @@ class FleetCampaignConfig:
     ``shards``/``stepper`` are execution knobs: they ride in snapshots
     (a resume rebuilds the same execution by default) but are excluded
     from the report's config echo, because the report must not depend
-    on them.
+    on them.  The chaos knobs (``chaos_seed`` and friends) are *not*
+    execution knobs — injected faults change the physics, so they stay
+    in the echo.  Supervision knobs (worker timeouts, restart budgets,
+    kill injection) live on :class:`FleetCampaign`, not here: they must
+    never perturb the report.
     """
 
     fleet: FleetConfig = field(default_factory=FleetConfig)
@@ -80,6 +122,12 @@ class FleetCampaignConfig:
     shards: int = 1
     stepper: str = "vector"
     label: str = "fleet"
+    #: Seeded vectorized fault plan (None = no chaos).
+    chaos_seed: Optional[int] = None
+    chaos_rate_per_hour: float = 6.0
+    chaos_intensity: float = 0.5
+    #: Steps a node stays DOWN after an injected crash.
+    crash_down_steps: int = 5
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -97,12 +145,41 @@ class FleetCampaignConfig:
         if self.stepper not in STEPPERS:
             raise ConfigurationError(
                 f"stepper must be one of {STEPPERS}")
+        if self.chaos_rate_per_hour < 0:
+            raise ConfigurationError("chaos rate cannot be negative")
+        if not 0 < self.chaos_intensity <= 1:
+            raise ConfigurationError(
+                "chaos intensity must be in (0, 1]")
+        if self.crash_down_steps < 1:
+            raise ConfigurationError("crash_down_steps must be >= 1")
         shard_bounds(self.fleet.n_nodes, self.shards)  # validates
 
     @property
     def n_steps(self) -> int:
         """Total steps in the campaign window."""
         return step_count(self.duration_s, self.fleet.step_s)
+
+    def fault_plan(self):
+        """The seeded fleet fault plan, or None without chaos."""
+        if self.chaos_seed is None:
+            return None
+        return fleet_fault_plan(
+            self.fleet.n_nodes, self.duration_s, seed=self.chaos_seed,
+            rate_per_hour=self.chaos_rate_per_hour,
+            intensity=self.chaos_intensity)
+
+    def build_chaos(self, keys=None) -> Optional[FleetChaos]:
+        """Compile the fault plan to mask kernels (None without chaos).
+
+        Pure function of the config, so the parent, every worker, and
+        every replay compile bit-identical masks independently.
+        """
+        plan = self.fault_plan()
+        if plan is None:
+            return None
+        return FleetChaos(plan, self.fleet,
+                          crash_down_steps=self.crash_down_steps,
+                          keys=keys)
 
     def as_dict(self) -> Dict[str, object]:
         """Full plain-dict form (snapshot payloads)."""
@@ -116,6 +193,10 @@ class FleetCampaignConfig:
             "shards": self.shards,
             "stepper": self.stepper,
             "label": self.label,
+            "chaos_seed": self.chaos_seed,
+            "chaos_rate_per_hour": self.chaos_rate_per_hour,
+            "chaos_intensity": self.chaos_intensity,
+            "crash_down_steps": self.crash_down_steps,
         }
         return state
 
@@ -145,17 +226,23 @@ class _InProcessExecutor:
         self.state = build_fleet_state(config.fleet)
         self.vectors = FleetVectors(config.fleet)
         self.bounds = shard_bounds(config.fleet.n_nodes, config.shards)
+        self.chaos = config.build_chaos(keys=self.state.keys)
         self._views = [self.state.view(lo, hi)
                        for lo, hi in self.bounds]
+        self._shard_chaos = [
+            self.chaos.view(lo, hi) if self.chaos is not None else None
+            for lo, hi in self.bounds]
+        self.worker_restarts_total = 0
 
     def step(self, t: int, used: np.ndarray) -> None:
         self.state.used_vcpus[:] = used
-        for (lo, hi), view in zip(self.bounds, self._views):
+        for (lo, hi), view, chaos_view in zip(
+                self.bounds, self._views, self._shard_chaos):
             if self.config.stepper == "vector":
-                self.vectors.step(view, t)
+                self.vectors.step(view, t, chaos_view)
             else:
                 for index in range(hi - lo):
-                    self.vectors.step_node(view, index, t)
+                    self.vectors.step_node(view, index, t, chaos_view)
 
     def sample(self) -> Dict[str, np.ndarray]:
         return {"power_w": self.state.power_w.copy(),
@@ -163,6 +250,18 @@ class _InProcessExecutor:
 
     def gather(self) -> Dict[str, object]:
         return self.state.state_dict()
+
+    def gather_shards(self) -> List[Tuple[int, int, int, Dict]]:
+        """Per-shard ``(index, lo, hi, state)`` dynamics for snapshots."""
+        return [
+            (i, lo, hi, {name: getattr(view, name).tolist()
+                         for name, _ in DYNAMIC_FIELDS})
+            for i, ((lo, hi), view)
+            in enumerate(zip(self.bounds, self._views))]
+
+    def quarantined_mask(self) -> np.ndarray:
+        """In-process stepping has no workers, hence no quarantine."""
+        return np.zeros(self.config.fleet.n_nodes, dtype=bool)
 
     def load(self, state: Dict[str, object]) -> None:
         self.state.load_state_dict(state)
@@ -178,95 +277,370 @@ def _fleet_worker_main(config_state: Dict[str, object],
     The worker rebuilds the *full* fleet state from config (statics are
     pure functions of it) but steps only its assigned shard views —
     shared-nothing over shards, byte-identical to any other partition.
+    Every reply carries the step it acknowledges (-1 for non-step
+    commands), feeding the parent's liveness ledger.
     """
     config = FleetCampaignConfig.from_dict(config_state)
     state = build_fleet_state(config.fleet)
     vectors = FleetVectors(config.fleet)
+    chaos = config.build_chaos(keys=state.keys)
     bounds = shard_bounds(config.fleet.n_nodes, config.shards)
-    mine = [(bounds[i], state.view(*bounds[i])) for i in shard_indices]
+    mine = []
+    for i in shard_indices:
+        lo, hi = bounds[i]
+        mine.append((i, (lo, hi), state.view(lo, hi),
+                     chaos.view(lo, hi) if chaos is not None else None))
+
+    def advance(t: int, used) -> None:
+        state.used_vcpus[:] = used
+        for _i, (lo, hi), view, chaos_view in mine:
+            if config.stepper == "vector":
+                vectors.step(view, t, chaos_view)
+            else:
+                for index in range(hi - lo):
+                    vectors.step_node(view, index, t, chaos_view)
+
     while True:
         message = conn.recv()
         kind = message[0]
         if kind == "stop":
             break
         if kind == "load":
-            state.load_state_dict(message[1])
-            conn.send(("ok",))
+            for i, piece in message[1]:
+                for owned, _b, view, _c in mine:
+                    if owned != i or piece is None:
+                        continue
+                    for name, dtype in DYNAMIC_FIELDS:
+                        getattr(view, name)[:] = np.asarray(
+                            piece[name], dtype=dtype)
+            conn.send(("ok", -1))
+            continue
+        if kind == "replay":
+            for t, used in message[1]:
+                advance(t, used)
+            conn.send(("ok", -1))
             continue
         if kind == "step":
             _, t, used, want_sample = message
-            state.used_vcpus[:] = used
-            for (lo, hi), view in mine:
-                if config.stepper == "vector":
-                    vectors.step(view, t)
-                else:
-                    for index in range(hi - lo):
-                        vectors.step_node(view, index, t)
+            advance(t, used)
             if want_sample:
                 conn.send(("sample", [
                     (i, {"power_w": view.power_w.copy(),
                          "margin_on": view.margin_on.copy()})
-                    for i, ((lo, hi), view)
-                    in zip(shard_indices, mine)]))
+                    for i, _b, view, _c in mine], t))
             else:
-                conn.send(("ok",))
+                conn.send(("ok", t))
             continue
         if kind == "gather":
             conn.send(("state", [
                 (i, {name: getattr(view, name).copy()
                      for name, _ in DYNAMIC_FIELDS})
-                for i, ((lo, hi), view)
-                in zip(shard_indices, mine)]))
+                for i, _b, view, _c in mine], -1))
             continue
         raise RuntimeError(f"unknown fleet worker command {kind!r}")
     conn.close()
 
 
 class _ProcessExecutor:
-    """Steps shards across shared-nothing worker subprocesses.
+    """Steps shards across supervised shared-nothing worker processes.
 
     Shards are dealt round-robin to ``jobs`` workers; every step is a
     barrier: the parent broadcasts, then collects acknowledgements in
-    worker order before continuing.
+    worker order before continuing.  Every receive polls with a
+    deadline; a dead, wedged, or straggling worker is SIGKILLed,
+    respawned, and deterministically replayed from the last per-shard
+    checkpoint plus the recorded admission inputs.  A worker that
+    exhausts ``max_worker_restarts`` has its shards quarantined: the
+    parent replays them in-process to the failure step, marks their
+    nodes DOWN, and freezes them for the rest of the campaign.
     """
 
+    #: First patience for ``close()``; escalation halves it.
+    CLOSE_JOIN_TIMEOUT_S = 10.0
+
     def __init__(self, config: FleetCampaignConfig, jobs: int,
-                 mp_context=None) -> None:
+                 mp_context=None, worker_timeout_s: float = 30.0,
+                 max_worker_restarts: int = 2,
+                 checkpoint_every_steps: Optional[int] = 25,
+                 kill_worker_at: Sequence[Tuple[int, int]] = ()) -> None:
+        if worker_timeout_s <= 0:
+            raise ConfigurationError("worker timeout must be positive")
+        if max_worker_restarts < 0:
+            raise ConfigurationError(
+                "max_worker_restarts cannot be negative")
+        if checkpoint_every_steps is not None \
+                and checkpoint_every_steps < 1:
+            raise ConfigurationError(
+                "checkpoint_every_steps must be >= 1")
         self.config = config
         self.bounds = shard_bounds(config.fleet.n_nodes, config.shards)
-        ctx = mp_context if mp_context is not None \
+        self._ctx = mp_context if mp_context is not None \
             else default_mp_context()
         jobs = min(jobs, len(self.bounds))
-        assignments = [list(range(w, len(self.bounds), jobs))
-                       for w in range(jobs)]
-        self._assignment = assignments
-        self._workers = []
-        config_state = config.as_dict()
-        for shard_indices in assignments:
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_fleet_worker_main,
-                args=(config_state, shard_indices, child_conn),
-                daemon=True)
-            process.start()
-            child_conn.close()
-            self._workers.append((process, parent_conn))
+        self.jobs = jobs
+        self.worker_timeout_s = worker_timeout_s
+        self.max_worker_restarts = max_worker_restarts
+        self.checkpoint_every_steps = checkpoint_every_steps
+        self._assignment = [list(range(w, len(self.bounds), jobs))
+                            for w in range(jobs)]
+        self._kill_at: Dict[int, List[int]] = {}
+        for step, worker in kill_worker_at:
+            if not 0 <= worker < jobs:
+                raise ConfigurationError(
+                    f"kill target worker {worker} outside [0, {jobs})")
+            if step < 0:
+                raise ConfigurationError("kill step must be >= 0")
+            self._kill_at.setdefault(int(step), []).append(int(worker))
+        self._config_state = config.as_dict()
+        self.chaos = config.build_chaos()
+        self._vectors = FleetVectors(config.fleet)
+        self._workers: List[Optional[tuple]] = [None] * jobs
+        self._restarts = [0] * jobs
+        self._last_acked: List[Optional[int]] = [None] * jobs
+        self._quarantined_workers: set = set()
+        #: Last known-good per-shard dynamics (None = fresh build).
+        self._ckpt: Dict[int, Optional[Dict[str, np.ndarray]]] = {
+            i: None for i in range(len(self.bounds))}
+        #: Admission inputs since the last checkpoint — the replay log.
+        self._history: List[Tuple[int, np.ndarray]] = []
+        self.worker_restarts_total = 0
+        for worker in range(jobs):
+            self._spawn(worker)
 
-    def _collect(self, expected: str) -> List[Tuple[int, Dict]]:
+    # -- supervised plumbing ----------------------------------------------
+
+    def _spawn(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_fleet_worker_main,
+            args=(self._config_state, self._assignment[worker],
+                  child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        self._workers[worker] = (process, parent_conn)
+        self._last_acked[worker] = None
+
+    def _live_workers(self) -> List[int]:
+        return [w for w in range(self.jobs)
+                if w not in self._quarantined_workers]
+
+    def _send(self, worker: int, message) -> None:
+        _process, conn = self._workers[worker]
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            # Death is detected — and recovered — at receive time.
+            pass
+
+    def _failure(self, worker: int, what: str) -> FleetWorkerError:
+        return FleetWorkerError(
+            f"fleet worker {worker} "
+            f"(shards {self._assignment[worker]}) {what}; "
+            f"last acked step: {self._last_acked[worker]}",
+            worker=worker, shards=self._assignment[worker],
+            last_acked_step=self._last_acked[worker])
+
+    def _recv(self, worker: int, timeout: Optional[float] = None):
+        """Poll-with-deadline receive: never blocks on a dead worker."""
+        process, conn = self._workers[worker]
+        timeout = self.worker_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if conn.poll(_POLL_S):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise self._failure(
+                    worker, f"closed its pipe ({exc})") from exc
+            if not process.is_alive():
+                try:  # drain a final buffered reply, if any
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise self._failure(worker, "died")
+            if time.monotonic() >= deadline:
+                raise self._failure(
+                    worker, f"wedged: no reply within {timeout:.1f}s")
+
+    def _note_ack(self, worker: int, reply) -> None:
+        step = reply[-1] if reply and isinstance(reply[-1], int) else -1
+        if reply[0] in ("ok", "sample") and step >= 0:
+            self._last_acked[worker] = step
+
+    def _restart(self, worker: int) -> bool:
+        """Kill + respawn one worker; False once the budget is spent."""
+        process, conn = self._workers[worker]
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=10)
+        conn.close()
+        self._restarts[worker] += 1
+        self.worker_restarts_total += 1
+        if self._restarts[worker] > self.max_worker_restarts:
+            return False
+        self._spawn(worker)
+        logger.warning(
+            "fleet worker %d respawned (restart %d/%d)", worker,
+            self._restarts[worker], self.max_worker_restarts)
+        return True
+
+    def _reload_and_replay(self, worker: int,
+                           replay: List[Tuple[int, np.ndarray]]) -> None:
+        """Rebuild a respawned worker: checkpoint overlay + re-step."""
+        self._send(worker, ("load", [(i, self._ckpt[i])
+                                     for i in self._assignment[worker]]))
+        reply = self._recv(worker)
+        if reply[0] != "ok":
+            raise self._failure(
+                worker, f"broke protocol on reload ({reply[0]!r})")
+        if replay:
+            self._send(worker, ("replay", list(replay)))
+            reply = self._recv(
+                worker, timeout=self.worker_timeout_s
+                + _POLL_S * len(replay))
+            if reply[0] != "ok":
+                raise self._failure(
+                    worker, f"broke protocol on replay ({reply[0]!r})")
+
+    def _collect(self, worker: int, message,
+                 replay: List[Tuple[int, np.ndarray]]):
+        """Receive one reply, recovering through worker failures.
+
+        ``message`` is the already-sent command (resent after a
+        respawn); ``replay`` is the admission-input log to re-step
+        first.  Returns None when the worker got quarantined instead.
+        """
+        while True:
+            try:
+                reply = self._recv(worker)
+            except FleetWorkerError as failure:
+                logger.warning("supervising: %s", failure)
+                if not self._restart(worker):
+                    self._quarantine(worker, message, replay)
+                    return None
+                try:
+                    self._reload_and_replay(worker, replay)
+                    self._send(worker, message)
+                except FleetWorkerError as exc:
+                    logger.warning(
+                        "respawned worker failed during replay: %s",
+                        exc)
+                continue
+            self._note_ack(worker, reply)
+            return reply
+
+    # -- quarantine escalation --------------------------------------------
+
+    def _quarantine(self, worker: int, message,
+                    replay: List[Tuple[int, np.ndarray]]) -> None:
+        """Freeze a hopeless worker's shards at the failure step.
+
+        The parent replays the shards in-process (checkpoint overlay +
+        recorded admission inputs + the in-flight step, if any) so the
+        frozen state is exactly what the worker would have computed,
+        then marks every node DOWN and quarantined.
+        """
+        logger.error(
+            "fleet worker %d exhausted %d restart(s); quarantining "
+            "shards %s", worker, self.max_worker_restarts,
+            self._assignment[worker])
+        config = self.config
+        state = build_fleet_state(config.fleet)
+        shard_views = []
+        for i in self._assignment[worker]:
+            lo, hi = self.bounds[i]
+            view = state.view(lo, hi)
+            ckpt = self._ckpt[i]
+            if ckpt is not None:
+                for name, dtype in DYNAMIC_FIELDS:
+                    getattr(view, name)[:] = np.asarray(
+                        ckpt[name], dtype=dtype)
+            shard_views.append(
+                (i, (lo, hi), view,
+                 self.chaos.view(lo, hi)
+                 if self.chaos is not None else None))
+        steps = list(replay)
+        if message and message[0] == "step":
+            steps.append((message[1], message[2]))
+        for t, used in steps:
+            state.used_vcpus[:] = used
+            for _i, (lo, hi), view, chaos_view in shard_views:
+                if config.stepper == "vector":
+                    self._vectors.step(view, t, chaos_view)
+                else:
+                    for index in range(hi - lo):
+                        self._vectors.step_node(
+                            view, index, t, chaos_view)
+        for i, _b, view, _c in shard_views:
+            view.quarantined[:] = True
+            view.down_until_step[:] = _FOREVER
+            self._ckpt[i] = {name: getattr(view, name).copy()
+                             for name, _ in DYNAMIC_FIELDS}
+        self._quarantined_workers.add(worker)
+
+    def quarantined_mask(self) -> np.ndarray:
+        """Boolean per-node mask of quarantined (frozen) shards."""
+        mask = np.zeros(self.config.fleet.n_nodes, dtype=bool)
+        for worker in self._quarantined_workers:
+            for i in self._assignment[worker]:
+                lo, hi = self.bounds[i]
+                mask[lo:hi] = True
+        return mask
+
+    # -- the per-step barrier ----------------------------------------------
+
+    def _maybe_kill(self, t: int) -> None:
+        """Deliver injected SIGKILLs scheduled for step ``t``."""
+        for worker in self._kill_at.get(t, ()):
+            if worker in self._quarantined_workers:
+                continue
+            process, _conn = self._workers[worker]
+            if process.pid is not None and process.is_alive():
+                os.kill(process.pid, signal.SIGKILL)
+                logger.warning(
+                    "injected SIGKILL into fleet worker %d at step %d",
+                    worker, t)
+
+    def _step_exchange(self, t: int, used: np.ndarray,
+                       want_sample: bool):
+        self._maybe_kill(t)
+        used = np.array(used, dtype=np.int64)
+        self._history.append((t, used))
+        message = ("step", t, used, want_sample)
+        replay = self._history[:-1]
+        live = self._live_workers()
+        for worker in live:
+            self._send(worker, message)
         pieces: List[Tuple[int, Dict]] = []
-        for process, conn in self._workers:
-            reply = conn.recv()
-            if reply[0] == expected and len(reply) > 1:
-                pieces.extend(reply[1])
-            elif reply[0] not in ("ok", expected):
+        for worker in live:
+            reply = self._collect(worker, message, replay)
+            if reply is None:
+                continue
+            if reply[0] != ("sample" if want_sample else "ok"):
                 raise PersistenceError(
                     f"fleet worker protocol error: {reply[0]!r}")
+            if want_sample:
+                pieces.extend(reply[1])
+        if (self.checkpoint_every_steps is not None
+                and len(self._history) >= self.checkpoint_every_steps):
+            self._checkpoint()
+        if not want_sample:
+            return None
+        have = {i for i, _ in pieces}
+        for i in range(len(self.bounds)):
+            if i not in have:  # quarantined: frozen at failure step
+                ckpt = self._ckpt[i]
+                pieces.append((i, {
+                    "power_w": np.asarray(ckpt["power_w"],
+                                          dtype=np.float64),
+                    "margin_on": np.asarray(ckpt["margin_on"],
+                                            dtype=np.bool_)}))
         return pieces
 
     def step(self, t: int, used: np.ndarray) -> None:
-        for _, conn in self._workers:
-            conn.send(("step", t, used, False))
-        self._collect("ok")
+        self._step_exchange(t, used, False)
 
     def _assemble(self, pieces: List[Tuple[int, Dict]],
                   names: Sequence[str]) -> Dict[str, np.ndarray]:
@@ -274,7 +648,7 @@ class _ProcessExecutor:
         out = {}
         by_shard = dict(pieces)
         for name in names:
-            parts = [by_shard[i][name]
+            parts = [np.asarray(by_shard[i][name])
                      for i in range(len(self.bounds))]
             out[name] = np.concatenate(parts)
             if out[name].shape[0] != n:
@@ -283,39 +657,114 @@ class _ProcessExecutor:
 
     def step_and_sample(self, t: int,
                         used: np.ndarray) -> Dict[str, np.ndarray]:
-        for _, conn in self._workers:
-            conn.send(("step", t, used, True))
-        pieces = self._collect("sample")
+        pieces = self._step_exchange(t, used, True)
         return self._assemble(pieces, ("power_w", "margin_on"))
 
     def sample(self) -> Dict[str, np.ndarray]:
         raise NotImplementedError  # parent always uses step_and_sample
 
+    # -- checkpoints, gather, load -----------------------------------------
+
+    def _gather_pieces(self) -> List[Tuple[int, Dict]]:
+        message = ("gather",)
+        live = self._live_workers()
+        for worker in live:
+            self._send(worker, message)
+        pieces: List[Tuple[int, Dict]] = []
+        for worker in live:
+            reply = self._collect(worker, message, list(self._history))
+            if reply is None:
+                continue
+            if reply[0] != "state":
+                raise PersistenceError(
+                    f"fleet worker protocol error: {reply[0]!r}")
+            pieces.extend(reply[1])
+        return pieces
+
+    def _checkpoint(self) -> None:
+        """Refresh the per-shard replay baseline, trim the input log."""
+        for i, arrays in self._gather_pieces():
+            self._ckpt[i] = arrays
+        self._history.clear()
+
+    def _all_pieces(self) -> Dict[int, Dict]:
+        pieces = dict(self._gather_pieces())
+        for i in range(len(self.bounds)):
+            if i not in pieces:  # quarantined: frozen state
+                pieces[i] = self._ckpt[i]
+        return pieces
+
     def gather(self) -> Dict[str, object]:
-        for _, conn in self._workers:
-            conn.send(("gather",))
-        pieces = self._collect("state")
+        pieces = self._all_pieces()
         names = [name for name, _ in DYNAMIC_FIELDS]
-        arrays = self._assemble(pieces, names)
+        arrays = self._assemble(list(pieces.items()), names)
         state: Dict[str, object] = {
             "n_nodes": self.config.fleet.n_nodes}
         for name in names:
             state[name] = arrays[name].tolist()
         return state
 
+    def gather_shards(self) -> List[Tuple[int, int, int, Dict]]:
+        """Per-shard ``(index, lo, hi, state)`` dynamics for snapshots."""
+        pieces = self._all_pieces()
+        return [
+            (i, lo, hi, {name: np.asarray(pieces[i][name],
+                                          dtype=dtype).tolist()
+                         for name, dtype in DYNAMIC_FIELDS})
+            for i, (lo, hi) in enumerate(self.bounds)]
+
     def load(self, state: Dict[str, object]) -> None:
-        for _, conn in self._workers:
-            conn.send(("load", state))
-        self._collect("ok")
+        n = self.config.fleet.n_nodes
+        if int(state["n_nodes"]) != n:  # type: ignore[arg-type]
+            raise ConfigurationError(
+                f"state is for {state['n_nodes']} nodes, "
+                f"this fleet has {n}")
+        arrays = {name: np.asarray(state[name], dtype=dtype)
+                  for name, dtype in DYNAMIC_FIELDS}
+        for i, (lo, hi) in enumerate(self.bounds):
+            self._ckpt[i] = {name: arrays[name][lo:hi].copy()
+                             for name, _ in DYNAMIC_FIELDS}
+        self._history.clear()
+        live = self._live_workers()
+        messages = {}
+        for worker in live:
+            messages[worker] = ("load", [
+                (i, self._ckpt[i]) for i in self._assignment[worker]])
+            self._send(worker, messages[worker])
+        for worker in live:
+            reply = self._collect(worker, messages[worker], [])
+            if reply is not None and reply[0] != "ok":
+                raise PersistenceError(
+                    f"fleet worker protocol error: {reply[0]!r}")
 
     def close(self) -> None:
-        for process, conn in self._workers:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for process, conn in self._workers:
-            process.join(timeout=10)
+        """Stop workers, escalating join → terminate → kill on hangs."""
+        for entry in self._workers:
+            if entry is None:
+                continue
+            process, conn = entry
+            if process.is_alive():
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker, entry in enumerate(self._workers):
+            if entry is None:
+                continue
+            process, conn = entry
+            process.join(timeout=self.CLOSE_JOIN_TIMEOUT_S)
+            if process.is_alive():
+                logger.warning(
+                    "fleet worker %d ignored stop for %.0fs; "
+                    "terminating", worker, self.CLOSE_JOIN_TIMEOUT_S)
+                process.terminate()
+                process.join(timeout=self.CLOSE_JOIN_TIMEOUT_S / 2)
+            if process.is_alive():
+                logger.warning(
+                    "fleet worker %d survived terminate; killing",
+                    worker)
+                process.kill()
+                process.join()
             conn.close()
 
 
@@ -326,24 +775,46 @@ class FleetCampaign:
     """One vectorized fleet campaign: arrivals, stepping, telemetry.
 
     The parent owns the whole admission layer (arrival draws, argmax
-    placement over global free capacity, the departure heap); the
-    executor owns only physics stepping.  Everything the parent does is
-    therefore trivially shard- and jobs-invariant.
+    placement over global free capacity, the departure heap) plus the
+    fault consequences that touch it (crashed nodes lose their VMs,
+    DOWN/quarantined nodes are routed around); the executor owns only
+    physics stepping.  Everything the parent does is therefore
+    trivially shard- and jobs-invariant.
+
+    ``kill_worker_at`` is a supervision test hook: real SIGKILLs
+    delivered to worker processes at given steps — the report must not
+    change (deterministic replay absorbs them), which is exactly what
+    ``benchmarks/bench_fleet_chaos.py`` enforces.
     """
 
     def __init__(self, config: FleetCampaignConfig, jobs: int = 1,
                  snapshot_dir=None,
                  snapshot_every_steps: Optional[int] = None,
-                 mp_context=None) -> None:
+                 mp_context=None,
+                 worker_timeout_s: float = 30.0,
+                 max_worker_restarts: int = 2,
+                 checkpoint_every_steps: Optional[int] = 25,
+                 kill_worker_at: Sequence[Tuple[int, int]] = ()) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        kill_worker_at = tuple(
+            (int(step), int(worker)) for step, worker in kill_worker_at)
+        if kill_worker_at and jobs == 1:
+            raise ConfigurationError(
+                "worker kill injection needs jobs >= 2 (the in-process "
+                "executor has no workers)")
         self.config = config
         self.jobs = jobs
         if jobs == 1:
             self.executor = _InProcessExecutor(config)
         else:
-            self.executor = _ProcessExecutor(config, jobs,
-                                             mp_context=mp_context)
+            self.executor = _ProcessExecutor(
+                config, jobs, mp_context=mp_context,
+                worker_timeout_s=worker_timeout_s,
+                max_worker_restarts=max_worker_restarts,
+                checkpoint_every_steps=checkpoint_every_steps,
+                kill_worker_at=kill_worker_at)
+        self.chaos = self.executor.chaos
         self.store = (SnapshotStore(snapshot_dir)
                       if snapshot_dir is not None else None)
         self.snapshot_every_steps = snapshot_every_steps
@@ -353,10 +824,12 @@ class FleetCampaign:
         #: Min-heap of (departure_time_s, seq, node_index, vcpus).
         self._departures: List[Tuple[float, int, int, int]] = []
         self._arrival_seq = 0
+        self._known_quarantined = np.zeros(n, dtype=bool)
         self.step_index = 0
         self.admitted = 0
         self.rejected = 0
         self.completed = 0
+        self.vm_failures = 0
         self.series: List[Dict[str, object]] = []
 
     # -- admission (parent-side, partition-invariant) ---------------------
@@ -366,6 +839,28 @@ class FleetCampaign:
             _, _, node, vcpus = heapq.heappop(self._departures)
             self._used[node] -= vcpus
             self.completed += 1
+
+    def _quarantine_mask(self) -> np.ndarray:
+        """Quarantined nodes: live executor state plus resumed flags."""
+        return self.executor.quarantined_mask() | self._known_quarantined
+
+    def _fail_unavailable_vms(self, t: int) -> None:
+        """Kill VMs on nodes that just crashed or got quarantined."""
+        newly = self.executor.quarantined_mask() \
+            & ~self._known_quarantined
+        self._known_quarantined |= newly
+        dead = newly
+        if self.chaos is not None:
+            dead = dead | self.chaos.crash_mask(t)
+        if not dead.any():
+            return
+        survivors = [entry for entry in self._departures
+                     if not dead[entry[2]]]
+        self.vm_failures += len(self._departures) - len(survivors)
+        if len(survivors) != len(self._departures):
+            heapq.heapify(survivors)
+            self._departures = survivors
+        self._used[dead] = 0
 
     def _admit_arrivals(self, t: int) -> None:
         cfg = self.config
@@ -379,6 +874,10 @@ class FleetCampaign:
             count += 1
         capacity = cfg.fleet.vcpus_per_node
         now_s = t * step_s
+        unavailable = self._quarantine_mask()
+        if self.chaos is not None:
+            unavailable = unavailable | self.chaos.down_mask(t)
+        route_around = unavailable.any()
         for _ in range(count):
             seq = self._arrival_seq
             self._arrival_seq += 1
@@ -389,6 +888,8 @@ class FleetCampaign:
                 self._arrival_key, np.uint64(seq), CH_ARRIVAL_LIFETIME))
             lifetime_s = -cfg.mean_lifetime_s * math.log1p(-life_draw)
             free = capacity - self._used
+            if route_around:
+                free = np.where(unavailable, -1, free)
             node = int(np.argmax(free))
             if free[node] < vcpus:
                 self.rejected += 1
@@ -404,24 +905,37 @@ class FleetCampaign:
                        arrays: Dict[str, np.ndarray]) -> None:
         cfg = self.config.fleet
         n = cfg.n_nodes
+        unavailable = self._quarantine_mask()
+        if self.chaos is not None:
+            unavailable = unavailable | self.chaos.down_mask(t)
+            dropped = self.chaos.dropout_mask(t)
+        else:
+            dropped = np.zeros(n, dtype=bool)
+        observed = ~(dropped | unavailable)
         power = arrays["power_w"]
-        fleet_power = math.fsum(float(p) for p in power)
+        fleet_power = math.fsum(float(p) for p in power[observed])
+        observed_n = int(np.count_nonzero(observed))
         total_used = int(self._used.sum())
         self.series.append({
             "step": t,
             "time_s": (t + 1) * cfg.step_s,
             "fleet_power_w": fleet_power,
-            "mean_power_w": fleet_power / n,
+            "mean_power_w": (fleet_power / observed_n
+                             if observed_n else 0.0),
             "mean_util": total_used / (n * cfg.vcpus_per_node),
             "active_vcpus": total_used,
             "margins_adopted": int(np.count_nonzero(
                 arrays["margin_on"])),
+            "telemetry_observed": observed_n,
+            "telemetry_dropped": int(np.count_nonzero(
+                dropped & ~unavailable)),
+            "nodes_down": int(np.count_nonzero(unavailable)),
         })
 
     # -- snapshots ----------------------------------------------------------
 
     def take_snapshot(self) -> None:
-        """Persist config + campaign dynamics + fleet dynamics."""
+        """Persist config + campaign dynamics + per-shard fleet state."""
         if self.store is None:
             raise PersistenceError(
                 "campaign was built without a snapshot directory")
@@ -432,13 +946,19 @@ class FleetCampaign:
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "completed": self.completed,
+                "vm_failures": self.vm_failures,
                 "arrival_seq": self._arrival_seq,
                 "used": self._used.tolist(),
                 "departures": sorted(
                     [list(entry) for entry in self._departures]),
                 "series": list(self.series),
             },
-            "fleet": self.executor.gather(),
+            "fleet": {
+                "n_nodes": self.config.fleet.n_nodes,
+                "shards": shard_entries(
+                    (lo, hi, state) for _i, lo, hi, state
+                    in self.executor.gather_shards()),
+            },
         }
         self.store.save(self.step_index, payload)
 
@@ -448,6 +968,7 @@ class FleetCampaign:
         self.admitted = int(campaign["admitted"])  # type: ignore[index]
         self.rejected = int(campaign["rejected"])  # type: ignore[index]
         self.completed = int(campaign["completed"])  # type: ignore[index]
+        self.vm_failures = int(campaign.get("vm_failures", 0))  # type: ignore[union-attr]
         self._arrival_seq = int(campaign["arrival_seq"])  # type: ignore[index]
         self._used[:] = np.asarray(campaign["used"], dtype=np.int64)  # type: ignore[index]
         self._departures = [
@@ -455,7 +976,31 @@ class FleetCampaign:
             for when, seq, node, vcpus in campaign["departures"]]  # type: ignore[index]
         heapq.heapify(self._departures)
         self.series = [dict(entry) for entry in campaign["series"]]  # type: ignore[index]
-        self.executor.load(payload["fleet"])  # type: ignore[arg-type]
+        fleet = payload["fleet"]
+        n = int(fleet["n_nodes"])  # type: ignore[index, arg-type]
+        if n != self.config.fleet.n_nodes:
+            raise PersistenceError(
+                f"snapshot is for {n} nodes, campaign has "
+                f"{self.config.fleet.n_nodes}")
+        arrays = {name: np.zeros(n, dtype=dtype)
+                  for name, dtype in DYNAMIC_FIELDS}
+        covered = np.zeros(n, dtype=bool)
+        for lo, hi, state in verify_shard_entries(fleet["shards"]):  # type: ignore[index]
+            if covered[lo:hi].any():
+                raise PersistenceError(
+                    f"snapshot shards overlap at [{lo}, {hi})")
+            covered[lo:hi] = True
+            for name, dtype in DYNAMIC_FIELDS:
+                arrays[name][lo:hi] = np.asarray(state[name],
+                                                 dtype=dtype)
+        if not covered.all():
+            raise PersistenceError(
+                "snapshot shards do not cover the fleet")
+        merged: Dict[str, object] = {"n_nodes": n}
+        for name, _ in DYNAMIC_FIELDS:
+            merged[name] = arrays[name].tolist()
+        self.executor.load(merged)
+        self._known_quarantined = arrays["quarantined"].astype(bool)
 
     def resume(self) -> bool:
         """Load the newest valid snapshot; False when starting fresh."""
@@ -487,6 +1032,7 @@ class FleetCampaign:
         while self.step_index < stop:
             t = self.step_index
             self._terminate_departed(t * cfg.fleet.step_s)
+            self._fail_unavailable_vms(t)
             self._admit_arrivals(t)
             want_sample = ((t + 1) % telemetry_every == 0
                            or t == n_steps - 1)
@@ -506,15 +1052,45 @@ class FleetCampaign:
                     == 0):
                 self.take_snapshot()
 
+    def _quarantine_block(self) -> Optional[Dict[str, object]]:
+        """Report block naming quarantined nodes; None when clean.
+
+        Only emitted when quarantine actually happened, so a campaign
+        whose injected worker kills were absorbed by replay stays
+        byte-identical to a clean run.
+        """
+        mask = self._quarantine_mask()
+        if not mask.any():
+            return None
+        flat = np.flatnonzero(mask)
+        ranges: List[List[int]] = []
+        for node in flat:
+            node = int(node)
+            if ranges and ranges[-1][1] == node:
+                ranges[-1][1] = node + 1
+            else:
+                ranges.append([node, node + 1])
+        return {
+            "nodes": int(mask.sum()),
+            "node_ranges": ranges,
+            "worker_restarts": self.executor.worker_restarts_total,
+        }
+
     def report(self) -> Dict[str, object]:
         """The canonical campaign report (shards/jobs/stepper
-        invariant)."""
+        invariant, and invariant to replayed worker deaths)."""
         final = self.executor.gather()
+        last_step = self.step_index - 1
+        down_final = (
+            (np.asarray(final["down_until_step"], dtype=np.int64)
+             > last_step)
+            | np.asarray(final["quarantined"], dtype=bool))
         totals = {
             "steps": self.step_index,
             "admitted": self.admitted,
             "rejected": self.rejected,
             "completed": self.completed,
+            "vm_failures": self.vm_failures,
             "active_vcpus_final": int(self._used.sum()),
             "energy_j": math.fsum(float(e) for e in final["energy_j"]),  # type: ignore[union-attr]
             "violations": int(sum(final["violations_total"])),  # type: ignore[arg-type]
@@ -522,11 +1098,13 @@ class FleetCampaign:
                 final["retention_errors_total"])),  # type: ignore[arg-type]
             "demotions": int(sum(final["demotions"])),  # type: ignore[arg-type]
             "adoptions": int(sum(final["adoptions"])),  # type: ignore[arg-type]
+            "crashes": int(sum(final["crashes_total"])),  # type: ignore[arg-type]
             "margins_adopted_final": int(sum(final["margin_on"])),  # type: ignore[arg-type]
+            "nodes_down_final": int(np.count_nonzero(down_final)),
         }
         return fleet_campaign_report(
             self.config.as_report_dict(), self.config.fleet,
-            totals, self.series)
+            totals, self.series, quarantine=self._quarantine_block())
 
     def close(self) -> None:
         """Tear down the executor (a no-op for the in-process one)."""
@@ -537,12 +1115,20 @@ def run_fleet_campaign(config: FleetCampaignConfig, jobs: int = 1,
                        snapshot_dir=None,
                        snapshot_every_steps: Optional[int] = None,
                        resume: bool = False,
-                       mp_context=None) -> Dict[str, object]:
+                       mp_context=None,
+                       worker_timeout_s: float = 30.0,
+                       max_worker_restarts: int = 2,
+                       checkpoint_every_steps: Optional[int] = 25,
+                       kill_worker_at: Sequence[Tuple[int, int]] = (),
+                       ) -> Dict[str, object]:
     """Run one fleet campaign to completion and return its report."""
-    campaign = FleetCampaign(config, jobs=jobs,
-                             snapshot_dir=snapshot_dir,
-                             snapshot_every_steps=snapshot_every_steps,
-                             mp_context=mp_context)
+    campaign = FleetCampaign(
+        config, jobs=jobs, snapshot_dir=snapshot_dir,
+        snapshot_every_steps=snapshot_every_steps,
+        mp_context=mp_context, worker_timeout_s=worker_timeout_s,
+        max_worker_restarts=max_worker_restarts,
+        checkpoint_every_steps=checkpoint_every_steps,
+        kill_worker_at=kill_worker_at)
     try:
         if resume:
             campaign.resume()

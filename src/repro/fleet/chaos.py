@@ -1,0 +1,263 @@
+"""Vectorized fleet chaos: seeded fault plans compiled to mask kernels.
+
+The resilience layer's :class:`~repro.resilience.chaos.ChaosEngine`
+walks Python node objects, which the vectorized fleet deliberately does
+not have.  This module bridges the two worlds: the *same* declarative,
+seeded :class:`~repro.resilience.chaos.FaultPlan` taxonomy is compiled
+down to per-node step-window numpy arrays, and the per-step fault
+decisions become mask kernels with the exact slice-invariance contract
+the physics kernels in :mod:`repro.fleet.vectors` already honour —
+row ``i`` of any mask depends only on node ``i``'s plan entries and
+counter key, never on which shard or process computes it.
+
+Three fault kinds translate to the vector fleet:
+
+* :attr:`~repro.resilience.chaos.FaultKind.NODE_CRASH` — crash storms;
+  a crashed node loses its VMs (handled by the campaign's parent-side
+  admission layer), is demoted to nominal margins, and stays DOWN for
+  ``crash_down_steps`` steps.  Storm profiles mirror the
+  undervolting-induced crash loops of the Scrooge-attack line in
+  PAPERS.md.
+* :attr:`~repro.resilience.chaos.FaultKind.TELEMETRY_DROPOUT` — the
+  node keeps stepping but its telemetry sample is lost with the spec's
+  probability while the window lasts (a per-``(node, step)``
+  counter-based draw, so any executor reproduces the same mask).
+* :attr:`~repro.resilience.chaos.FaultKind.EOP_GOVERNOR_WEDGE` — the
+  node's margin governor wedges: no demotions, no probation reviews,
+  and its violation window stops being reset while the window lasts.
+
+Other kinds in a hand-written plan are ignored
+(:meth:`FaultPlan.for_kinds` filters them out) — they model
+control-plane machinery the vector fleet does not simulate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..resilience.chaos import FaultKind, FaultPlan, FaultSpec
+from .state import FleetConfig
+from .vectors import counter_uniform, fleet_counter_keys
+
+#: Fault kinds the vectorized fleet can express.
+FLEET_FAULT_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.NODE_CRASH,
+    FaultKind.TELEMETRY_DROPOUT,
+    FaultKind.EOP_GOVERNOR_WEDGE,
+)
+
+#: Counter channel for telemetry-dropout draws — a sibling of the
+#: ``CH_*`` channels in :mod:`repro.fleet.vectors` (the chain is
+#: positional, so it only needs to be unique among channels).
+CH_FLEET_DROPOUT = 6
+
+#: Relative weights and (min, max) window durations for the seeded
+#: fleet plan generator.  NODE_CRASH is instantaneous.
+_FLEET_MENU: Tuple[Tuple[FaultKind, float, Tuple[float, float]], ...] = (
+    (FaultKind.NODE_CRASH, 1.5, (0.0, 0.0)),
+    (FaultKind.TELEMETRY_DROPOUT, 1.5, (180.0, 900.0)),
+    (FaultKind.EOP_GOVERNOR_WEDGE, 1.0, (300.0, 1200.0)),
+)
+
+
+def fleet_node_name(index: int) -> str:
+    """The fleet node-name convention, shared with the scalar rack.
+
+    :func:`repro.core.runtime.spawn_runtimes` names node ``i``
+    ``node{i}``; fleet fault plans use the same names so one plan can
+    drive the vector kernels and the zoned object stack alike.
+    """
+    return f"node{index}"
+
+
+def fleet_node_index(name: str, n_nodes: int) -> Optional[int]:
+    """Node index for a fleet node name; None for foreign names."""
+    if not name.startswith("node"):
+        return None
+    try:
+        index = int(name[len("node"):])
+    except ValueError:
+        return None
+    return index if 0 <= index < n_nodes else None
+
+
+def fleet_fault_plan(n_nodes: int, duration_s: float, seed: int = 0,
+                     rate_per_hour: float = 6.0,
+                     intensity: float = 0.5) -> FaultPlan:
+    """Draw a reproducible fleet fault plan from a seeded generator.
+
+    The vector twin of :meth:`FaultPlan.random`, restricted to the
+    kinds in :data:`FLEET_FAULT_KINDS`.  ``rate_per_hour`` is the
+    expected fault count per node-hour; ``intensity`` scales dropout
+    magnitudes.  Node names follow :func:`fleet_node_name`, so the same
+    plan drives the zoned object stack byte-for-byte reproducibly.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if rate_per_hour < 0:
+        raise ConfigurationError("rate must be >= 0")
+    if not 0 < intensity <= 1:
+        raise ConfigurationError("intensity must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    kinds = [entry[0] for entry in _FLEET_MENU]
+    weights = np.array([entry[1] for entry in _FLEET_MENU])
+    weights = weights / weights.sum()
+    windows = {entry[0]: entry[2] for entry in _FLEET_MENU}
+
+    specs: List[FaultSpec] = []
+    expected = rate_per_hour * duration_s / 3600.0
+    for index in range(n_nodes):
+        for _ in range(int(rng.poisson(expected))):
+            kind = kinds[int(rng.choice(len(kinds), p=weights))]
+            lo, hi = windows[kind]
+            fault_duration = float(rng.uniform(lo, hi)) if hi > 0 else 0.0
+            latest = max(0.0, duration_s
+                         - min(fault_duration, duration_s / 2))
+            start = float(rng.uniform(0.0, latest)) if latest > 0 else 0.0
+            magnitude = float(np.clip(
+                intensity * rng.uniform(0.6, 1.0), 0.05, 1.0))
+            specs.append(FaultSpec(
+                kind=kind, node=fleet_node_name(index), start_s=start,
+                duration_s=fault_duration, magnitude=magnitude))
+    return FaultPlan(specs)
+
+
+def _pad_rows(rows: Sequence[List], fill, dtype) -> np.ndarray:
+    """Stack ragged per-node lists into a ``(n, k)`` padded array."""
+    width = max((len(row) for row in rows), default=0)
+    out = np.full((len(rows), width), fill, dtype=dtype)
+    for index, row in enumerate(rows):
+        if row:
+            out[index, :len(row)] = row
+    return out
+
+
+class FleetChaos:
+    """A fault plan compiled to per-node step-window mask arrays.
+
+    Construction is a pure function of ``(plan, config,
+    crash_down_steps)``, and every mask method is elementwise over
+    nodes, so a :meth:`view` sliced to a shard computes bit-identical
+    rows to the full fleet — the same contract as
+    :class:`~repro.fleet.vectors.FleetVectors`, which is what keeps
+    scalar/shard/process byte-identity intact *under* chaos.
+
+    Spec times (seconds) quantize to steps: an instantaneous fault
+    fires at the step containing its start; a window covers every step
+    it overlaps.
+    """
+
+    def __init__(self, plan: FaultPlan, config: FleetConfig,
+                 crash_down_steps: int = 5,
+                 keys: Optional[np.ndarray] = None) -> None:
+        if crash_down_steps < 1:
+            raise ConfigurationError("crash_down_steps must be >= 1")
+        n = config.n_nodes
+        step_s = config.step_s
+        self.plan = plan.for_kinds(FLEET_FAULT_KINDS)
+        self.config = config
+        self.crash_down_steps = crash_down_steps
+        self.keys = (keys if keys is not None
+                     else fleet_counter_keys(n, config.seed))
+
+        crashes: List[List[int]] = [[] for _ in range(n)]
+        drops: List[List[Tuple[int, int, float]]] = [[] for _ in range(n)]
+        wedges: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for spec in self.plan:
+            index = fleet_node_index(spec.node, n)
+            if index is None:
+                continue
+            start = int(spec.start_s // step_s)
+            end = max(start + 1, int(math.ceil(
+                (spec.start_s + spec.duration_s) / step_s)))
+            if spec.kind is FaultKind.NODE_CRASH:
+                crashes[index].append(start)
+            elif spec.kind is FaultKind.TELEMETRY_DROPOUT:
+                drops[index].append((start, end, spec.magnitude))
+            elif spec.kind is FaultKind.EOP_GOVERNOR_WEDGE:
+                wedges[index].append((start, end))
+
+        self.crash_steps = _pad_rows(crashes, -1, np.int64)
+        self.drop_start = _pad_rows(
+            [[d[0] for d in row] for row in drops], 2**62, np.int64)
+        self.drop_end = _pad_rows(
+            [[d[1] for d in row] for row in drops], 0, np.int64)
+        self.drop_magnitude = _pad_rows(
+            [[d[2] for d in row] for row in drops], 0.0, np.float64)
+        self.wedge_start = _pad_rows(
+            [[w[0] for w in row] for row in wedges], 2**62, np.int64)
+        self.wedge_end = _pad_rows(
+            [[w[1] for w in row] for row in wedges], 0, np.int64)
+
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    @property
+    def n(self) -> int:
+        """Nodes covered by this (possibly sliced) chaos view."""
+        return self.keys.shape[0]
+
+    def view(self, lo: int, hi: int) -> "FleetChaos":
+        """A shard view over nodes ``[lo, hi)``, sharing array memory."""
+        if not 0 <= lo < hi <= self.n:
+            raise ConfigurationError(
+                f"chaos view [{lo}, {hi}) outside fleet of {self.n}")
+        shard = FleetChaos.__new__(FleetChaos)
+        shard.plan = self.plan
+        shard.config = self.config
+        shard.crash_down_steps = self.crash_down_steps
+        for name in ("keys", "crash_steps", "drop_start", "drop_end",
+                     "drop_magnitude", "wedge_start", "wedge_end"):
+            setattr(shard, name, getattr(self, name)[lo:hi])
+        return shard
+
+    # -- per-step masks (all elementwise over nodes) ----------------------
+
+    def crash_mask(self, t: int) -> np.ndarray:
+        """Nodes whose crash fires exactly at step ``t``."""
+        return np.any(self.crash_steps == t, axis=1)
+
+    def down_mask(self, t: int) -> np.ndarray:
+        """Nodes DOWN at step ``t`` (inside a post-crash outage)."""
+        live = self.crash_steps >= 0
+        return np.any(live & (self.crash_steps <= t)
+                      & (t < self.crash_steps + self.crash_down_steps),
+                      axis=1)
+
+    def wedge_mask(self, t: int) -> np.ndarray:
+        """Nodes whose margin governor is wedged at step ``t``."""
+        return np.any((self.wedge_start <= t) & (t < self.wedge_end),
+                      axis=1)
+
+    def dropout_magnitude(self, t: int) -> np.ndarray:
+        """Per-node drop probability at step ``t`` (max over windows)."""
+        active = (self.drop_start <= t) & (t < self.drop_end)
+        if self.drop_magnitude.shape[1] == 0:
+            return np.zeros(self.n, dtype=np.float64)
+        return np.max(np.where(active, self.drop_magnitude, 0.0), axis=1)
+
+    def dropout_mask(self, t: int) -> np.ndarray:
+        """Nodes whose telemetry sample is lost at step ``t``.
+
+        A counter-based per-``(node, step)`` draw against the active
+        window's magnitude — deterministic in any partition.
+        """
+        magnitude = self.dropout_magnitude(t)
+        draw = counter_uniform(self.keys, np.uint64(t), CH_FLEET_DROPOUT)
+        return (magnitude > 0.0) & (draw < magnitude)
+
+
+__all__ = [
+    "CH_FLEET_DROPOUT",
+    "FLEET_FAULT_KINDS",
+    "FleetChaos",
+    "fleet_fault_plan",
+    "fleet_node_index",
+    "fleet_node_name",
+]

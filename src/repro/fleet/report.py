@@ -143,6 +143,7 @@ def fleet_campaign_report(config_echo: Dict[str, object],
                           fleet_config: FleetConfig,
                           totals: Dict[str, object],
                           series: Sequence[Dict[str, float]],
+                          quarantine: Optional[Dict[str, object]] = None,
                           ) -> Dict[str, object]:
     """Canonical report of one vectorized fleet campaign.
 
@@ -151,6 +152,11 @@ def fleet_campaign_report(config_echo: Dict[str, object],
     must not perturb.  The EP anchors are deterministic fixed points of
     the config alone, so every execution of the same campaign reports
     the same proportionality block.
+
+    ``quarantine`` (shards frozen after a worker exhausted its restart
+    budget) is only included when non-empty: a campaign whose worker
+    deaths were all absorbed by deterministic replay must stay
+    byte-identical to a clean run.
     """
     vectors = FleetVectors(fleet_config)
     # Per-node anchors, matching the series' ``mean_power_w`` scale
@@ -167,6 +173,8 @@ def fleet_campaign_report(config_echo: Dict[str, object],
             series, idle_w, peak_w),
         "series": list(series),
     }
+    if quarantine:
+        report["quarantine"] = dict(quarantine)
     report["report_sha256"] = payload_checksum(
         {k: v for k, v in report.items()})
     return report

@@ -132,6 +132,9 @@ DYNAMIC_FIELDS: Tuple[Tuple[str, object], ...] = (
     ("retention_errors_total", np.int64),
     ("demotions", np.int64),
     ("adoptions", np.int64),
+    ("down_until_step", np.int64),
+    ("quarantined", np.bool_),
+    ("crashes_total", np.int64),
 )
 
 
@@ -164,6 +167,13 @@ class FleetState:
         self.retention_errors_total = np.zeros(n, dtype=np.int64)
         self.demotions = np.zeros(n, dtype=np.int64)
         self.adoptions = np.zeros(n, dtype=np.int64)
+        #: Chaos/supervision state: a node is DOWN while
+        #: ``step < down_until_step`` (post-crash outage), and
+        #: permanently once ``quarantined`` (its shard worker exhausted
+        #: its restart budget).
+        self.down_until_step = np.zeros(n, dtype=np.int64)
+        self.quarantined = np.zeros(n, dtype=np.bool_)
+        self.crashes_total = np.zeros(n, dtype=np.int64)
 
     def view(self, lo: int, hi: int) -> "FleetState":
         """A shard view over nodes ``[lo, hi)`` sharing this state's

@@ -194,19 +194,47 @@ class FleetVectors:
             * (cfg.refresh_nominal_s / interval))
         return dynamic + leakage + dram + cfg.idle_platform_w
 
-    def step(self, state: FleetState, t: int) -> None:
+    def step(self, state: FleetState, t: int, chaos=None) -> None:
         """Advance one shard by one step (in place).
 
         Every operation is elementwise over nodes or a per-node lane
         reduction, so ``step`` over ``[lo, hi)`` equals ``step`` over
         each ``[i, i+1)`` — the shard/monolith byte-identity contract.
+
+        ``chaos`` is an optional :class:`~repro.fleet.chaos.FleetChaos`
+        view sliced to the *same* node range as ``state``.  Its masks
+        are elementwise too, so the contract holds under injected
+        faults: a crash demotes the node to nominal margins and downs
+        it for the outage window, and a wedged governor skips its
+        reviews (no demotion, no re-adoption, no window reset).
         """
         cfg = self.config
         keys = state.keys[:, None]
         step_salt = np.uint64(t)
 
+        if chaos is not None:
+            crash = chaos.crash_mask(t)
+            down = chaos.down_mask(t)
+            wedge = chaos.wedge_mask(t)
+            # Crash effects: VMs died (the campaign's admission layer
+            # zeroes used_vcpus), margins demote to nominal, and the
+            # node enters its outage + probation windows.
+            state.crashes_total += crash
+            state.demotions += crash & state.margin_on
+            state.margin_on &= ~crash
+            state.down_until_step[:] = np.where(
+                crash, t + chaos.crash_down_steps,
+                state.down_until_step)
+            state.probation_until_step[:] = np.where(
+                crash, t + cfg.probation_steps,
+                state.probation_until_step)
+            state.window_violations[:] = np.where(
+                crash, 0, state.window_violations)
+        else:
+            crash = down = wedge = None
+
         util = state.used_vcpus / self._vcpus_per_node
-        activity = util
+        activity = util if down is None else np.where(down, 0.0, util)
         v = np.where(state.margin_on, self._margined_v, cfg.nominal_v)
 
         # Vmin/droop sampling per core: activity-scaled stochastic droop
@@ -255,10 +283,14 @@ class FleetVectors:
 
         # Margin governor review: demote over-budget nodes, re-adopt
         # nodes whose probation expired.  Elementwise, so a node's
-        # verdict never depends on its shard-mates.
+        # verdict never depends on its shard-mates.  A wedged governor
+        # (chaos) skips its node's review entirely; a DOWN node cannot
+        # re-adopt until its outage ends.
         if (t + 1) % cfg.review_every_steps == 0:
             demote = state.margin_on & (state.window_violations
                                         > cfg.error_budget_per_window)
+            if wedge is not None:
+                demote &= ~wedge
             state.margin_on &= ~demote
             state.demotions += demote
             state.probation_until_step[:] = np.where(
@@ -267,17 +299,28 @@ class FleetVectors:
             if cfg.adopt_margins:
                 adopt = (~state.margin_on) & (
                     t >= state.probation_until_step)
+                if wedge is not None:
+                    adopt &= ~wedge & ~down
                 state.margin_on |= adopt
                 state.adoptions += adopt
-            state.window_violations[:] = 0
+            if wedge is None:
+                state.window_violations[:] = 0
+            else:
+                state.window_violations[:] = np.where(
+                    wedge, state.window_violations, 0)
 
-    def step_node(self, state: FleetState, index: int, t: int) -> None:
+    def step_node(self, state: FleetState, index: int, t: int,
+                  chaos=None) -> None:
         """The naive per-object path: step exactly one node.
 
         Runs the same kernels on a one-node view — the bench baseline,
         and the anchor of the scalar/vector byte-identity tests.
+        ``chaos`` must cover the same node range as ``state``; it is
+        sliced to the single node alongside the state view.
         """
-        self.step(state.view(index, index + 1), t)
+        self.step(state.view(index, index + 1), t,
+                  chaos.view(index, index + 1)
+                  if chaos is not None else None)
 
     # -- deterministic operating-point anchors ------------------------------
 

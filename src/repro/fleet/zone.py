@@ -501,19 +501,35 @@ def run_zoned_rack_experiment(n_nodes: int = 4, shards: int = 1,
                               base_rate_per_hour: float = 12.0,
                               step_s: float = 60.0,
                               degradation=None,
-                              fault_plan=None) -> RackExperiment:
+                              fault_plan=None,
+                              chaos_seed=None,
+                              chaos_rate_per_hour: float = 6.0,
+                              chaos_intensity: float = 0.5) -> RackExperiment:
     """The zoned twin of :func:`~repro.cloudmgr.simulation.run_rack_experiment`.
 
     Same seed discipline, same trace, same per-node stack — only the
     control plane is sharded.  With ``shards=1`` this is a monolith in
     a one-zone coat; with more, the identity tests hold it to the same
     report bytes.
+
+    ``chaos_seed`` (ignored when an explicit ``fault_plan`` is given)
+    builds the *same* seeded fleet fault plan the vectorized campaign
+    uses (:func:`~repro.fleet.chaos.fleet_fault_plan`) — node names
+    line up (``node{i}``), so one plan drives both the object-walking
+    :class:`~repro.resilience.chaos.ChaosEngine` here and the mask
+    kernels of :class:`~repro.fleet.chaos.FleetChaos`.
     """
     from ..resilience.chaos import ChaosEngine
+    from .chaos import fleet_fault_plan
 
     if n_nodes < 1:
         raise ConfigurationError("the rack needs at least one node")
     clock = SimClock()
+    if fault_plan is None and chaos_seed is not None:
+        fault_plan = fleet_fault_plan(
+            n_nodes, duration_s, seed=chaos_seed,
+            rate_per_hour=chaos_rate_per_hour,
+            intensity=chaos_intensity)
     chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
     fleet = build_zoned_rack(
         n_nodes, shards, clock, seed=seed, characterize=characterize,

@@ -18,6 +18,8 @@ from .snapshot import (
     SnapshotStore,
     canonical_json,
     payload_checksum,
+    shard_entries,
+    verify_shard_entries,
 )
 
 __all__ = [
@@ -30,4 +32,6 @@ __all__ = [
     "canonical_json",
     "payload_checksum",
     "run_persistent_campaign",
+    "shard_entries",
+    "verify_shard_entries",
 ]

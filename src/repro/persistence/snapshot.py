@@ -62,6 +62,37 @@ def payload_checksum(payload: object) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def shard_entries(shards) -> List[Dict[str, object]]:
+    """Wrap per-shard states in individually checksummed entries.
+
+    ``shards`` is an iterable of ``(lo, hi, state)`` node-range pieces.
+    Each entry carries its own digest so a damaged shard inside an
+    otherwise-intact snapshot is detected (and named) at resume time —
+    the per-shard granularity the supervised fleet executor rebuilds
+    crashed workers from.
+    """
+    return [{"lo": int(lo), "hi": int(hi), "state": state,
+             "sha256": payload_checksum(state)}
+            for lo, hi, state in shards]
+
+
+def verify_shard_entries(entries) -> List[Tuple[int, int, Dict[str, object]]]:
+    """Checksum-verify entries written by :func:`shard_entries`.
+
+    Returns the ``(lo, hi, state)`` pieces; raises
+    :class:`PersistenceError` naming the first damaged shard.
+    """
+    shards: List[Tuple[int, int, Dict[str, object]]] = []
+    for entry in entries:
+        lo, hi = int(entry["lo"]), int(entry["hi"])
+        state = entry["state"]
+        if entry.get("sha256") != payload_checksum(state):
+            raise PersistenceError(
+                f"shard [{lo}, {hi}) failed its checksum")
+        shards.append((lo, hi, state))
+    return shards
+
+
 class SnapshotStore:
     """Versioned, checksummed, atomically-written snapshot directory."""
 

@@ -165,6 +165,16 @@ class FaultPlan:
         """The subset of specs targeting one node."""
         return tuple(s for s in self.specs if s.node == node)
 
+    def for_kinds(self, kinds: Iterable[FaultKind]) -> "FaultPlan":
+        """A new plan keeping only the given fault kinds.
+
+        The vectorized fleet (:mod:`repro.fleet.chaos`) uses this to
+        ignore control-plane kinds it does not simulate while replaying
+        the same seeded plan the object stack sees.
+        """
+        wanted = frozenset(kinds)
+        return FaultPlan(s for s in self.specs if s.kind in wanted)
+
     @classmethod
     def random(cls, nodes: Sequence[str], duration_s: float,
                rate_per_hour: float = 4.0, seed: int = 0,

@@ -472,24 +472,46 @@ def _write_canonical(path: str, report) -> None:
         handle.write("\n")
 
 
-def _parse_kill_specs(specs) -> list:
-    """Parse repeatable ``STEP:WORKER`` kill-injection arguments."""
+def _parse_kill_specs(specs, jobs: int = None) -> list:
+    """Parse repeatable ``STEP:WORKER`` kill-injection arguments.
+
+    Rejects malformed specs, negative steps, duplicates, and — when
+    ``jobs`` is given — worker indices outside ``[0, jobs)``, each
+    with an error naming the offending spec.
+    """
     kills = []
+    seen = set()
     for spec in specs:
         step, sep, worker = spec.partition(":")
         try:
             if not sep:
                 raise ValueError(spec)
-            kills.append((int(step), int(worker)))
+            pair = (int(step), int(worker))
         except ValueError:
             raise SystemExit(
                 f"--kill-worker-at expects STEP:WORKER, got {spec!r}")
+        if pair[0] < 0:
+            raise SystemExit(
+                f"--kill-worker-at step must be >= 0, got {spec!r}")
+        if pair[1] < 0 or (jobs is not None and pair[1] >= jobs):
+            raise SystemExit(
+                f"--kill-worker-at worker {pair[1]} out of range for "
+                f"--jobs {jobs} (valid: 0..{max(0, (jobs or 1) - 1)})")
+        if pair in seen:
+            raise SystemExit(
+                f"--kill-worker-at {spec!r} given more than once")
+        seen.add(pair)
+        kills.append(pair)
     return kills
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .persistence import payload_checksum
 
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     if args.engine == "zoned":
         from .fleet import rack_report, run_zoned_rack_experiment
 
@@ -521,14 +543,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             shards=args.shards, stepper=args.stepper,
             chaos_seed=args.chaos_seed,
             chaos_rate_per_hour=args.chaos_rate,
-            chaos_intensity=args.chaos_intensity)
+            chaos_intensity=args.chaos_intensity,
+            correlated_seed=args.correlated_seed,
+            correlated_rate_per_hour=args.correlated_rate,
+            correlated_intensity=args.correlated_intensity,
+            domain_defense=args.domain_defense)
         report = run_fleet_campaign(
             config, jobs=args.jobs, snapshot_dir=args.snapshot_dir,
             snapshot_every_steps=args.snapshot_every,
             resume=args.resume,
             worker_timeout_s=args.worker_timeout,
             max_worker_restarts=args.max_worker_restarts,
-            kill_worker_at=_parse_kill_specs(args.kill_worker_at))
+            kill_worker_at=_parse_kill_specs(
+                args.kill_worker_at, jobs=args.jobs))
         totals = report["totals"]
         ep = report["energy_proportionality"]
         print(f"fleet campaign: {args.nodes} nodes, "
@@ -542,6 +569,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                   f"crashes {totals['crashes']}, "
                   f"vm failures {totals['vm_failures']}, "
                   f"nodes down at end {totals['nodes_down_final']}")
+        domains = report.get("fault_domains")
+        if domains:
+            print(f"fault domains: {domains['specs']} correlated "
+                  f"spec(s) over {domains['topology']['racks']} "
+                  f"rack(s), defense "
+                  f"{'on' if domains['defense'] else 'off'}; "
+                  f"availability {totals['availability']:.4f}, "
+                  f"sla violations {totals['sla_violations']}, "
+                  f"domain demotions {totals['domain_demotions']}, "
+                  f"migrations {totals['migrations']}")
         quarantine = report.get("quarantine")
         if quarantine:
             print(f"quarantine: {quarantine['nodes']} node(s) frozen "
@@ -762,6 +799,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--chaos-intensity", type=float, default=0.5,
                        help="fault magnitude scale in (0, 1] "
                             "(default 0.5)")
+    fleet.add_argument("--correlated-seed", type=int, default=None,
+                       help="seed a topology-correlated fault plan "
+                            "(PDU brownouts, cooling failures, rack "
+                            "partitions); part of the report identity")
+    fleet.add_argument("--correlated-rate", type=float, default=1.0,
+                       help="expected correlated faults per "
+                            "domain-kind-hour (default 1)")
+    fleet.add_argument("--correlated-intensity", type=float,
+                       default=0.7,
+                       help="correlated fault magnitude scale in "
+                            "(0, 1] (default 0.7)")
+    fleet.add_argument("--domain-defense", action="store_true",
+                       help="arm the domain-aware defenses: rack "
+                            "anti-affinity placement, partition "
+                            "routing, correlated-demotion guard and "
+                            "bounded zone evacuation")
     fleet.add_argument("--kill-worker-at", action="append", default=[],
                        metavar="STEP:WORKER",
                        help="SIGKILL worker WORKER at step STEP "

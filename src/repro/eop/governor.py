@@ -21,6 +21,15 @@ Demotion triggers, in priority order:
 A demoted component sits out a probation window, then is re-promoted if
 its ledger stayed clean; ``max_demotions`` breaches quarantine it for
 the rest of the boot.
+
+When ``policy.correlated_k`` is set, the governor also watches the
+*pattern* of budget demotions: K components of one kind breaching
+within ``policy.correlated_window_s`` is a shared-fault-domain
+signature (a sagging rail, a hot rank group), not K independent
+failures.  The guard then demotes every remaining adopted component of
+that kind in one batch with a single rollback closure — none of them
+accrues an individual demotion count, because the fault belongs to the
+domain, not to the components.
 """
 
 from __future__ import annotations
@@ -160,6 +169,12 @@ class EOPGovernor:
         #: anomaly demotions become no-ops) without touching the platform.
         self.wedged = False
         self._records: Dict[str, ComponentRecord] = {}
+        #: Budget-counted demotions as ``(timestamp, kind)``, pruned to
+        #: ``policy.correlated_window_s`` — the correlated guard's input.
+        self._demotion_log: List[Tuple[float, str]] = []
+        #: One entry per correlated-guard firing (timestamp, kind,
+        #: components batch-demoted) for reports and tests.
+        self.domain_demotion_events: List[Dict[str, object]] = []
         self._fallback_saved: Optional[Tuple[
             Dict[int, OperatingPoint], Dict[str, float]]] = None
         self._unsubscribe = self.bus.subscribe(AnomalyEvent, self._on_anomaly)
@@ -304,7 +319,75 @@ class EOPGovernor:
             self._transition(record, EOPState.DEMOTED, reason)
         self.metrics.inc("eop.demoted")
         self._refresh_gauges()
+        if count:
+            self._note_budget_demotion(record.kind, now)
         return True
+
+    # -- the correlated-demotion guard ---------------------------------------
+
+    def _note_budget_demotion(self, kind: str, now: float) -> None:
+        """Feed one budget demotion to the correlated guard."""
+        if self.policy.correlated_k is None:
+            return
+        window = self.policy.correlated_window_s
+        self._demotion_log.append((now, kind))
+        self._demotion_log = [
+            (when, k) for when, k in self._demotion_log
+            if when > now - window]
+        breaches = sum(1 for _, k in self._demotion_log if k == kind)
+        if breaches >= self.policy.correlated_k:
+            # Consume the evidence so one episode fires the guard once.
+            self._demotion_log = [
+                (when, k) for when, k in self._demotion_log if k != kind]
+            self._demote_kind(
+                kind, now,
+                f"correlated guard: {breaches} {kind} components "
+                f"breached within {window:.0f}s")
+
+    def _demote_kind(self, kind: str, now: float,
+                     reason: str) -> Optional[EOPTransaction]:
+        """Demote every remaining adopted ``kind`` component as one batch.
+
+        The hardware rollbacks run first, collected in a single
+        :class:`EOPTransaction`; if a setter raises mid-batch the
+        already-reverted components are restored before the error
+        propagates, so the domain demotes atomically or not at all.
+        None of the batch accrues an individual demotion count — the
+        breach is charged to the shared domain, not its members.
+        """
+        members = [record for record in self.records()
+                   if record.kind == kind
+                   and record.state is EOPState.ADOPTED]
+        if not members:
+            return None
+        txn = EOPTransaction(timestamp=now)
+        try:
+            for record in members:
+                if record.saved_point is None:
+                    continue
+                target = record.saved_point
+                undo = self.hypervisor.apply_component(
+                    record.component, target)
+                if undo is not None:
+                    txn._rollbacks.append((record.component, undo))
+        except Exception:
+            txn.rollback()
+            raise
+        for record in members:
+            record.demoted_at = now
+            record.probation_until = now + self.policy.probation_s
+            self._transition(record, EOPState.DEMOTED, reason)
+            self.metrics.inc("eop.demoted")
+        txn.committed = True
+        self.metrics.inc("eop.correlated_demotions")
+        self.domain_demotion_events.append({
+            "timestamp": now,
+            "kind": kind,
+            "components": [record.component for record in members],
+            "reason": reason,
+        })
+        self._refresh_gauges()
+        return txn
 
     def _promote(self, record: ComponentRecord, reason: str) -> None:
         """Re-adopt a demoted component's target after clean probation."""
@@ -506,6 +589,10 @@ class EOPGovernor:
             "stale_fallback_s": self.stale_fallback_s,
             "wedged": self.wedged,
             "fallback_saved": fallback,
+            "demotion_log": [[when, kind]
+                             for when, kind in self._demotion_log],
+            "domain_demotion_events": [
+                dict(event) for event in self.domain_demotion_events],
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -524,6 +611,13 @@ class EOPGovernor:
         stale = state["stale_fallback_s"]
         self.stale_fallback_s = None if stale is None else float(stale)  # type: ignore[arg-type]
         self.wedged = bool(state["wedged"])
+        # .get defaults keep pre-guard snapshots loadable.
+        self._demotion_log = [
+            (float(when), str(kind))
+            for when, kind in state.get("demotion_log", [])]  # type: ignore[union-attr]
+        self.domain_demotion_events = [
+            dict(event) for event in state.get(
+                "domain_demotion_events", [])]  # type: ignore[union-attr]
         fallback = state["fallback_saved"]
         if fallback is None:
             self._fallback_saved = None

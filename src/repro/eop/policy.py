@@ -55,6 +55,15 @@ class EOPPolicy:
     the telemetry-staleness horizon beyond which every adopted point is
     demoted back to nominal until the HealthLog freshens (None disables
     the check).
+
+    ``correlated_k`` arms the correlated-demotion guard: when at least
+    that many components of one kind ("core" or "domain" — a shared
+    fault domain such as a voltage rail or a DRAM rank group) are
+    budget-demoted within ``correlated_window_s``, the governor treats
+    the breaches as one domain-level fault and demotes every remaining
+    adopted component of that kind in a single transaction, instead of
+    letting the shared fault march each component toward quarantine
+    one budget breach at a time (None disables the guard).
     """
 
     name: str
@@ -66,6 +75,8 @@ class EOPPolicy:
     probation_s: float = 600.0
     max_demotions: int = 2
     stale_fallback_s: Optional[float] = None
+    correlated_k: Optional[int] = None
+    correlated_window_s: float = 120.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -82,6 +93,10 @@ class EOPPolicy:
             raise ConfigurationError("max_demotions must be >= 1")
         if self.stale_fallback_s is not None and self.stale_fallback_s <= 0:
             raise ConfigurationError("stale_fallback_s must be positive")
+        if self.correlated_k is not None and self.correlated_k < 1:
+            raise ConfigurationError("correlated_k must be >= 1")
+        if self.correlated_window_s <= 0:
+            raise ConfigurationError("correlated_window_s must be positive")
 
     # -- the three paper-facing stances (plus the legacy one-shot) ------------
 
@@ -146,12 +161,16 @@ class EOPPolicy:
             "probation_s": self.probation_s,
             "max_demotions": self.max_demotions,
             "stale_fallback_s": self.stale_fallback_s,
+            "correlated_k": self.correlated_k,
+            "correlated_window_s": self.correlated_window_s,
         }
 
     @classmethod
     def from_dict(cls, state: Dict[str, object]) -> "EOPPolicy":
         """Inverse of :meth:`as_dict`."""
         stale = state["stale_fallback_s"]
+        # .get defaults keep pre-guard policy dicts loadable.
+        correlated_k = state.get("correlated_k")
         return cls(
             name=str(state["name"]),
             adopt=bool(state["adopt"]),
@@ -162,4 +181,7 @@ class EOPPolicy:
             probation_s=float(state["probation_s"]),  # type: ignore[arg-type]
             max_demotions=int(state["max_demotions"]),  # type: ignore[arg-type]
             stale_fallback_s=None if stale is None else float(stale),  # type: ignore[arg-type]
+            correlated_k=None if correlated_k is None else int(correlated_k),  # type: ignore[arg-type]
+            correlated_window_s=float(
+                state.get("correlated_window_s", 120.0)),  # type: ignore[arg-type]
         )

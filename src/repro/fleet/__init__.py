@@ -1,8 +1,10 @@
 """Fleet-scale stepping: vectorized shards under zoned control.
 
-Five pieces (see ``docs/fleet.md``):
+Six pieces (see ``docs/fleet.md``):
 
 * :mod:`repro.fleet.state` — struct-of-arrays fleet state and configs;
+* :mod:`repro.fleet.domains` — the physical fault-domain topology
+  (node -> rack -> PDU / cooling zone) correlated chaos travels along;
 * :mod:`repro.fleet.vectors` — counter-based RNG and numpy batch
   models, byte-identical to per-node stepping on any shard split;
 * :mod:`repro.fleet.chaos` — seeded fault plans compiled to
@@ -20,12 +22,22 @@ from .campaign import (
     run_fleet_campaign,
 )
 from .chaos import (
+    CH_BROWNOUT_CRASH,
     CH_FLEET_DROPOUT,
+    CH_PDU_BROWNOUT,
+    CORRELATED_FAULT_KINDS,
     FLEET_FAULT_KINDS,
     FleetChaos,
+    fleet_correlated_plan,
     fleet_fault_plan,
     fleet_node_index,
     fleet_node_name,
+)
+from .domains import (
+    FaultDomainTopology,
+    cooling_zone_name,
+    pdu_name,
+    rack_name,
 )
 from .report import (
     energy_proportionality,
@@ -56,10 +68,14 @@ from .zone import (
 
 __all__ = [
     "ARRIVAL_STREAM",
+    "CH_BROWNOUT_CRASH",
     "CH_FLEET_DROPOUT",
+    "CH_PDU_BROWNOUT",
+    "CORRELATED_FAULT_KINDS",
     "DYNAMIC_FIELDS",
     "FLEET_FAULT_KINDS",
     "VECTOR_STREAM",
+    "FaultDomainTopology",
     "FleetCampaign",
     "FleetCampaignConfig",
     "FleetChaos",
@@ -71,15 +87,19 @@ __all__ = [
     "arrival_counter_key",
     "build_fleet_state",
     "build_zoned_rack",
+    "cooling_zone_name",
     "counter_bits",
     "counter_gaussian",
     "counter_uniform",
     "energy_proportionality",
     "fleet_campaign_report",
+    "fleet_correlated_plan",
     "fleet_counter_keys",
     "fleet_fault_plan",
     "fleet_node_index",
     "fleet_node_name",
+    "pdu_name",
+    "rack_name",
     "rack_report",
     "run_fleet_campaign",
     "run_zoned_rack_experiment",

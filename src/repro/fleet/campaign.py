@@ -70,7 +70,9 @@ from ..persistence.snapshot import (
     verify_shard_entries,
 )
 from ..sweep.engine import default_mp_context
-from .chaos import FleetChaos, fleet_fault_plan
+from ..resilience.chaos import FaultPlan
+from .chaos import FleetChaos, fleet_correlated_plan, fleet_fault_plan
+from .domains import FaultDomainTopology
 from .report import fleet_campaign_report
 from .state import (
     DYNAMIC_FIELDS,
@@ -128,6 +130,24 @@ class FleetCampaignConfig:
     chaos_intensity: float = 0.5
     #: Steps a node stays DOWN after an injected crash.
     crash_down_steps: int = 5
+    #: Seeded *correlated* fault plan over the fault-domain topology
+    #: (None = no correlated chaos).  Independent of ``chaos_seed`` so
+    #: the two storms compose freely.
+    correlated_seed: Optional[int] = None
+    correlated_rate_per_hour: float = 1.0
+    correlated_intensity: float = 0.7
+    #: Domain-aware defenses: the correlated-demotion guard in the
+    #: step kernels, rack anti-affinity + at-risk routing in admission,
+    #: and bounded evacuation off at-risk domains.  A physics knob (it
+    #: changes the report), which is the point — the A/B arms differ
+    #: only here.
+    domain_defense: bool = False
+    #: Synthetic tenants for anti-affinity accounting (VM ``seq %
+    #: tenants`` — deterministic, so it never needs persisting).
+    tenants: int = 4
+    #: Evacuation backpressure: inbound migrations per target rack per
+    #: step, so fleeing a brownout cannot stampede the survivors.
+    max_migrations_per_rack_step: int = 2
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -152,6 +172,17 @@ class FleetCampaignConfig:
                 "chaos intensity must be in (0, 1]")
         if self.crash_down_steps < 1:
             raise ConfigurationError("crash_down_steps must be >= 1")
+        if self.correlated_rate_per_hour < 0:
+            raise ConfigurationError(
+                "correlated rate cannot be negative")
+        if not 0 < self.correlated_intensity <= 1:
+            raise ConfigurationError(
+                "correlated intensity must be in (0, 1]")
+        if self.tenants < 1:
+            raise ConfigurationError("tenants must be >= 1")
+        if self.max_migrations_per_rack_step < 1:
+            raise ConfigurationError(
+                "max_migrations_per_rack_step must be >= 1")
         shard_bounds(self.fleet.n_nodes, self.shards)  # validates
 
     @property
@@ -168,18 +199,31 @@ class FleetCampaignConfig:
             rate_per_hour=self.chaos_rate_per_hour,
             intensity=self.chaos_intensity)
 
+    def correlated_plan(self):
+        """The seeded correlated-domain plan, or None without one."""
+        if self.correlated_seed is None:
+            return None
+        return fleet_correlated_plan(
+            self.fleet, self.duration_s, seed=self.correlated_seed,
+            rate_per_hour=self.correlated_rate_per_hour,
+            intensity=self.correlated_intensity)
+
     def build_chaos(self, keys=None) -> Optional[FleetChaos]:
-        """Compile the fault plan to mask kernels (None without chaos).
+        """Compile the fault plan(s) to mask kernels (None without chaos).
 
         Pure function of the config, so the parent, every worker, and
-        every replay compile bit-identical masks independently.
+        every replay compile bit-identical masks independently.  The
+        per-node and correlated plans merge into one compiled object.
         """
         plan = self.fault_plan()
-        if plan is None:
+        correlated = self.correlated_plan()
+        if plan is None and correlated is None:
             return None
-        return FleetChaos(plan, self.fleet,
+        specs = list(plan.specs if plan is not None else ())
+        specs.extend(correlated.specs if correlated is not None else ())
+        return FleetChaos(FaultPlan(specs), self.fleet,
                           crash_down_steps=self.crash_down_steps,
-                          keys=keys)
+                          keys=keys, defense=self.domain_defense)
 
     def as_dict(self) -> Dict[str, object]:
         """Full plain-dict form (snapshot payloads)."""
@@ -197,6 +241,13 @@ class FleetCampaignConfig:
             "chaos_rate_per_hour": self.chaos_rate_per_hour,
             "chaos_intensity": self.chaos_intensity,
             "crash_down_steps": self.crash_down_steps,
+            "correlated_seed": self.correlated_seed,
+            "correlated_rate_per_hour": self.correlated_rate_per_hour,
+            "correlated_intensity": self.correlated_intensity,
+            "domain_defense": self.domain_defense,
+            "tenants": self.tenants,
+            "max_migrations_per_rack_step":
+                self.max_migrations_per_rack_step,
         }
         return state
 
@@ -825,19 +876,49 @@ class FleetCampaign:
         self._departures: List[Tuple[float, int, int, int]] = []
         self._arrival_seq = 0
         self._known_quarantined = np.zeros(n, dtype=bool)
+        #: Fault-domain occupancy bookkeeping (rebuilt from the
+        #: departure heap on resume, so it never rides in snapshots).
+        self.topology = FaultDomainTopology.from_config(config.fleet)
+        self._vms_on = np.zeros(n, dtype=np.int64)
+        self._tenant_rack = np.zeros(
+            (config.tenants, self.topology.n_racks), dtype=np.int64)
         self.step_index = 0
         self.admitted = 0
         self.rejected = 0
         self.completed = 0
         self.vm_failures = 0
+        self.sla_unreachable_steps = 0
+        self.migrations = 0
+        self.migrations_deferred = 0
         self.series: List[Dict[str, object]] = []
 
     # -- admission (parent-side, partition-invariant) ---------------------
 
+    def _tenant_of(self, seq: int) -> int:
+        """The VM's synthetic tenant — a pure function of its seq."""
+        return seq % self.config.tenants
+
+    def _occupy(self, seq: int, node: int, vcpus: int,
+                sign: int) -> None:
+        """Add (+1) or remove (-1) one VM's occupancy bookkeeping."""
+        self._used[node] += sign * vcpus
+        self._vms_on[node] += sign
+        self._tenant_rack[self._tenant_of(seq),
+                          self.topology.rack_of[node]] += sign
+
+    def _rebuild_occupancy(self) -> None:
+        """Re-derive per-node/per-rack occupancy from the heap."""
+        self._vms_on[:] = 0
+        self._tenant_rack[:] = 0
+        for _when, seq, node, vcpus in self._departures:
+            self._vms_on[node] += 1
+            self._tenant_rack[self._tenant_of(seq),
+                              self.topology.rack_of[node]] += 1
+
     def _terminate_departed(self, now_s: float) -> None:
         while self._departures and self._departures[0][0] <= now_s:
-            _, _, node, vcpus = heapq.heappop(self._departures)
-            self._used[node] -= vcpus
+            _, seq, node, vcpus = heapq.heappop(self._departures)
+            self._occupy(seq, node, vcpus, -1)
             self.completed += 1
 
     def _quarantine_mask(self) -> np.ndarray:
@@ -854,9 +935,13 @@ class FleetCampaign:
             dead = dead | self.chaos.crash_mask(t)
         if not dead.any():
             return
-        survivors = [entry for entry in self._departures
-                     if not dead[entry[2]]]
-        self.vm_failures += len(self._departures) - len(survivors)
+        survivors = []
+        for entry in self._departures:
+            if dead[entry[2]]:
+                self._occupy(entry[1], entry[2], entry[3], -1)
+                self.vm_failures += 1
+            else:
+                survivors.append(entry)
         if len(survivors) != len(self._departures):
             heapq.heapify(survivors)
             self._departures = survivors
@@ -877,7 +962,12 @@ class FleetCampaign:
         unavailable = self._quarantine_mask()
         if self.chaos is not None:
             unavailable = unavailable | self.chaos.down_mask(t)
+            partitioned = self.chaos.partition_mask(t)
+            at_risk = self.chaos.at_risk_mask(t)
+        else:
+            partitioned = at_risk = None
         route_around = unavailable.any()
+        defended = cfg.domain_defense and self.chaos is not None
         for _ in range(count):
             seq = self._arrival_seq
             self._arrival_seq += 1
@@ -887,17 +977,121 @@ class FleetCampaign:
             life_draw = float(counter_uniform(
                 self._arrival_key, np.uint64(seq), CH_ARRIVAL_LIFETIME))
             lifetime_s = -cfg.mean_lifetime_s * math.log1p(-life_draw)
-            free = capacity - self._used
-            if route_around:
-                free = np.where(unavailable, -1, free)
-            node = int(np.argmax(free))
-            if free[node] < vcpus:
-                self.rejected += 1
-                continue
-            self._used[node] += vcpus
+            if defended:
+                node = self._place_defended(
+                    seq, vcpus, unavailable, partitioned, at_risk)
+                if node is None:
+                    self.rejected += 1
+                    continue
+            else:
+                free = capacity - self._used
+                if route_around:
+                    free = np.where(unavailable, -1, free)
+                node = int(np.argmax(free))
+                if free[node] < vcpus:
+                    self.rejected += 1
+                    continue
+                if partitioned is not None and partitioned[node]:
+                    # A partitioned rack is an admission blackout: the
+                    # topology-blind baseline picks it on raw capacity,
+                    # the launch times out, the request bounces.
+                    self.rejected += 1
+                    continue
+            self._occupy(seq, node, vcpus, +1)
             heapq.heappush(self._departures,
                            (now_s + lifetime_s, seq, node, vcpus))
             self.admitted += 1
+
+    def _anti_affinity_score(self, seq: int, free: np.ndarray,
+                             eligible: np.ndarray) -> np.ndarray:
+        """Placement score: spread the tenant across racks, then fill.
+
+        Fewest of this tenant's VMs on the node's rack dominates; free
+        capacity breaks ties; ``argmax`` takes the lowest index on
+        exact ties — all integer math, so the choice is deterministic
+        in any partition.
+        """
+        capacity = self.config.fleet.vcpus_per_node
+        penalty = self._tenant_rack[self._tenant_of(seq)][
+            self.topology.rack_of]
+        score = free - penalty * np.int64(capacity + 1)
+        return np.where(eligible, score, np.int64(-(2 ** 62)))
+
+    def _place_defended(self, seq: int, vcpus: int,
+                        unavailable: np.ndarray,
+                        partitioned: np.ndarray,
+                        at_risk: np.ndarray) -> Optional[int]:
+        """Domain-aware placement: route around blast radii, spread
+        tenants across racks; None when nothing can host the VM."""
+        capacity = self.config.fleet.vcpus_per_node
+        free = capacity - self._used
+        blocked = unavailable | partitioned
+        eligible = (free >= vcpus) & ~blocked & ~at_risk
+        if not eligible.any():
+            # Every safe node is full: placing inside a blast radius
+            # beats bouncing the request.
+            eligible = (free >= vcpus) & ~blocked
+            if not eligible.any():
+                return None
+        score = self._anti_affinity_score(seq, free, eligible)
+        return int(np.argmax(score))
+
+    def _evacuate_at_risk(self, t: int) -> None:
+        """Defense: drain VMs off at-risk domains, with backpressure.
+
+        VMs migrate in seq order (deterministic in any partition) to
+        the anti-affinity winner among safe targets, capped at
+        ``max_migrations_per_rack_step`` inbound per target rack per
+        step so a browning-out rack cannot stampede the survivors —
+        the rest defer to the next step (``migrations_deferred``).
+        """
+        chaos = self.chaos
+        at_risk = chaos.at_risk_mask(t)
+        if not at_risk.any():
+            return
+        unavailable = self._quarantine_mask() | chaos.down_mask(t)
+        partitioned = chaos.partition_mask(t)
+        blocked = unavailable | partitioned | at_risk
+        movable = at_risk & ~unavailable & ~partitioned
+        capacity = self.config.fleet.vcpus_per_node
+        cap = self.config.max_migrations_per_rack_step
+        inflow = np.zeros(self.topology.n_racks, dtype=np.int64)
+        moved = False
+        entries = sorted(self._departures, key=lambda e: e[1])
+        relocated = []
+        for when, seq, node, vcpus in entries:
+            if not movable[node]:
+                relocated.append((when, seq, node, vcpus))
+                continue
+            free = capacity - self._used
+            rack_open = inflow[self.topology.rack_of] < cap
+            eligible = (free >= vcpus) & ~blocked & rack_open
+            if not eligible.any():
+                self.migrations_deferred += 1
+                relocated.append((when, seq, node, vcpus))
+                continue
+            score = self._anti_affinity_score(seq, free, eligible)
+            target = int(np.argmax(score))
+            self._occupy(seq, node, vcpus, -1)
+            self._occupy(seq, target, vcpus, +1)
+            inflow[self.topology.rack_of[target]] += 1
+            self.migrations += 1
+            moved = True
+            relocated.append((when, seq, target, vcpus))
+        if moved:
+            heapq.heapify(relocated)
+            self._departures = relocated
+
+    def _account_sla(self, t: int) -> None:
+        """Count unreachable VM-steps (outage or partition blackout)."""
+        if self.chaos is None:
+            return
+        affected = (self.chaos.down_mask(t)
+                    | self.chaos.partition_mask(t)
+                    | self._quarantine_mask())
+        if affected.any():
+            self.sla_unreachable_steps += int(
+                self._vms_on[affected].sum())
 
     # -- telemetry reduction ----------------------------------------------
 
@@ -909,9 +1103,11 @@ class FleetCampaign:
         if self.chaos is not None:
             unavailable = unavailable | self.chaos.down_mask(t)
             dropped = self.chaos.dropout_mask(t)
+            partitioned = self.chaos.partition_mask(t)
         else:
             dropped = np.zeros(n, dtype=bool)
-        observed = ~(dropped | unavailable)
+            partitioned = np.zeros(n, dtype=bool)
+        observed = ~(dropped | unavailable | partitioned)
         power = arrays["power_w"]
         fleet_power = math.fsum(float(p) for p in power[observed])
         observed_n = int(np.count_nonzero(observed))
@@ -928,8 +1124,10 @@ class FleetCampaign:
                 arrays["margin_on"])),
             "telemetry_observed": observed_n,
             "telemetry_dropped": int(np.count_nonzero(
-                dropped & ~unavailable)),
+                dropped & ~unavailable & ~partitioned)),
             "nodes_down": int(np.count_nonzero(unavailable)),
+            "nodes_partitioned": int(np.count_nonzero(
+                partitioned & ~unavailable)),
         })
 
     # -- snapshots ----------------------------------------------------------
@@ -947,6 +1145,9 @@ class FleetCampaign:
                 "rejected": self.rejected,
                 "completed": self.completed,
                 "vm_failures": self.vm_failures,
+                "sla_unreachable_steps": self.sla_unreachable_steps,
+                "migrations": self.migrations,
+                "migrations_deferred": self.migrations_deferred,
                 "arrival_seq": self._arrival_seq,
                 "used": self._used.tolist(),
                 "departures": sorted(
@@ -969,12 +1170,18 @@ class FleetCampaign:
         self.rejected = int(campaign["rejected"])  # type: ignore[index]
         self.completed = int(campaign["completed"])  # type: ignore[index]
         self.vm_failures = int(campaign.get("vm_failures", 0))  # type: ignore[union-attr]
+        self.sla_unreachable_steps = int(
+            campaign.get("sla_unreachable_steps", 0))  # type: ignore[union-attr]
+        self.migrations = int(campaign.get("migrations", 0))  # type: ignore[union-attr]
+        self.migrations_deferred = int(
+            campaign.get("migrations_deferred", 0))  # type: ignore[union-attr]
         self._arrival_seq = int(campaign["arrival_seq"])  # type: ignore[index]
         self._used[:] = np.asarray(campaign["used"], dtype=np.int64)  # type: ignore[index]
         self._departures = [
             (float(when), int(seq), int(node), int(vcpus))
             for when, seq, node, vcpus in campaign["departures"]]  # type: ignore[index]
         heapq.heapify(self._departures)
+        self._rebuild_occupancy()
         self.series = [dict(entry) for entry in campaign["series"]]  # type: ignore[index]
         fleet = payload["fleet"]
         n = int(fleet["n_nodes"])  # type: ignore[index, arg-type]
@@ -1033,7 +1240,10 @@ class FleetCampaign:
             t = self.step_index
             self._terminate_departed(t * cfg.fleet.step_s)
             self._fail_unavailable_vms(t)
+            if cfg.domain_defense and self.chaos is not None:
+                self._evacuate_at_risk(t)
             self._admit_arrivals(t)
+            self._account_sla(t)
             want_sample = ((t + 1) % telemetry_every == 0
                            or t == n_steps - 1)
             if want_sample and isinstance(self.executor,
@@ -1101,10 +1311,38 @@ class FleetCampaign:
             "crashes": int(sum(final["crashes_total"])),  # type: ignore[arg-type]
             "margins_adopted_final": int(sum(final["margin_on"])),  # type: ignore[arg-type]
             "nodes_down_final": int(np.count_nonzero(down_final)),
+            "domain_demotions": int(sum(final["domain_demotions"])),  # type: ignore[arg-type]
+            "migrations": self.migrations,
+            "migrations_deferred": self.migrations_deferred,
+            # An SLA violation is a promise broken: a failed VM, an
+            # unreachable VM-step, or a bounced admission.
+            "sla_violations": (self.vm_failures
+                               + self.sla_unreachable_steps
+                               + self.rejected),
+            "availability": (
+                self.completed / (self.completed + self.vm_failures)
+                if self.completed + self.vm_failures else 1.0),
         }
         return fleet_campaign_report(
             self.config.as_report_dict(), self.config.fleet,
-            totals, self.series, quarantine=self._quarantine_block())
+            totals, self.series, quarantine=self._quarantine_block(),
+            fault_domains=self._fault_domains_block())
+
+    def _fault_domains_block(self) -> Optional[Dict[str, object]]:
+        """Report block describing the correlated plan; None without
+        one, so uncorrelated campaigns keep their report shape."""
+        correlated = self.config.correlated_plan()
+        if correlated is None or not len(correlated):
+            return None
+        by_kind: Dict[str, int] = {}
+        for spec in correlated:
+            by_kind[spec.kind.value] = by_kind.get(spec.kind.value, 0) + 1
+        return {
+            "specs": len(correlated),
+            "by_kind": by_kind,
+            "topology": self.topology.as_dict(),
+            "defense": self.config.domain_defense,
+        }
 
     def close(self) -> None:
         """Tear down the executor (a no-op for the in-process one)."""

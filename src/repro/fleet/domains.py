@@ -1,0 +1,137 @@
+"""Fault-domain topology: node -> rack -> PDU / cooling zone.
+
+Correlated faults travel along shared infrastructure, not the node
+index: a PDU brownout sags every node on the rail at once (the shared
+exposure weaponized by the Scrooge-attack line in PAPERS.md), a chiller
+failure bakes a whole cooling zone, a ToR/cable cut partitions a rack.
+:class:`FaultDomainTopology` is the deterministic mapping that lets the
+fleet's chaos and defense layers reason about those blast radii.
+
+The layout is a pure function of :class:`~repro.fleet.state.FleetConfig`
+(``nodes_per_rack``, ``racks_per_pdu``, ``racks_per_cooling_zone``), so
+every shard worker, replay, and resume regenerates bit-identical domain
+arrays — topology never needs to travel in a snapshot.  Domains are
+contiguous over node indices by construction (rack ``r`` owns nodes
+``[r * nodes_per_rack, (r+1) * nodes_per_rack)``), which composes with
+the fleet's contiguous shard views: a domain mask sliced to a shard is
+still elementwise over the shard's nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from .state import FleetConfig
+
+
+def rack_name(index: int) -> str:
+    """The rack naming convention for fault-plan specs."""
+    return f"rack{index}"
+
+
+def pdu_name(index: int) -> str:
+    """The PDU naming convention for fault-plan specs."""
+    return f"pdu{index}"
+
+
+def cooling_zone_name(index: int) -> str:
+    """The cooling-zone naming convention for fault-plan specs."""
+    return f"cooling{index}"
+
+
+def _domain_index(name: str, prefix: str, count: int) -> Optional[int]:
+    """Strict ``{prefix}{i}`` parse; None for foreign/out-of-range."""
+    if not name.startswith(prefix):
+        return None
+    suffix = name[len(prefix):]
+    if not suffix.isdigit() or str(int(suffix)) != suffix:
+        return None
+    index = int(suffix)
+    return index if 0 <= index < count else None
+
+
+class FaultDomainTopology:
+    """The fleet's physical fault domains as per-node index arrays.
+
+    ``rack_of[i]`` / ``pdu_of[i]`` / ``cooling_of[i]`` give node ``i``'s
+    rack, PDU rail, and cooling zone.  All three are contiguous,
+    monotone non-decreasing int64 arrays, so a domain is always a
+    contiguous node range and a per-node domain mask is elementwise.
+    """
+
+    def __init__(self, n_nodes: int, nodes_per_rack: int,
+                 racks_per_pdu: int, racks_per_cooling_zone: int) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        if (nodes_per_rack < 1 or racks_per_pdu < 1
+                or racks_per_cooling_zone < 1):
+            raise ConfigurationError(
+                "fault-domain topology counts must be >= 1")
+        self.n_nodes = n_nodes
+        self.nodes_per_rack = nodes_per_rack
+        self.racks_per_pdu = racks_per_pdu
+        self.racks_per_cooling_zone = racks_per_cooling_zone
+        nodes = np.arange(n_nodes, dtype=np.int64)
+        self.rack_of = nodes // nodes_per_rack
+        self.pdu_of = self.rack_of // racks_per_pdu
+        self.cooling_of = self.rack_of // racks_per_cooling_zone
+        self.n_racks = int(self.rack_of[-1]) + 1
+        self.n_pdus = int(self.pdu_of[-1]) + 1
+        self.n_cooling_zones = int(self.cooling_of[-1]) + 1
+
+    @classmethod
+    def from_config(cls, config: FleetConfig) -> "FaultDomainTopology":
+        """The deterministic default layout for a fleet config."""
+        return cls(config.n_nodes, config.nodes_per_rack,
+                   config.racks_per_pdu, config.racks_per_cooling_zone)
+
+    # -- name round-trips (fault-plan specs address domains by name) ------
+
+    def rack_index(self, name: str) -> Optional[int]:
+        """Rack index for a ``rack{i}`` name; None for foreign names."""
+        return _domain_index(name, "rack", self.n_racks)
+
+    def pdu_index(self, name: str) -> Optional[int]:
+        """PDU index for a ``pdu{i}`` name; None for foreign names."""
+        return _domain_index(name, "pdu", self.n_pdus)
+
+    def cooling_zone_index(self, name: str) -> Optional[int]:
+        """Zone index for a ``cooling{i}`` name; None otherwise."""
+        return _domain_index(name, "cooling", self.n_cooling_zones)
+
+    # -- per-node membership masks ---------------------------------------
+
+    def rack_mask(self, index: int) -> np.ndarray:
+        """Boolean per-node mask of rack ``index``'s members."""
+        return self.rack_of == index
+
+    def pdu_mask(self, index: int) -> np.ndarray:
+        """Boolean per-node mask of PDU rail ``index``'s members."""
+        return self.pdu_of == index
+
+    def cooling_zone_mask(self, index: int) -> np.ndarray:
+        """Boolean per-node mask of cooling zone ``index``'s members."""
+        return self.cooling_of == index
+
+    def as_dict(self) -> Dict[str, object]:
+        """Summary block for reports (counts, not per-node arrays)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "nodes_per_rack": self.nodes_per_rack,
+            "racks_per_pdu": self.racks_per_pdu,
+            "racks_per_cooling_zone": self.racks_per_cooling_zone,
+            "racks": self.n_racks,
+            "pdus": self.n_pdus,
+            "cooling_zones": self.n_cooling_zones,
+        }
+
+
+__all__ = [
+    "FaultDomainTopology",
+    "cooling_zone_name",
+    "pdu_name",
+    "rack_name",
+]

@@ -144,6 +144,7 @@ def fleet_campaign_report(config_echo: Dict[str, object],
                           totals: Dict[str, object],
                           series: Sequence[Dict[str, float]],
                           quarantine: Optional[Dict[str, object]] = None,
+                          fault_domains: Optional[Dict[str, object]] = None,
                           ) -> Dict[str, object]:
     """Canonical report of one vectorized fleet campaign.
 
@@ -156,7 +157,9 @@ def fleet_campaign_report(config_echo: Dict[str, object],
     ``quarantine`` (shards frozen after a worker exhausted its restart
     budget) is only included when non-empty: a campaign whose worker
     deaths were all absorbed by deterministic replay must stay
-    byte-identical to a clean run.
+    byte-identical to a clean run.  ``fault_domains`` (the correlated
+    plan summary and topology) likewise only appears when a correlated
+    plan exists.
     """
     vectors = FleetVectors(fleet_config)
     # Per-node anchors, matching the series' ``mean_power_w`` scale
@@ -175,6 +178,8 @@ def fleet_campaign_report(config_echo: Dict[str, object],
     }
     if quarantine:
         report["quarantine"] = dict(quarantine)
+    if fault_domains:
+        report["fault_domains"] = dict(fault_domains)
     report["report_sha256"] = payload_checksum(
         {k: v for k, v in report.items()})
     return report

@@ -70,6 +70,22 @@ class FleetConfig:
     ambient_c: float = 25.0
     r_th_c_per_w: float = 0.45
     tau_s: float = 120.0
+    #: Fault-domain topology (node -> rack -> PDU / cooling zone).
+    #: Contiguous by construction — rack ``r`` owns nodes
+    #: ``[r * nodes_per_rack, (r+1) * nodes_per_rack)`` — so domains
+    #: compose with contiguous shard views.  The last rack/PDU/zone may
+    #: be partial when the counts do not divide evenly.
+    nodes_per_rack: int = 8
+    racks_per_pdu: int = 2
+    racks_per_cooling_zone: int = 2
+    #: Correlated-fault physics: a PDU brownout sags the rail by up to
+    #: ``brownout_depth_v`` (scaled by spec magnitude) and each affected
+    #: node crash-rolls per step against ``magnitude *
+    #: brownout_crash_scale``; a cooling failure ramps the zone's
+    #: effective ambient by up to ``cooling_ramp_c``.
+    brownout_depth_v: float = 0.06
+    brownout_crash_scale: float = 0.02
+    cooling_ramp_c: float = 20.0
     #: DRAM refresh / retention model (per DIMM).
     dram_base_w_per_dimm: float = 0.9
     dram_refresh_w_per_dimm: float = 0.35
@@ -100,6 +116,16 @@ class FleetConfig:
         if self.refresh_relaxed_s < self.refresh_nominal_s:
             raise ConfigurationError(
                 "relaxed refresh cannot be shorter than nominal")
+        if (self.nodes_per_rack < 1 or self.racks_per_pdu < 1
+                or self.racks_per_cooling_zone < 1):
+            raise ConfigurationError(
+                "fault-domain topology counts must be >= 1")
+        if self.brownout_depth_v < 0 or self.cooling_ramp_c < 0:
+            raise ConfigurationError(
+                "brownout depth and cooling ramp must be >= 0")
+        if not 0 <= self.brownout_crash_scale <= 1:
+            raise ConfigurationError(
+                "brownout_crash_scale must be in [0, 1]")
 
     @property
     def vcpus_per_node(self) -> int:
@@ -135,6 +161,7 @@ DYNAMIC_FIELDS: Tuple[Tuple[str, object], ...] = (
     ("down_until_step", np.int64),
     ("quarantined", np.bool_),
     ("crashes_total", np.int64),
+    ("domain_demotions", np.int64),
 )
 
 
@@ -174,6 +201,9 @@ class FleetState:
         self.down_until_step = np.zeros(n, dtype=np.int64)
         self.quarantined = np.zeros(n, dtype=np.bool_)
         self.crashes_total = np.zeros(n, dtype=np.int64)
+        #: Precautionary demotions by the correlated-demotion guard
+        #: (whole fault domain demoted at a window start).
+        self.domain_demotions = np.zeros(n, dtype=np.int64)
 
     def view(self, lo: int, hi: int) -> "FleetState":
         """A shard view over nodes ``[lo, hi)`` sharing this state's

@@ -230,12 +230,33 @@ class FleetVectors:
                 state.probation_until_step)
             state.window_violations[:] = np.where(
                 crash, 0, state.window_violations)
+            # Correlated-demotion guard: when the defense is armed, a
+            # whole fault domain demotes to nominal margins the step
+            # its brownout/cooling window opens — one precautionary
+            # domain demotion (plan-derived, elementwise) instead of
+            # every member independently blowing its error budget.
+            if chaos.defense:
+                guard = chaos.guard_demote_mask(t)
+                state.domain_demotions += guard & state.margin_on
+                state.margin_on &= ~guard
+                state.probation_until_step[:] = np.where(
+                    guard,
+                    np.maximum(state.probation_until_step,
+                               chaos.guard_probation(t)),
+                    state.probation_until_step)
+                state.window_violations[:] = np.where(
+                    guard, 0, state.window_violations)
         else:
             crash = down = wedge = None
 
         util = state.used_vcpus / self._vcpus_per_node
         activity = util if down is None else np.where(down, 0.0, util)
         v = np.where(state.margin_on, self._margined_v, cfg.nominal_v)
+        if chaos is not None:
+            # PDU brownout: the shared rail sags under every node on
+            # it.  Zero depth subtracts exactly 0.0, so uncorrelated
+            # plans keep their old bytes.
+            v = v - chaos.brownout_depth(t)
 
         # Vmin/droop sampling per core: activity-scaled stochastic droop
         # against the per-core static Vmin plus per-step jitter.
@@ -267,10 +288,14 @@ class FleetVectors:
             .astype(np.int64), axis=1)
 
         # Power/thermal integration: power at the pre-step temperature,
-        # then the exact exponential RC step toward the new target.
+        # then the exact exponential RC step toward the new target.  A
+        # cooling failure raises the zone's effective ambient (adding
+        # 0.0 outside any window keeps the old bytes).
         power = self._power_w(v, activity, state.temperature_c,
                               state.margin_on)
-        target = cfg.ambient_c + cfg.r_th_c_per_w * power
+        ambient = (cfg.ambient_c if chaos is None
+                   else cfg.ambient_c + chaos.cooling_delta_c(t))
+        target = ambient + cfg.r_th_c_per_w * power
         state.temperature_c[:] = (
             target + (state.temperature_c - target) * self._thermal_decay)
         state.power_w[:] = power

@@ -111,9 +111,17 @@ class FleetScheduler:
     """
 
     def __init__(self, zones: Sequence[ZoneController],
-                 scheduler: Optional[FilterScheduler] = None) -> None:
+                 scheduler: Optional[FilterScheduler] = None,
+                 max_migrations_per_rack_step: Optional[int] = None,
+                 nodes_per_rack: int = 8) -> None:
         if not zones:
             raise ConfigurationError("the fleet needs at least one zone")
+        if max_migrations_per_rack_step is not None \
+                and max_migrations_per_rack_step < 1:
+            raise ConfigurationError(
+                "max_migrations_per_rack_step must be >= 1")
+        if nodes_per_rack < 1:
+            raise ConfigurationError("nodes_per_rack must be >= 1")
         zone_names = [z.zone for z in zones]
         if len(set(zone_names)) != len(zone_names):
             raise ConfigurationError("zone names must be unique")
@@ -136,6 +144,16 @@ class FleetScheduler:
         #: The fleet-wide placement trace, in admission order (the
         #: per-zone logs only see their own share).
         self.placement_log: List[Placement] = []
+        #: Zone-evacuation backpressure (None = off, the identity-
+        #: contract default): a rack that already received this many
+        #: evacuated VMs within the current step stops being offered
+        #: as a target, so a wave of simultaneous evacuations spreads
+        #: across racks instead of dogpiling the first healthy one.
+        self.max_migrations_per_rack_step = max_migrations_per_rack_step
+        self.nodes_per_rack = nodes_per_rack
+        self._rack_inflow: Dict[int, int] = {}
+        #: Evacuations that found no target only because of the cap.
+        self.backpressure_deferrals = 0
 
     # -- topology ---------------------------------------------------------
 
@@ -268,12 +286,27 @@ class FleetScheduler:
             destination.runtime.metrics.inc(
                 "cloudmgr.migration.vms_received")
 
+    def _rack_of(self, node_name: str) -> int:
+        """Contiguous rack index from ``node{i}`` (-1 = catch-all)."""
+        suffix = node_name[4:] if node_name.startswith("node") else ""
+        if not suffix.isdigit() or str(int(suffix)) != suffix:
+            return -1
+        return int(suffix) // self.nodes_per_rack
+
     def _attempt_evacuation(self, zone: ZoneController,
                             name: str) -> None:
         """Monolith evacuation with fleet-wide targets (see parent)."""
         now = self.clock.now
         node = zone.nodes[name]
         targets = self._global_schedulable(exclude=name)
+        cap = self.max_migrations_per_rack_step
+        if cap is not None and targets:
+            open_targets = [
+                view for view in targets
+                if self._rack_inflow.get(self._rack_of(view.name), 0) < cap]
+            if not open_targets:
+                self.backpressure_deferrals += 1
+            targets = open_targets
         attempted_from = len(zone.migrations.records)
         moved = zone.migrations.evacuate(
             node, targets, zone.tracker, proactive=True,
@@ -285,6 +318,8 @@ class FleetScheduler:
             zone.stats.evacuations += 1
             node.runtime.metrics.inc("cloudmgr.migration.evacuations")
             for record in moved:
+                rack = self._rack_of(record.destination)
+                self._rack_inflow[rack] = self._rack_inflow.get(rack, 0) + 1
                 dest_zone = self._zone_by_node[record.destination]
                 if dest_zone is not zone:
                     self._transfer_vm(record.vm_name, zone, dest_zone)
@@ -340,6 +375,7 @@ class FleetScheduler:
         """
         if dt_s <= 0:
             raise ConfigurationError("dt must be positive")
+        self._rack_inflow.clear()
         for zone in self.zones:
             zone.stats.steps += 1
         if self.chaos is not None:

@@ -55,6 +55,19 @@ class FaultKind(Enum):
     #: probation reviews) while the window lasts.  Not in the random
     #: menu — adding a kind there would re-roll every seeded plan.
     EOP_GOVERNOR_WEDGE = "eop_governor_wedge"
+    #: Correlated fault-domain kinds (targets name a *domain*, not a
+    #: node: ``pdu{i}``/``cooling{i}``/``rack{i}``).  Like the wedge,
+    #: none of these join the random menu — they are drawn by the
+    #: fleet's own :func:`repro.fleet.chaos.fleet_correlated_plan`.
+    #: A shared PDU rail browns out: every node on it sags and may
+    #: crash while the window lasts.
+    PDU_BROWNOUT = "pdu_brownout"
+    #: A cooling zone loses its chiller: effective ambient ramps up,
+    #: raising DRAM retention-failure rates zone-wide.
+    COOLING_FAILURE = "cooling_failure"
+    #: A rack's network partitions: telemetry blackout and no new
+    #: admissions for the window.
+    RACK_PARTITION = "rack_partition"
 
 
 #: Fault kinds whose effect is a window, not an instant.
@@ -68,6 +81,9 @@ _WINDOWED = frozenset({
     FaultKind.CRASH_LOOP,
     FaultKind.STUCK_RECOVERY,
     FaultKind.EOP_GOVERNOR_WEDGE,
+    FaultKind.PDU_BROWNOUT,
+    FaultKind.COOLING_FAILURE,
+    FaultKind.RACK_PARTITION,
 })
 
 

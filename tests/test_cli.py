@@ -163,6 +163,71 @@ class TestCommands:
         assert "cumulative" in out or "cumtime" in out
 
 
+class TestFleetValidation:
+    """Satellite: clear errors for bad fleet execution arguments."""
+
+    def _exit_message(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        err = str(excinfo.value) or capsys.readouterr().err
+        return err
+
+    def test_rejects_nonpositive_shards(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--shards", "0"])
+        assert "--shards must be >= 1" in message
+
+    def test_rejects_nonpositive_jobs(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--jobs", "-1"])
+        assert "--jobs must be >= 1" in message
+
+    def test_rejects_malformed_kill_spec(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--jobs", "2",
+                     "--kill-worker-at", "7"])
+        assert "STEP:WORKER" in message
+
+    def test_rejects_duplicate_kill_spec(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--jobs", "2",
+                     "--kill-worker-at", "7:0",
+                     "--kill-worker-at", "7:0"])
+        assert "more than once" in message
+
+    def test_rejects_worker_out_of_range(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--jobs", "2",
+                     "--kill-worker-at", "7:2"])
+        assert "out of range" in message and "--jobs 2" in message
+
+    def test_rejects_negative_kill_step(self, capsys):
+        message = self._exit_message(
+            capsys, ["fleet", "--nodes", "4", "--jobs", "2",
+                     "--kill-worker-at=-3:0"])
+        assert "step must be >= 0" in message
+
+    def test_fleet_correlated_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.correlated_seed is None
+        assert args.correlated_rate == 1.0
+        assert args.correlated_intensity == 0.7
+        assert args.domain_defense is False
+
+    def test_fleet_correlated_run_prints_domains(self, capsys,
+                                                 tmp_path):
+        import json
+
+        report_path = tmp_path / "domains.json"
+        assert main(["fleet", "--nodes", "8", "--duration", "1200",
+                     "--correlated-seed", "7", "--domain-defense",
+                     "--report-json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault domains:" in out and "defense on" in out
+        report = json.loads(report_path.read_text())
+        assert report["fault_domains"]["defense"] is True
+
+
 class TestSweepParsing:
     def test_parse_seeds_mixed(self):
         assert _parse_seeds("0,1,4:8") == (0, 1, 4, 5, 6, 7)

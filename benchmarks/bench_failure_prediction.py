@@ -1,0 +1,130 @@
+"""Bench — multi-horizon failure prediction: scoring and the migration A/B.
+
+The acceptance bar for the prediction stack
+(``repro.cloudmgr.failure_prediction`` + ``repro.sweep.harvest``):
+
+* the predictor trained on sweep-harvested labels must *detect* held-out
+  failure events at its nearest horizon (non-zero recall with positive
+  mean lead time against the ground-truth fault ledger);
+* under the pinned storm plan, the risk-aware arm (trained predictor +
+  horizon-report weigher) must beat the threshold baseline on **both**
+  fleet availability and SLA violations — prediction that cannot pay
+  for its own migrations is churn, not resilience;
+* the harvest is deterministic: the labelled-observation payload must be
+  byte-identical between ``--jobs 1`` and ``--jobs 2``.
+
+Scale knobs from the environment:
+
+``PRED_BENCH_NODES``     A/B rack size                 (default 5)
+``PRED_BENCH_DURATION``  A/B campaign seconds          (default 7200)
+``PRED_BENCH_SMOKE``     set to relax the A/B asserts to report lines
+                         (shared CI boxes)
+"""
+
+import os
+
+from conftest import run_once
+
+NODES = int(os.environ.get("PRED_BENCH_NODES", "5"))
+DURATION_S = float(os.environ.get("PRED_BENCH_DURATION", "7200"))
+SMOKE = bool(os.environ.get("PRED_BENCH_SMOKE"))
+
+TRAIN_SEEDS = (11, 12, 13)
+EVAL_SEED = 21
+HARVEST_NODES = 3
+HARVEST_DURATION_S = 10800.0
+HARVEST_RATE = 8.0
+INTENSITY = 0.9
+THRESHOLD = 0.35
+AB_SEED = 42
+
+
+def _harvest(seeds, jobs=2):
+    from repro.sweep import SweepSpec, harvest_report, run_sweep
+
+    spec = SweepSpec(
+        seeds=tuple(seeds), n_nodes=HARVEST_NODES,
+        duration_s=HARVEST_DURATION_S, rate_per_hour=HARVEST_RATE,
+        intensity=INTENSITY, harvest=True)
+    outcome = run_sweep(spec, jobs=jobs)
+    assert not outcome.failures, [r.error for r in outcome.failures]
+    return harvest_report(outcome)
+
+
+def test_risk_aware_arm_beats_threshold_baseline(benchmark, emit):
+    """Train on harvested labels, score held-out, win the pinned A/B."""
+    from repro.cloudmgr import (
+        run_prediction_ab,
+        score_harvest,
+        train_from_observations,
+    )
+
+    def harness():
+        training = _harvest(TRAIN_SEEDS)
+        predictor = train_from_observations(
+            training["observations"], threshold=THRESHOLD)
+        scores = score_harvest(
+            predictor, _harvest((EVAL_SEED,))["observations"])
+        ab = run_prediction_ab(
+            predictor, n_nodes=NODES, duration_s=DURATION_S,
+            seed=AB_SEED)
+        return predictor, scores, ab
+
+    predictor, scores, ab = run_once(benchmark, harness)
+    near = scores["horizons"]["15m"]
+    base = ab["arms"]["baseline"]
+    risk = ab["arms"]["risk_aware"]
+
+    lead = (f"{near['mean_lead_s']:.0f}s"
+            if near["mean_lead_s"] is not None else "n/a")
+    emit("failure_prediction_ab", "\n".join([
+        f"failure prediction: trained horizons "
+        f"{', '.join(predictor.trained_horizons()) or 'none'}, "
+        f"threshold {THRESHOLD}",
+        f"held-out 15m scoring: precision={near['precision']:.3f} "
+        f"recall={near['recall']:.3f} events={near['events']} "
+        f"detected={near['detected']} mean lead={lead}",
+        f"pinned storm A/B ({NODES} nodes, "
+        f"{int(DURATION_S // 60)} steps, seed {AB_SEED}, "
+        f"{ab['plan_faults']} faults):",
+        f"  availability    {base['availability']:.4f} -> "
+        f"{risk['availability']:.4f} "
+        f"({ab['deltas']['availability']:+.4f})",
+        f"  sla violations  {base['sla_violations']} -> "
+        f"{risk['sla_violations']} "
+        f"({ab['deltas']['sla_violations']:+d})",
+        f"  evacuations     {base['evacuations']} -> "
+        f"{risk['evacuations']}",
+        f"smoke mode (asserts relaxed): {SMOKE}",
+    ]))
+
+    assert "15m" in predictor.trained_horizons(), (
+        "the nearest horizon did not train on the harvested labels")
+    if not SMOKE:
+        assert near["detected"] > 0 and near["recall"] > 0, (
+            "the trained predictor detected no held-out failure events")
+        assert risk["availability"] > base["availability"], (
+            "risk-aware arm did not improve fleet availability")
+        assert risk["sla_violations"] < base["sla_violations"], (
+            "risk-aware arm did not reduce SLA violations")
+
+
+def test_harvest_is_jobs_independent(benchmark, emit):
+    """The labelled-observation payload is identical across --jobs."""
+    from repro.persistence import canonical_json
+
+    def harness():
+        serial = canonical_json(_harvest(TRAIN_SEEDS[:2], jobs=1))
+        fanned = canonical_json(_harvest(TRAIN_SEEDS[:2], jobs=2))
+        return serial, fanned
+
+    serial, fanned = run_once(benchmark, harness)
+    identical = serial == fanned
+    emit("failure_prediction_harvest", "\n".join([
+        f"harvest determinism: seeds {TRAIN_SEEDS[:2]}, "
+        f"{HARVEST_NODES} nodes, {int(HARVEST_DURATION_S // 60)} steps",
+        f"jobs=1 vs jobs=2 byte-identical: {identical}",
+        f"payload bytes: {len(serial)}",
+    ]))
+    assert identical, (
+        "harvest payload differs between --jobs 1 and --jobs 2")

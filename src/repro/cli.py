@@ -412,6 +412,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import render_table
     from .sweep import (
         SweepSpec,
+        harvest_report,
         report_digest,
         run_sweep,
         sweep_report,
@@ -428,7 +429,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=seeds, n_nodes=args.nodes, duration_s=args.duration,
         policies=args.policies, rate_per_hour=args.rate,
         intensity=args.intensity, grid=grid,
-        snapshot_root=args.snapshot_root)
+        snapshot_root=args.snapshot_root,
+        harvest=bool(args.harvest_labels))
     def _progress(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
@@ -459,8 +461,105 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{failure['error']}", file=sys.stderr)
     if args.report_json:
         write_report(args.report_json, report)
+    if args.harvest_labels:
+        harvested = harvest_report(outcome)
+        write_report(args.harvest_labels, harvested)
+        print(f"harvested {harvested['n_observations']} labelled "
+              f"observations -> {args.harvest_labels}")
+        print(f"harvest sha256: {report_digest(harvested)}")
     print(f"report sha256: {report_digest(report)}")
     return 1 if outcome.failures else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .cloudmgr import (
+        run_prediction_ab,
+        score_harvest,
+        train_from_observations,
+    )
+    from .persistence import payload_checksum
+    from .sweep import SweepSpec, harvest_report, run_sweep
+
+    try:
+        train_seeds = _parse_seeds(args.train_seeds)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.eval_seed in train_seeds:
+        print("error: --eval-seed must be held out of --train-seeds",
+              file=sys.stderr)
+        return 2
+
+    def _progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    progress = None if args.quiet else _progress
+
+    def _harvest(seeds):
+        spec = SweepSpec(
+            seeds=seeds, n_nodes=args.nodes, duration_s=args.duration,
+            rate_per_hour=args.rate, intensity=args.intensity,
+            harvest=True)
+        outcome = run_sweep(spec, jobs=args.jobs, progress=progress)
+        if outcome.failures:
+            for row in outcome.failures:
+                print(f"FAILED seed={row.seed}: {row.error}",
+                      file=sys.stderr)
+            raise SystemExit(1)
+        return harvest_report(outcome)
+
+    training = _harvest(train_seeds)
+    predictor = train_from_observations(
+        training["observations"], threshold=args.threshold)
+    print(f"trained on {training['n_observations']} observations "
+          f"({len(train_seeds)} campaign(s)); trained horizons: "
+          f"{', '.join(predictor.trained_horizons()) or 'none'}")
+
+    evaluation = _harvest((args.eval_seed,))
+    scores = score_harvest(predictor, evaluation["observations"])
+    for horizon, row in scores["horizons"].items():
+        lead = (f"{row['mean_lead_s']:.0f}s"
+                if row["mean_lead_s"] is not None else "n/a")
+        print(f"  {horizon}: precision={row['precision']:.3f} "
+              f"recall={row['recall']:.3f} "
+              f"events={row['events']} detected={row['detected']} "
+              f"mean lead={lead}")
+
+    ab = None
+    if args.ab:
+        ab = run_prediction_ab(
+            predictor, n_nodes=args.ab_nodes,
+            duration_s=args.ab_duration, seed=args.ab_seed)
+        base = ab["arms"]["baseline"]
+        risk = ab["arms"]["risk_aware"]
+        print(f"A/B over {ab['plan_faults']} planned faults: "
+              f"availability {base['availability']:.4f} -> "
+              f"{risk['availability']:.4f}, "
+              f"sla violations {base['sla_violations']} -> "
+              f"{risk['sla_violations']}")
+
+    report = {
+        "version": 1,
+        "config": {
+            "train_seeds": list(train_seeds),
+            "eval_seed": args.eval_seed,
+            "n_nodes": args.nodes,
+            "duration_s": args.duration,
+            "rate_per_hour": args.rate,
+            "intensity": args.intensity,
+            "threshold": args.threshold,
+        },
+        "training": {
+            "n_observations": training["n_observations"],
+            "trained_horizons": list(predictor.trained_horizons()),
+        },
+        "scoring": scores,
+        "ab": ab,
+    }
+    if args.report_json:
+        _write_canonical(args.report_json, report)
+    print(f"report sha256: {payload_checksum(report)}")
+    return 0
 
 
 def _write_canonical(path: str, report) -> None:
@@ -729,8 +828,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--snapshot-root", default=None,
                        help="give every task a crash-safe snapshot "
                             "directory under this root")
+    sweep.add_argument("--harvest-labels", default=None, metavar="PATH",
+                       help="also write ledger-labelled prediction "
+                            "observations (canonical JSON) to PATH")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-campaign progress lines")
+    predict = sub.add_parser(
+        "predict", help="train, score and A/B the multi-horizon "
+                        "failure predictor")
+    predict.add_argument("--train-seeds", default="11,12,13",
+                         help="seeds of the harvest campaigns the "
+                              "predictor trains on")
+    predict.add_argument("--eval-seed", type=int, default=21,
+                         help="held-out seed scored against the "
+                              "ground-truth fault ledger")
+    predict.add_argument("--nodes", type=int, default=3)
+    predict.add_argument("--duration", type=float, default=10800.0)
+    predict.add_argument("--rate", type=float, default=8.0,
+                         help="expected faults per node-hour in the "
+                              "harvest campaigns (moderate rates keep "
+                              "the horizon labels balanced)")
+    predict.add_argument("--intensity", type=float, default=0.9)
+    predict.add_argument("--threshold", type=float, default=0.35,
+                         help="at-risk probability threshold at the "
+                              "nearest horizon (farther horizons scale "
+                              "it toward certainty)")
+    predict.add_argument("--jobs", type=int, default=1,
+                         help="concurrent harvest worker processes")
+    predict.add_argument("--ab", action="store_true",
+                         help="also run the risk-aware vs threshold "
+                              "migration A/B under a pinned plan")
+    predict.add_argument("--ab-nodes", type=int, default=5)
+    predict.add_argument("--ab-duration", type=float, default=7200.0)
+    predict.add_argument("--ab-seed", type=int, default=42)
+    predict.add_argument("--report-json", default=None,
+                         help="write the canonical-JSON prediction "
+                              "report to this path")
+    predict.add_argument("--quiet", action="store_true",
+                         help="suppress per-campaign progress lines")
     eop = sub.add_parser(
         "eop", help="error-injecting EOP-governor campaign")
     eop.add_argument("--duration", type=float, default=1800.0)
@@ -854,6 +989,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
     "sweep": _cmd_sweep,
+    "predict": _cmd_predict,
     "eop": _cmd_eop,
     "fleet": _cmd_fleet,
     "profile": _cmd_profile,

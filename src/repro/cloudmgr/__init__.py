@@ -8,19 +8,32 @@ failure prediction and proactive live migration.
 
 from .cloud import CloudController, CloudStats, ControllerStats
 from .failure_prediction import (
+    DomainRisk,
+    HARVEST_FEATURES,
+    HORIZONS,
+    HorizonRisk,
+    HorizonRiskReport,
     LearnedFailurePredictor,
+    MultiHorizonPredictor,
     NODE_FEATURES,
     RiskAssessment,
     ThresholdFailurePredictor,
     node_features,
+    predictor_from_state,
+    predictor_state,
+    sample_features,
+    score_harvest,
+    train_from_observations,
 )
 from .migration import MigrationCostModel, MigrationManager, MigrationRecord
 from .node import ComputeNode, NodeMetrics, build_rack
+from .prediction_ab import run_prediction_ab, storm_plan
 from .scheduler import (
     DEFAULT_FILTERS,
     DEFAULT_WEIGHERS,
     FilterScheduler,
     Placement,
+    RISK_AWARE_WEIGHERS,
     RoundRobinScheduler,
     WeigherSpec,
     balance_weigher,
@@ -28,6 +41,7 @@ from .scheduler import (
     energy_weigher,
     health_filter,
     reliability_weigher,
+    risk_aware_weigher,
     sla_performance_filter,
     sla_reliability_filter,
 )
@@ -60,15 +74,20 @@ __all__ = [
     "RackExperiment", "SimulationStats", "TIER_MAP",
     "TraceDrivenSimulation", "run_rack_experiment", "run_trace_experiment",
     "CloudController", "CloudStats", "ControllerStats",
-    "LearnedFailurePredictor", "NODE_FEATURES", "RiskAssessment",
-    "ThresholdFailurePredictor", "node_features",
+    "DomainRisk", "HARVEST_FEATURES", "HORIZONS", "HorizonRisk",
+    "HorizonRiskReport", "LearnedFailurePredictor",
+    "MultiHorizonPredictor", "NODE_FEATURES", "RiskAssessment",
+    "ThresholdFailurePredictor", "node_features", "predictor_from_state",
+    "predictor_state", "sample_features", "score_harvest",
+    "train_from_observations",
     "MigrationCostModel", "MigrationManager", "MigrationRecord",
-    "ComputeNode", "NodeMetrics", "build_rack",
+    "ComputeNode", "NodeMetrics", "build_rack", "run_prediction_ab",
+    "storm_plan",
     "DEFAULT_FILTERS", "DEFAULT_WEIGHERS", "FilterScheduler", "Placement",
-    "RoundRobinScheduler", "WeigherSpec", "balance_weigher",
-    "capacity_filter", "energy_weigher", "health_filter",
-    "reliability_weigher", "sla_performance_filter",
-    "sla_reliability_filter",
+    "RISK_AWARE_WEIGHERS", "RoundRobinScheduler", "WeigherSpec",
+    "balance_weigher", "capacity_filter", "energy_weigher",
+    "health_filter", "reliability_weigher", "risk_aware_weigher",
+    "sla_performance_filter", "sla_reliability_filter",
     "BRONZE", "DEFAULT_TIERS", "GOLD", "SILVER", "SLA", "SLARecord",
     "SLATracker",
     "NodeSample", "RollingWindow", "TelemetryService", "VMSample",

@@ -467,12 +467,29 @@ class CloudController:
         rung: prediction lost, reactive path still covers crashes).
         """
         now = self.clock.now
+        urgent: List[NodeView] = []
         for view in self.health.schedulable_views():
             beat = view.last
             if beat is None or beat.risk is None or not beat.risk.at_risk:
                 continue
             if not beat.active_vms:
                 continue
+            urgent.append(view)
+        # Nearest-horizon risk first: a node predicted to fail within
+        # 15 minutes is drained before one flagged at the 4 h horizon.
+        # Nodes without a horizon report fall back to the scalar verdict
+        # (higher risk = treated as nearer); name breaks ties so the
+        # order — and thus every downstream placement — is deterministic.
+        def evacuation_priority(view: NodeView):
+            beat = view.last
+            report = beat.horizon_report
+            if report is not None:
+                horizon_s, neg_probability = report.urgency()
+            else:
+                horizon_s, neg_probability = float("inf"), -beat.risk.risk
+            return (horizon_s, neg_probability, view.name)
+
+        for view in sorted(urgent, key=evacuation_priority):
             pending = self._evac_retry.get(view.name)
             if pending is not None and now < pending.next_at:
                 continue
@@ -484,8 +501,17 @@ class CloudController:
         """One evacuation attempt; schedules a backoff retry on aborts."""
         now = self.clock.now
         node = self.nodes[name]
-        targets = [v for v in self.health.schedulable_views()
-                   if v.name != name]
+        peers = [v for v in self.health.schedulable_views()
+                 if v.name != name]
+        # Risk-aware targeting: never evacuate onto a node whose own
+        # heartbeat says it is at risk — that is migration ping-pong.
+        # If *every* peer is flagged, fall back to the full set rather
+        # than strand the VMs on the node predicted to fail first.
+        targets = [v for v in peers
+                   if v.last is None or v.last.risk is None
+                   or not v.last.risk.at_risk]
+        if not targets:
+            targets = peers
         attempted_from = len(self.migrations.records)
         moved = self.migrations.evacuate(
             node, targets, self.tracker, proactive=True,

@@ -39,6 +39,12 @@ from ..resilience.health import Heartbeat
 from .telemetry import NodeSample, TelemetryService, VMSample
 
 
+def _predictor_state(predictor):
+    """Kind-tagged predictor envelope (lazy import: cyclic module)."""
+    from .failure_prediction import predictor_state
+    return predictor_state(predictor)
+
+
 @dataclass(frozen=True)
 class NodeMetrics:
     """One scheduling-relevant snapshot of a node."""
@@ -112,6 +118,9 @@ class ComputeNode:
         #: Node-local failure-risk predictor (lazily a
         #: ThresholdFailurePredictor; the controller may swap it).
         self.risk_predictor = None
+        #: Last horizon report shipped in a heartbeat (serving cache —
+        #: rebuilt on the next heartbeat, so not persisted).
+        self.last_risk_report = None
         #: Chaos switches: the Predictor daemon is down (heartbeats ship
         #: no risk verdict) / recovery commands are silently swallowed.
         self.predictor_down = False
@@ -310,6 +319,27 @@ class ComputeNode:
             self.risk_predictor = ThresholdFailurePredictor()
         return self.risk_predictor.assess(self, self.local_telemetry)
 
+    def _risk_report(self, assessment):
+        """The predictor's horizon report, if it can produce one.
+
+        Down with the Predictor daemon (same degradation rung as the
+        scalar verdict); None for a predictor without horizon support.
+        """
+        if self.predictor_down or self.risk_predictor is None:
+            self.last_risk_report = None
+            return None
+        report_fn = getattr(self.risk_predictor, "report", None)
+        if report_fn is None:
+            self.last_risk_report = None
+            return None
+        self.last_risk_report = report_fn(self, self.local_telemetry,
+                                          assessment=assessment)
+        return self.last_risk_report
+
+    def risk_report(self):
+        """The last horizon report shipped (None before any heartbeat)."""
+        return self.last_risk_report
+
     def heartbeat(self) -> Optional[Heartbeat]:
         """The periodic self-report to the controller.
 
@@ -341,9 +371,10 @@ class ComputeNode:
         )
         self.runtime.metrics.inc("resilience.heartbeats.emitted")
         counts = self.governor.counts()
+        risk = self._assess_risk()
         return Heartbeat(
             timestamp=self.clock.now, node=self.name, metrics=metrics,
-            sample=sample, vm_samples=vm_samples, risk=self._assess_risk(),
+            sample=sample, vm_samples=vm_samples, risk=risk,
             info_vector_age_s=self.healthlog.info_vector_age_s(),
             active_vms=tuple(
                 vm.name for vm in self.hypervisor.active_vms()),
@@ -352,6 +383,7 @@ class ComputeNode:
             eop_adopted=self.governor.adopted_count(),
             eop_demoted=counts[EOPState.DEMOTED.value],
             eop_quarantined=counts[EOPState.QUARANTINED.value],
+            horizon_report=self._risk_report(risk),
         )
 
     # -- persistence ---------------------------------------------------------
@@ -373,6 +405,7 @@ class ComputeNode:
             "predictor_down": self.predictor_down,
             "recovery_stuck": self.recovery_stuck,
             "governor": self.governor.state_dict(),
+            "risk_predictor": _predictor_state(self.risk_predictor),
         }
 
     def load_state_dict(self, state: Dict[str, object],
@@ -398,6 +431,21 @@ class ComputeNode:
         self.predictor_down = bool(state["predictor_down"])
         self.recovery_stuck = bool(state["recovery_stuck"])
         self.governor.load_state_dict(state["governor"])  # type: ignore[arg-type]
+        # .get(): snapshots from before the predictor round-trip landed
+        # have no envelope — leave whatever predictor is installed.
+        envelope = state.get("risk_predictor")
+        if envelope is not None:
+            from .failure_prediction import predictor_from_state
+            restored = predictor_from_state(envelope)  # type: ignore[arg-type]
+            if (self.risk_predictor is not None
+                    and getattr(self.risk_predictor, "KIND", None)
+                    == getattr(restored, "KIND", None)):
+                # Keep the installed instance (it may be shared with the
+                # controller); overlay the saved state onto it.
+                self.risk_predictor.load_state_dict(
+                    envelope["state"])  # type: ignore[index]
+            else:
+                self.risk_predictor = restored
 
     # -- execution ----------------------------------------------------------
 

@@ -92,6 +92,39 @@ def balance_weigher(node: ComputeNode, vm: VirtualMachine, sla: SLA) -> float:
     return 1.0 - node.utilization()
 
 
+def risk_aware_weigher(node: ComputeNode, vm: VirtualMachine,
+                       sla: SLA) -> float:
+    """Penalise candidates their own horizon reports predict will fail.
+
+    Reads the node's last multi-horizon risk report (duck-typed: live
+    nodes and heartbeat-fed :class:`~repro.resilience.health.NodeView`
+    beliefs both answer ``risk_report()``).  Only horizons whose
+    ``at_risk`` flag is up contribute hazard — the weigher acts on the
+    same alarms actuation acts on, scaled by ``probability x
+    confidence x nearness`` so a high-confidence 15-minute warning
+    outweighs a shaky 4-hour one.  Below-threshold probabilities are
+    deliberately ignored: scoring them would perturb every placement
+    with low-grade noise, and in a fleet whose faults are mostly
+    exogenous that noise costs more than the signal is worth.  With no
+    alarm anywhere the weigher is constant, and min-max normalisation
+    makes a constant weigher ranking-neutral.  A node without a report
+    (Predictor down, threshold-only fleet) scores a neutral 0.5: no
+    evidence is not the same as a clean bill.
+    """
+    report_fn = getattr(node, "risk_report", None)
+    report = report_fn() if report_fn is not None else None
+    if report is None:
+        return 0.5
+    hazard = 0.0
+    for horizon in report.horizons:
+        if not horizon.at_risk:
+            continue
+        nearness = min(1.0, 900.0 / horizon.horizon_s)
+        hazard = max(hazard,
+                     horizon.probability * horizon.confidence * nearness)
+    return 1.0 - min(1.0, hazard)
+
+
 @dataclass
 class RackAntiAffinity:
     """Opt-in weigher: spread placements across fault-domain racks.
@@ -143,6 +176,13 @@ DEFAULT_WEIGHERS: Tuple[WeigherSpec, ...] = (
     WeigherSpec(reliability_weigher, 2.0),
     WeigherSpec(energy_weigher, 1.0),
     WeigherSpec(balance_weigher, 1.0),
+)
+
+#: The default set plus the horizon-report weigher — the scheduler arm
+#: of the risk-aware migration A/B (``bench_failure_prediction``).
+#: Opt-in rather than default so existing ablations keep their baseline.
+RISK_AWARE_WEIGHERS: Tuple[WeigherSpec, ...] = DEFAULT_WEIGHERS + (
+    WeigherSpec(risk_aware_weigher, 1.5),
 )
 
 

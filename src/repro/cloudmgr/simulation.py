@@ -228,7 +228,9 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
                         base_rate_per_hour: float = 12.0,
                         step_s: float = 60.0,
                         degradation=None,
-                        fault_plan=None) -> RackExperiment:
+                        fault_plan=None,
+                        scheduler=None,
+                        predictor=None) -> RackExperiment:
     """One fully seeded rack run: N full UniServer nodes, one clock.
 
     Everything stochastic — per-node fault draws, the arrival trace,
@@ -242,6 +244,11 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
     engine injecting control-plane faults against it.  ``eop_policy``
     (a :class:`~repro.eop.EOPPolicy`) sets every node's margin-adoption
     stance; None keeps the per-node default.
+
+    ``scheduler`` (e.g. a :class:`~repro.cloudmgr.scheduler.FilterScheduler`
+    armed with ``RISK_AWARE_WEIGHERS``) and ``predictor`` (installed as
+    every node's local risk predictor) select the prediction arm — the
+    A/B surface of ``bench_failure_prediction``.
     """
     from ..core.clock import SimClock
     from ..resilience.chaos import ChaosEngine
@@ -255,6 +262,8 @@ def run_rack_experiment(n_nodes: int = 4, duration_s: float = 3600.0,
                        eop_policy=eop_policy)
     chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
     cloud = CloudController(clock, nodes,
+                            scheduler=scheduler,
+                            predictor=predictor,
                             proactive_migration=proactive_migration,
                             degradation=degradation,
                             chaos=chaos, control_seed=seed)

@@ -177,6 +177,50 @@ class LogisticModel:
             raise PredictionError("model is not trained")
         return dict(zip(FEATURE_NAMES, (float(w) for w in self._weights)))
 
+    def contributions(self, features: np.ndarray) -> np.ndarray:
+        """Per-feature logit contribution (weight x standardised value).
+
+        The decomposition of one row's decision: positive values push
+        toward failure.  Used by risk reports to name the features that
+        drove a verdict.
+        """
+        if self._weights is None:
+            raise PredictionError("model is not trained")
+        row = np.asarray(features, dtype=float).reshape(-1)
+        z = (row - self._mean) / self._std
+        return z * self._weights
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable model state (hyper-parameters plus fit)."""
+        return {
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "l2": self.l2,
+            "weights": (None if self._weights is None
+                        else [float(w) for w in self._weights]),
+            "bias": float(self._bias),
+            "mean": (None if self._mean is None
+                     else [float(m) for m in self._mean]),
+            "std": (None if self._std is None
+                    else [float(s) for s in self._std]),
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self.learning_rate = float(state["learning_rate"])
+        self.epochs = int(state["epochs"])
+        self.l2 = float(state["l2"])
+        weights = state["weights"]
+        self._weights = (None if weights is None
+                         else np.array([float(w) for w in weights]))
+        self._bias = float(state["bias"])
+        mean = state["mean"]
+        self._mean = (None if mean is None
+                      else np.array([float(m) for m in mean]))
+        std = state["std"]
+        self._std = (None if std is None
+                     else np.array([float(s) for s in std]))
+
 
 @dataclass(frozen=True)
 class Advice:

@@ -32,7 +32,8 @@ from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 from ..core.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # import-free at runtime: cloudmgr imports us
-    from ..cloudmgr.failure_prediction import RiskAssessment
+    from ..cloudmgr.failure_prediction import (HorizonRiskReport,
+                                               RiskAssessment)
     from ..cloudmgr.node import NodeMetrics
     from ..cloudmgr.telemetry import NodeSample, VMSample
     from ..hypervisor.vm import VirtualMachine
@@ -66,12 +67,19 @@ class Heartbeat:
     eop_adopted: int = 0
     eop_demoted: int = 0
     eop_quarantined: int = 0
+    #: Full multi-horizon risk report (probability + confidence per
+    #: horizon, per-DRAM-domain hazards); None when the node's
+    #: predictor cannot produce one (Predictor daemon down, or a
+    #: predictor without horizon support).
+    horizon_report: Optional["HorizonRiskReport"] = None
 
 
 def heartbeat_to_dict(heartbeat: Heartbeat) -> Dict[str, object]:
     """Plain-dict form of a heartbeat (all leaves are primitives)."""
     state = asdict(heartbeat)
     state["vm_samples"] = [asdict(s) for s in heartbeat.vm_samples]
+    state["horizon_report"] = (None if heartbeat.horizon_report is None
+                               else heartbeat.horizon_report.as_dict())
     return state
 
 
@@ -81,11 +89,13 @@ def heartbeat_from_dict(state: Dict[str, object]) -> Heartbeat:
     Imports are local: this module is imported by ``cloudmgr`` at class
     definition time, so the concrete sample types only resolve lazily.
     """
-    from ..cloudmgr.failure_prediction import RiskAssessment
+    from ..cloudmgr.failure_prediction import (HorizonRiskReport,
+                                               RiskAssessment)
     from ..cloudmgr.node import NodeMetrics
     from ..cloudmgr.telemetry import NodeSample, VMSample
 
     risk = state["risk"]
+    report = state.get("horizon_report")
     return Heartbeat(
         timestamp=float(state["timestamp"]),  # type: ignore[arg-type]
         node=str(state["node"]),
@@ -101,6 +111,8 @@ def heartbeat_from_dict(state: Dict[str, object]) -> Heartbeat:
         eop_adopted=int(state.get("eop_adopted", 0)),  # type: ignore[arg-type]
         eop_demoted=int(state.get("eop_demoted", 0)),  # type: ignore[arg-type]
         eop_quarantined=int(state.get("eop_quarantined", 0)),  # type: ignore[arg-type]
+        horizon_report=(None if report is None
+                        else HorizonRiskReport.from_dict(report)),  # type: ignore[arg-type]
     )
 
 
@@ -243,6 +255,14 @@ class NodeView:
     def frequency_fraction(self) -> float:
         """Last reported mean frequency fraction."""
         return self.metrics().frequency_fraction
+
+    def risk_report(self) -> Optional["HorizonRiskReport"]:
+        """Last reported multi-horizon risk report, if any.
+
+        Duck-types ``ComputeNode.risk_report()`` so risk-aware weighers
+        score believed state and live nodes identically.
+        """
+        return self.last.horizon_report if self.last is not None else None
 
     @property
     def hypervisor(self) -> SimpleNamespace:

@@ -17,6 +17,11 @@ from .engine import (
     run_sweep,
     run_sweep_task,
 )
+from .harvest import (
+    HARVEST_VERSION,
+    harvest_observations,
+    harvest_report,
+)
 from .report import (
     SUMMARY_METRICS,
     report_digest,
@@ -27,6 +32,7 @@ from .report import (
 
 __all__ = [
     "GRID_AXES",
+    "HARVEST_VERSION",
     "SUMMARY_METRICS",
     "SweepResult",
     "SweepRow",
@@ -34,6 +40,8 @@ __all__ = [
     "SweepTask",
     "campaign_result_from_row",
     "default_mp_context",
+    "harvest_observations",
+    "harvest_report",
     "report_digest",
     "run_sweep",
     "run_sweep_task",

@@ -74,6 +74,10 @@ class SweepTask:
     seed: int
     config: CampaignConfig
     snapshot_dir: Optional[str] = None
+    #: Harvest ledger-labelled prediction observations in the worker
+    #: (the experiment handle never crosses the process boundary, so
+    #: harvesting must happen where the world still exists).
+    harvest: bool = False
 
 
 @dataclass
@@ -95,10 +99,20 @@ class SweepRow:
     error: Optional[str] = None
     metrics_sha256: Optional[str] = None
     result: Optional[Dict[str, object]] = None
+    #: Ledger-labelled prediction observations (only when the task was
+    #: expanded with ``harvest=True``); reported through the separate
+    #: harvest report, never the aggregate sweep report.
+    harvest: Optional[List[Dict[str, object]]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict form for the aggregate report."""
-        return asdict(self)
+        """Plain-dict form for the aggregate report.
+
+        The harvest payload is excluded: a sweep must produce the same
+        aggregate report bytes with and without the harvest hook.
+        """
+        state = asdict(self)
+        state.pop("harvest", None)
+        return state
 
 
 @dataclass
@@ -125,6 +139,10 @@ class SweepSpec:
     plan: Optional[Dict[str, object]] = None
     #: Per-task crash-safe snapshot directories are created under here.
     snapshot_root: Optional[str] = None
+    #: Attach ledger-labelled prediction observations to every row
+    #: (``repro sweep --harvest-labels``).  Excluded from
+    #: :meth:`as_dict` so the aggregate report is harvest-independent.
+    harvest: bool = False
 
     def __post_init__(self) -> None:
         self.seeds = tuple(int(s) for s in self.seeds)
@@ -208,7 +226,8 @@ class SweepSpec:
                 tasks.append(SweepTask(
                     index=index, point=label, seed=seed,
                     config=CampaignConfig(seed=seed, label=label, **base),
-                    snapshot_dir=snapshot_dir))
+                    snapshot_dir=snapshot_dir,
+                    harvest=self.harvest))
         return tasks
 
 
@@ -276,10 +295,15 @@ def run_sweep_task(task: SweepTask) -> SweepRow:
                         error=f"{type(exc).__name__}: {exc}")
     metrics_sha = payload_checksum(
         result.experiment.cloud.metrics_snapshot())
+    harvest = None
+    if task.harvest:
+        from .harvest import harvest_observations
+        harvest = harvest_observations(result.experiment)
     payload = asdict(replace(result, experiment=None))
     payload.pop("experiment", None)
     return SweepRow(index=task.index, point=task.point, seed=task.seed,
-                    ok=True, metrics_sha256=metrics_sha, result=payload)
+                    ok=True, metrics_sha256=metrics_sha, result=payload,
+                    harvest=harvest)
 
 
 def _worker_main(worker: Callable[[SweepTask], SweepRow],

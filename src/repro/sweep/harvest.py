@@ -1,0 +1,134 @@
+"""Harvesting labelled prediction observations from sweep campaigns.
+
+The sweep engine is the prediction stack's data factory: every campaign
+runs a full seeded world whose ground-truth fault ledger records exactly
+when each node crashed.  This module walks a finished campaign and turns
+each node's retained telemetry samples into *labelled observations* —
+one :data:`~repro.cloudmgr.failure_prediction.HARVEST_FEATURES` row per
+sample, labelled per horizon with "did this node crash within the
+horizon after the sample?", keyed back to the ledger so the labels are
+ground truth, not belief.
+
+Harvesting runs inside the sweep worker (``SweepTask.harvest=True``),
+because the experiment world never crosses the process boundary; rows
+return in task order, so the aggregate harvest report is byte-identical
+between ``--jobs 1`` and ``--jobs N`` like every other sweep artifact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional
+
+from ..cloudmgr.failure_prediction import (
+    HARVEST_FEATURES,
+    HORIZONS,
+    sample_features,
+)
+from ..hardware.faults import FaultClass
+
+#: Harvest payload format version (bump on shape changes).
+HARVEST_VERSION = 1
+
+#: Domain-attributed fault classes that label DRAM-domain observations.
+_DOMAIN_FAULTS = (FaultClass.UNCORRECTABLE,
+                  FaultClass.SILENT_DATA_CORRUPTION)
+
+
+def harvest_observations(experiment) -> List[Dict[str, object]]:
+    """Ledger-labelled observations from one finished rack experiment.
+
+    ``experiment`` is a
+    :class:`~repro.cloudmgr.simulation.RackExperiment`.  Returns one
+    record per retained node-telemetry sample, node-name then timestamp
+    ordered, each carrying the feature row, per-horizon node labels,
+    the lead time to the next crash (None if the node never crashed
+    after the sample) and per-DRAM-domain horizon labels.
+
+    Labels whose horizon window runs past the end of the campaign are
+    *censored* (``None``) unless a crash was observed inside the
+    truncated window: "no crash within 4 h" is unknowable from the last
+    4 h of a shorter campaign, and treating those rows as negatives
+    teaches the long-horizon models that late-campaign worlds are safe.
+    Training and scoring both skip ``None`` labels.
+    """
+    observations: List[Dict[str, object]] = []
+    cloud = experiment.cloud
+    end_s = cloud.clock.now
+    for name in sorted(cloud.nodes):
+        node = cloud.nodes[name]
+        ledger = node.platform.faults
+        crash_times = sorted(
+            r.timestamp for r in ledger.records
+            if r.fault_class is FaultClass.CRASH)
+        domain_names = sorted(d.name for d in node.platform.memory.domains())
+        domain_fault_times = {
+            domain: sorted(
+                r.timestamp for r in ledger.records
+                if r.fault_class in _DOMAIN_FAULTS
+                and r.component == domain)
+            for domain in domain_names
+        }
+
+        def crashes_within(times: List[float], t: float,
+                           horizon_s: float) -> Optional[bool]:
+            lo = bisect_right(times, t)
+            hi = bisect_right(times, t + horizon_s)
+            if hi > lo:
+                return True
+            # No crash seen, but the window is cut short by campaign
+            # end: the true label is unknowable — censor it.
+            if t + horizon_s > end_s:
+                return None
+            return False
+
+        for sample in node.local_telemetry.node_history(name):
+            t = sample.timestamp
+            nxt = bisect_right(crash_times, t)
+            lead_s: Optional[float] = (
+                crash_times[nxt] - t if nxt < len(crash_times) else None)
+            observations.append({
+                "node": name,
+                "timestamp": t,
+                "features": [float(x) for x in sample_features(sample)],
+                "labels": {
+                    horizon: crashes_within(crash_times, t, horizon_s)
+                    for horizon, horizon_s in HORIZONS
+                },
+                "lead_s": lead_s,
+                "domains": {
+                    domain: {
+                        horizon: crashes_within(
+                            domain_fault_times[domain], t, horizon_s)
+                        for horizon, horizon_s in HORIZONS
+                    }
+                    for domain in domain_names
+                },
+            })
+    return observations
+
+
+def harvest_report(result) -> Dict[str, object]:
+    """The aggregate harvest payload over a whole sweep.
+
+    ``result`` is a :class:`~repro.sweep.engine.SweepResult` whose rows
+    were produced with ``harvest=True``.  Observations are flattened in
+    task order with their grid point and seed attached, so the payload
+    — like the main sweep report — is independent of ``--jobs``.
+    """
+    observations: List[Dict[str, object]] = []
+    for row in result.rows:
+        if not row.ok or not row.harvest:
+            continue
+        for obs in row.harvest:
+            tagged = {"point": row.point, "seed": row.seed}
+            tagged.update(obs)
+            observations.append(tagged)
+    return {
+        "version": HARVEST_VERSION,
+        "sweep": result.spec.as_dict(),
+        "horizons": {name: h_s for name, h_s in HORIZONS},
+        "features": list(HARVEST_FEATURES),
+        "n_observations": len(observations),
+        "observations": observations,
+    }

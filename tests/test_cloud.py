@@ -157,6 +157,23 @@ class TestProactiveMigration:
         assert cloud.stats.evacuations >= 1
         assert cloud.locate("vm0").name != home.name
 
+    def test_evacuation_avoids_other_at_risk_nodes(self):
+        """Regression: evacuation must not dump VMs onto a peer that is
+        itself reporting risk when a healthy node exists."""
+        cloud = make_cloud(n_nodes=3, proactive=True)
+        cloud.launch(make_vm("vm0", cycles=1e12), SILVER)
+        home = cloud.locate("vm0")
+        doomed_peer = next(
+            n for n in cloud.node_list() if n.name != home.name)
+        for node in (home, doomed_peer):
+            nominal = node.platform.chip.spec.nominal
+            node.platform.set_all_core_points(
+                nominal.with_voltage(nominal.voltage_v * 0.70))
+        cloud.run(5.0)
+        assert cloud.stats.evacuations >= 1
+        landed = cloud.locate("vm0")
+        assert landed.name not in (home.name, doomed_peer.name)
+
     def test_reactive_mode_leaves_vms_in_place(self):
         cloud = make_cloud(n_nodes=3, proactive=False)
         cloud.launch(make_vm("vm0", cycles=1e12), SILVER)

@@ -16,7 +16,7 @@ from repro.characterization import (
     RefreshRelaxationCampaign,
     refresh_share_vs_density,
 )
-from repro.hardware import standard_server_memory
+from repro.hardware import standard_server_memory, tiered_server_memory
 from repro.hardware.ecc import SECDED_BER_CAPABILITY
 
 
@@ -84,3 +84,52 @@ def test_refresh_share_vs_density(benchmark, emit):
     by_density = {row.density_gbit: row for row in rows_data}
     assert abs(by_density[2.0].refresh_share_nominal - 0.09) < 0.01
     assert by_density[32.0].refresh_share_nominal >= 0.34
+
+
+def test_tiered_refresh_breakdown(benchmark, emit):
+    """Per-tier refresh power of the HRM layout vs the uniform baseline."""
+
+    def build():
+        tiered = tiered_server_memory(seed=5)
+        uniform = standard_server_memory(seed=5)
+        return tiered, uniform
+
+    tiered, uniform = run_once(benchmark, build)
+
+    rows = []
+    for tier in tiered.tiers():
+        domains = tiered.domains_in_tier(tier)
+        power = tiered.tier_refresh_power_w()[tier]
+        rows.append([
+            tier,
+            ", ".join(d.name for d in domains),
+            f"{domains[0].refresh_interval_s * 1e3:.0f} ms",
+            domains[0].ecc.name,
+            f"{tiered.tier_capacity_gb()[tier]:.0f} GB",
+            f"{power:.3f} W",
+            f"{max(d.ber() for d in domains):.2e}",
+        ])
+    table = render_table(
+        "Per-tier refresh breakdown of the HRM layout (45 C)",
+        ["tier", "domains", "refresh", "ECC", "capacity",
+         "refresh power", "worst BER"],
+        rows,
+    )
+    saving = 1.0 - tiered.refresh_power_w() / uniform.refresh_power_w()
+    headline = render_table(
+        "Tiered vs uniform-nominal refresh power",
+        ["metric", "value"],
+        [
+            ["uniform (all nominal)", f"{uniform.refresh_power_w():.3f} W"],
+            ["tiered", f"{tiered.refresh_power_w():.3f} W"],
+            ["saving", f"{saving * 100:.1f}%"],
+        ],
+    )
+    emit("dram_refresh_tiers", table + "\n\n" + headline)
+
+    power = tiered.tier_refresh_power_w()
+    # Refresh power per DIMM falls strictly down the tiers; the whole
+    # tiered system undercuts the uniform-nominal baseline.
+    assert power["strong"] > power["normal"] > power["relaxed"] / 2
+    assert tiered.refresh_power_w() < uniform.refresh_power_w()
+    assert saving > 0.5

@@ -16,7 +16,18 @@ Quantifies the argument the paper compresses into one sentence
 from conftest import run_once
 
 from repro.analysis import render_table
-from repro.hardware.dram import Dimm, MemoryDomain
+from repro.hardware.dram import (
+    DEFAULT_TIER_REFRESH_S,
+    DEFAULT_TIER_UE_TARGETS,
+    MEMORY_TIERS,
+    Dimm,
+    MemoryDomain,
+    RetentionModel,
+)
+from repro.hardware.ecc import (
+    RETENTION_ADJACENT_FRACTION,
+    EccSelector,
+)
 from repro.hardware.scrubbing import (
     EccExposureModel,
     ScrubPolicy,
@@ -73,3 +84,50 @@ def test_ecc_exposure_chain(benchmark, emit):
     assert base.mean_time_to_ue_s() > 100 * YEAR_S
     assert retired.mean_time_to_ue_s() > base.mean_time_to_ue_s()
     assert 1e-9 < ceiling < 1e-6
+
+
+def test_tier_ecc_selection(benchmark, emit):
+    """Per-tier ECC exposure: the scheme each tier's UE target forces."""
+
+    def select():
+        retention = RetentionModel()
+        selector = EccSelector(
+            adjacent_fraction=RETENTION_ADJACENT_FRACTION)
+        rows = []
+        for tier in MEMORY_TIERS:
+            interval = DEFAULT_TIER_REFRESH_S[tier]
+            target = DEFAULT_TIER_UE_TARGETS[tier]
+            ber = retention.ber(interval)
+            scheme = selector.select(ber, target)
+            ue = scheme.uncorrectable_word_probability(
+                ber, adjacent_fraction=RETENTION_ADJACENT_FRACTION)
+            rows.append((tier, interval, ber, target, scheme, ue))
+        return rows
+
+    selected = run_once(benchmark, select)
+
+    table = render_table(
+        "Per-tier ECC selection (cheapest scheme meeting the UE target)",
+        ["tier", "refresh", "raw BER", "UE target", "scheme",
+         "parity", "pJ/access", "UE word prob"],
+        [
+            [tier, f"{interval:.3f} s", f"{ber:.2e}", f"{target:.0e}",
+             scheme.name, f"{scheme.parity_bits} b",
+             f"{scheme.energy_pj_per_access:.1f}", f"{ue:.2e}"]
+            for tier, interval, ber, target, scheme, ue in selected
+        ],
+    )
+    emit("ecc_exposure_tiers", table)
+
+    by_tier = {row[0]: row for row in selected}
+    # The verified selection matrix: stronger raw BER forces costlier
+    # schemes down the tiers, and each meets its tier's target.
+    assert by_tier["strong"][4].name == "secded"
+    assert by_tier["normal"][4].name == "sec-daec"
+    assert by_tier["relaxed"][4].name == "bch-dec"
+    for tier, _, _, target, _, ue in selected:
+        assert ue <= target
+    # Parity overhead rises monotonically with scheme strength.
+    assert (by_tier["strong"][4].parity_bits
+            < by_tier["normal"][4].parity_bits
+            < by_tier["relaxed"][4].parity_bits)

@@ -1,0 +1,146 @@
+"""Bench HRM — the heterogeneous-reliability memory tier frontier.
+
+Enforces the claims the tier refactor exists for:
+
+1. **The frontier** — the tiered layout (strong/SECDED/nominal,
+   normal/SEC-DAEC/1.5 s, relaxed/BCH-DEC/5 s) burns less refresh
+   energy than an all-nominal fleet *and* expects orders of magnitude
+   fewer critical uncorrectable errors than an all-relaxed one.
+2. **Determinism** — the ``repro hrm`` A/B report is byte-identical
+   across runs and across ``jobs`` counts.
+3. **Tier-isolated supervision** — under ``EOPPolicy.tiered()`` an
+   error storm in a relaxed-tier domain demotes the relaxed tier as
+   one batch while the normal tier's adopted margin stands, and the
+   normal tier's refresh stays clamped at its stance cap.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.core import UniServerNode
+from repro.core.events import CorrectableErrorEvent
+from repro.daemons.healthlog import HealthLogConfig
+from repro.eop import EOPPolicy, EOPState
+from repro.hardware.chip import ChipModel, arm_server_soc_spec
+from repro.hardware.dram import tiered_server_memory
+from repro.hardware.platform import ServerPlatform
+from repro.hrm import HrmConfig, run_hrm_ab
+from repro.persistence import canonical_json
+
+
+def test_hrm_tier_frontier(benchmark, emit):
+    config = HrmConfig(n_nodes=6)
+
+    def ab():
+        return run_hrm_ab(config, jobs=1)
+
+    report = run_once(benchmark, ab)
+
+    # Byte-identity: a second run and a jobs=2 run must reproduce the
+    # exact same canonical bytes.
+    rerun = canonical_json(run_hrm_ab(config, jobs=1))
+    sharded = canonical_json(run_hrm_ab(config, jobs=2))
+    assert canonical_json(report) == rerun
+    assert canonical_json(report) == sharded
+
+    rows = []
+    for arm in ("tiered", "all-nominal", "all-relaxed"):
+        row = report["arms"][arm]
+        rows.append([
+            arm,
+            f"{row['refresh_energy_j'] / 3.6e6:.6f} kWh",
+            f"{row['ecc_energy_j']:.1f} J",
+            f"{row['expected_critical_ue']:.3e}",
+            f"{row['spilled_mb']:.0f} MB",
+        ])
+    frontier = report["frontier"]
+    table = render_table(
+        f"HRM tier A/B over {config.n_nodes} nodes, "
+        f"{config.vms_per_node} VMs/node, {config.duration_s:.0f} s",
+        ["arm", "refresh energy", "ECC energy",
+         "expected critical UEs", "spilled"],
+        rows,
+    )
+    headline = render_table(
+        "Frontier",
+        ["metric", "value"],
+        [
+            ["refresh energy savings vs all-nominal",
+             f"{frontier['refresh_energy_savings_vs_nominal']:.1%}"],
+            ["critical-UE ratio vs all-relaxed",
+             f"{frontier['critical_ue_ratio_vs_relaxed']:.3e}"],
+        ],
+    )
+    emit("hrm_tiers", table + "\n\n" + headline)
+
+    tiered = report["arms"]["tiered"]
+    nominal = report["arms"]["all-nominal"]
+    relaxed = report["arms"]["all-relaxed"]
+    assert frontier["tiered_beats_nominal_energy"]
+    assert frontier["tiered_beats_relaxed_ue"]
+    assert tiered["refresh_energy_j"] < nominal["refresh_energy_j"]
+    assert (tiered["expected_critical_ue"]
+            < 1e-6 * relaxed["expected_critical_ue"])
+    # The tiered placement never spills; both uniform layouts do (the
+    # all-nominal layout has no normal tier, the all-relaxed no strong).
+    assert tiered["spilled_mb"] == 0.0
+    assert nominal["spilled_mb"] > 0.0
+    assert relaxed["spilled_mb"] > 0.0
+
+
+def _tiered_node() -> UniServerNode:
+    platform = ServerPlatform(
+        ChipModel(arm_server_soc_spec(), seed=3),
+        tiered_server_memory(seed=10), name="hrm0")
+    node = UniServerNode(
+        platform=platform, seed=3, eop_policy=EOPPolicy.tiered(),
+        healthlog_config=HealthLogConfig(error_threshold=1000))
+    node.pre_deploy()
+    node.deploy()
+    return node
+
+
+def test_governor_demotes_one_tier_only(benchmark, emit):
+    def scenario():
+        node = _tiered_node()
+        for _ in range(25):  # over the relaxed stance budget of 20
+            node.bus.publish(CorrectableErrorEvent(
+                timestamp=node.clock.now, source="hw",
+                component="channel3", detail="retention storm"))
+        node.governor.step()
+        return node
+
+    node = run_once(benchmark, scenario)
+    memory = node.platform.memory
+
+    rows = []
+    for record in node.governor.records():
+        if record.kind != "domain":
+            continue
+        domain = memory.domain(record.component)
+        rows.append([
+            record.component, domain.tier, record.state.value,
+            f"{domain.refresh_interval_s:.3f} s", domain.ecc.name,
+        ])
+    events = node.governor.tier_demotion_events
+    table = render_table(
+        "Tier-scoped demotion: storm on channel3 (relaxed tier)",
+        ["domain", "tier", "state", "refresh", "ECC"],
+        rows,
+    )
+    emit("hrm_tier_demotion", table + "\n\n"
+         + "\n".join(str(e["reason"]) for e in events))
+
+    # The relaxed tier demoted as one batch...
+    assert len(events) == 1
+    assert events[0]["tier"] == "relaxed"
+    assert sorted(events[0]["components"]) == ["channel2", "channel3"]
+    for name in ("channel2", "channel3"):
+        assert node.governor.record(name).state is EOPState.DEMOTED
+    # ...while the normal tier's adopted margin stands, clamped at its
+    # stance cap, and the strong tier never left nominal.
+    normal = node.governor.record("channel1")
+    assert normal is not None and normal.state is EOPState.ADOPTED
+    assert memory.domain("channel1").refresh_interval_s <= 1.5
+    strong = memory.domain("channel0")
+    assert strong.reliable and strong.refresh_interval_s <= 0.064

@@ -699,6 +699,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hrm(args: argparse.Namespace) -> int:
+    from .hrm import HrmConfig, run_hrm_ab
+    from .persistence import payload_checksum
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    config = HrmConfig(n_nodes=args.nodes, seed=args.seed,
+                       duration_s=args.duration,
+                       vms_per_node=args.vms)
+    report = run_hrm_ab(config, jobs=args.jobs)
+    print(f"hrm A/B: {args.nodes} node(s), "
+          f"{args.vms} VM(s)/node, jobs={args.jobs}")
+    for arm in ("tiered", "all-nominal", "all-relaxed"):
+        row = report["arms"][arm]
+        print(f"  {arm:<12} refresh {row['refresh_energy_j'] / 3.6e6:.6f} "
+              f"kWh, ecc {row['ecc_energy_j']:.1f} J, expected "
+              f"critical UEs {row['expected_critical_ue']:.3e}, "
+              f"spilled {row['spilled_mb']:.0f} MB")
+    frontier = report["frontier"]
+    print(f"frontier: refresh energy savings vs all-nominal "
+          f"{frontier['refresh_energy_savings_vs_nominal']:.1%}, "
+          f"critical-UE ratio vs all-relaxed "
+          f"{frontier['critical_ue_ratio_vs_relaxed']:.3e}")
+    on_frontier = (frontier["tiered_beats_nominal_energy"]
+                   and frontier["tiered_beats_relaxed_ue"])
+    print("tiered layout is "
+          + ("ON" if on_frontier else "OFF") + " the frontier")
+    if args.report_json:
+        _write_canonical(args.report_json, report)
+    print(f"report sha256: {payload_checksum(report)}")
+    return 0 if on_frontier or not args.require_frontier else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import io
@@ -962,6 +995,23 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="supervision deadline per worker reply "
                             "(default 30)")
+    hrm = sub.add_parser(
+        "hrm", help="tiered-vs-uniform memory reliability A/B")
+    hrm.add_argument("--nodes", type=int, default=8)
+    hrm.add_argument("--seed", type=int, default=0)
+    hrm.add_argument("--duration", type=float, default=3600.0)
+    hrm.add_argument("--vms", type=int, default=4,
+                     help="VMs per node (default 4)")
+    hrm.add_argument("--jobs", type=int, default=1,
+                     help="worker processes over node chunks; the "
+                          "report bytes are jobs-invariant")
+    hrm.add_argument("--require-frontier", action="store_true",
+                     help="exit nonzero unless the tiered arm beats "
+                          "all-nominal on refresh energy AND "
+                          "all-relaxed on expected critical UEs")
+    hrm.add_argument("--report-json", default=None,
+                     help="write the canonical-JSON A/B report to "
+                          "this path")
     profile = sub.add_parser(
         "profile", help="short campaign under cProfile")
     profile.add_argument("--what", choices=("rack", "fleet"),
@@ -992,6 +1042,7 @@ _HANDLERS = {
     "predict": _cmd_predict,
     "eop": _cmd_eop,
     "fleet": _cmd_fleet,
+    "hrm": _cmd_hrm,
     "profile": _cmd_profile,
 }
 

@@ -228,6 +228,18 @@ class ComputeNode:
         """Memory still available (MB)."""
         return max(0.0, self.total_memory_mb() - self.used_memory_mb())
 
+    def tier_free_mb(self) -> Dict[str, float]:
+        """Free memory per reliability tier (MB), for tier-aware weighing."""
+        capacity = {
+            tier: gb * 1024.0
+            for tier, gb in self.platform.memory.tier_capacity_gb().items()
+        }
+        used = self.hypervisor.placement.tier_usage_mb()
+        return {
+            tier: max(0.0, capacity[tier] - used.get(tier, 0.0))
+            for tier in capacity
+        }
+
     def can_host(self, vm: VirtualMachine) -> bool:
         """Capacity check for one more VM."""
         if self.hypervisor.crashed:

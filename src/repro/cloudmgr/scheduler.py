@@ -164,6 +164,37 @@ class RackAntiAffinity:
         return WeigherSpec(self.weigher, weight)
 
 
+def tier_capacity_weigher(node: ComputeNode, vm: VirtualMachine,
+                          sla: SLA) -> float:
+    """Prefer nodes whose per-tier free memory fits the VM's declared mix.
+
+    A VM with a ``criticality_mix`` ({tier: fraction of its memory})
+    scores each candidate by how well the node's free capacity in each
+    requested tier covers that slice — a node with plenty of relaxed
+    memory but a starved normal tier scores poorly for a VM declaring a
+    critical slice, steering criticality-heavy VMs toward nodes that can
+    actually honour their tiers instead of spilling on arrival.  VMs
+    without a mix (and nodes without tier accounting) score a neutral
+    0.5, which min-max normalisation makes ranking-neutral.
+    """
+    mix = getattr(vm, "criticality_mix", None)
+    tier_free_fn = getattr(node, "tier_free_mb", None)
+    if not mix or tier_free_fn is None:
+        return 0.5
+    free_mb = tier_free_fn()
+    total_need = vm.guest_os_mb + vm.workload.demand.memory_mb
+    total_fraction = sum(mix.values())
+    score = 0.0
+    for tier, fraction in mix.items():
+        weight = fraction / total_fraction
+        need_mb = fraction * total_need
+        if need_mb <= 0:
+            score += weight
+            continue
+        score += weight * min(1.0, free_mb.get(tier, 0.0) / need_mb)
+    return score
+
+
 @dataclass(frozen=True)
 class WeigherSpec:
     """A weigher and its multiplier in the total score."""
@@ -183,6 +214,13 @@ DEFAULT_WEIGHERS: Tuple[WeigherSpec, ...] = (
 #: Opt-in rather than default so existing ablations keep their baseline.
 RISK_AWARE_WEIGHERS: Tuple[WeigherSpec, ...] = DEFAULT_WEIGHERS + (
     WeigherSpec(risk_aware_weigher, 1.5),
+)
+
+#: The default set plus per-tier capacity weighing — the scheduler arm
+#: of heterogeneous-reliability placement.  Opt-in for the same reason
+#: as the risk-aware set: existing ablations keep their baseline.
+TIER_AWARE_WEIGHERS: Tuple[WeigherSpec, ...] = DEFAULT_WEIGHERS + (
+    WeigherSpec(tier_capacity_weigher, 1.5),
 )
 
 

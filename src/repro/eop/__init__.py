@@ -15,7 +15,7 @@ from .campaign import (
     run_eop_campaign,
 )
 from .governor import ComponentRecord, EOPGovernor, EOPTransaction
-from .policy import EOPPolicy, EOPState
+from .policy import EOPPolicy, EOPState, TierStance
 
 __all__ = [
     "ComponentRecord",
@@ -28,4 +28,5 @@ __all__ = [
     "ErrorInjection",
     "resume_eop_campaign",
     "run_eop_campaign",
+    "TierStance",
 ]

@@ -175,6 +175,9 @@ class EOPGovernor:
         #: One entry per correlated-guard firing (timestamp, kind,
         #: components batch-demoted) for reports and tests.
         self.domain_demotion_events: List[Dict[str, object]] = []
+        #: One entry per tier-budget firing (timestamp, tier, components)
+        #: — the HRM counterpart of ``domain_demotion_events``.
+        self.tier_demotion_events: List[Dict[str, object]] = []
         self._fallback_saved: Optional[Tuple[
             Dict[int, OperatingPoint], Dict[str, float]]] = None
         self._unsubscribe = self.bus.subscribe(AnomalyEvent, self._on_anomaly)
@@ -254,6 +257,23 @@ class EOPGovernor:
                     f"policy {self.policy.name!r} declines adoption")
             txn.rejected.append(component)
             return
+        stance = (self.policy.stance_for(self._domain_tier(component) or "")
+                  if kind == "domain" and self.policy.tier_stances else None)
+        if stance is not None:
+            if not stance.adopt:
+                if record.state is EOPState.NOMINAL:
+                    self._transition(
+                        record, EOPState.CANDIDATE,
+                        f"tier {stance.tier!r} pinned at nominal")
+                txn.rejected.append(component)
+                return
+            cap = stance.max_refresh_interval_s
+            if (cap is not None
+                    and margin.safe_point.refresh_interval_s > cap):
+                # Clamp, don't reject: the tier takes as much margin as
+                # its stance allows.
+                record.target = margin.safe_point.with_refresh(cap)
+                self.metrics.inc("eop.tier_clamped")
         if margin.failure_probability > budget:
             self.metrics.inc("hypervisor.margin_skips")
             if record.state is EOPState.NOMINAL:
@@ -264,7 +284,9 @@ class EOPGovernor:
             txn.rejected.append(component)
             return
         old = self._current_point(record)
-        undo = self.hypervisor.apply_component(component, margin.safe_point)
+        # record.target is margin.safe_point, possibly refresh-clamped by
+        # the tier stance above.
+        undo = self.hypervisor.apply_component(component, record.target)
         if undo is not None:
             txn.adopted.append(component)
             txn._rollbacks.append((component, undo))
@@ -275,6 +297,12 @@ class EOPGovernor:
             record.stale_demoted = False
             self._transition(record, EOPState.ADOPTED, "margin adopted")
             self.metrics.inc("eop.adopted")
+
+    def _domain_tier(self, component: str) -> Optional[str]:
+        """The memory tier of a domain component (None for cores)."""
+        if component in self.platform.memory:
+            return self.platform.memory.domain(component).tier
+        return None
 
     def _current_point(self, record: ComponentRecord) -> OperatingPoint:
         """The component's live configuration, as a rollback target."""
@@ -389,6 +417,79 @@ class EOPGovernor:
         self._refresh_gauges()
         return txn
 
+    def _review_tier_budgets(self, now: float) -> None:
+        """Charge ledger errors to tier-scoped budgets (HRM supervision).
+
+        Errors from every adopted domain of a tier count against that
+        tier's stance budget; a breach demotes the whole tier in one
+        batch while the other tiers' adopted margins stand untouched.
+        """
+        assert self.policy.tier_stances is not None
+        for stance in self.policy.tier_stances:
+            members = [
+                record for record in self.records()
+                if record.kind == "domain"
+                and record.state is EOPState.ADOPTED
+                and self._domain_tier(record.component) == stance.tier
+            ]
+            if not members:
+                continue
+            since = now - stance.error_window_s
+            errors = sum(self._ledger_count(record.component, since)
+                         for record in members)
+            if errors >= stance.error_budget:
+                self._demote_tier(
+                    stance.tier, now,
+                    f"tier {stance.tier!r}: {errors} errors within "
+                    f"{stance.error_window_s:.0f}s "
+                    f"(budget {stance.error_budget})")
+
+    def _demote_tier(self, tier: str, now: float,
+                     reason: str) -> Optional[EOPTransaction]:
+        """Demote every adopted domain of one memory tier as one batch.
+
+        Mirrors :meth:`_demote_kind`: hardware rollbacks run first in a
+        single transaction (atomic — a mid-batch setter failure restores
+        the already-reverted domains), members take probation but no
+        individual demotion count, and domains of *other* tiers are
+        never touched.
+        """
+        members = [
+            record for record in self.records()
+            if record.kind == "domain"
+            and record.state is EOPState.ADOPTED
+            and self._domain_tier(record.component) == tier
+        ]
+        if not members:
+            return None
+        txn = EOPTransaction(timestamp=now)
+        try:
+            for record in members:
+                if record.saved_point is None:
+                    continue
+                undo = self.hypervisor.apply_component(
+                    record.component, record.saved_point)
+                if undo is not None:
+                    txn._rollbacks.append((record.component, undo))
+        except Exception:
+            txn.rollback()
+            raise
+        for record in members:
+            record.demoted_at = now
+            record.probation_until = now + self.policy.probation_s
+            self._transition(record, EOPState.DEMOTED, reason)
+            self.metrics.inc("eop.demoted")
+        txn.committed = True
+        self.metrics.inc("eop.tier_demotions")
+        self.tier_demotion_events.append({
+            "timestamp": now,
+            "tier": tier,
+            "components": [record.component for record in members],
+            "reason": reason,
+        })
+        self._refresh_gauges()
+        return txn
+
     def _promote(self, record: ComponentRecord, reason: str) -> None:
         """Re-adopt a demoted component's target after clean probation."""
         if record.target is not None:
@@ -420,9 +521,18 @@ class EOPGovernor:
             return
         if self._fallback_saved is not None:
             return  # everything is nominal until telemetry freshens
+        if self.policy.tier_stances is not None:
+            self._review_tier_budgets(now)
         window = self.policy.error_window_s
         for record in list(self._records.values()):
             if record.state is EOPState.ADOPTED:
+                if (self.policy.tier_stances is not None
+                        and record.kind == "domain"
+                        and self.policy.stance_for(
+                            self._domain_tier(record.component) or "")
+                        is not None):
+                    # Tier-scoped budget (above) governs this domain.
+                    continue
                 errors = self._ledger_count(record.component, now - window)
                 if errors >= self.policy.error_budget:
                     self.demote(
@@ -593,6 +703,8 @@ class EOPGovernor:
                              for when, kind in self._demotion_log],
             "domain_demotion_events": [
                 dict(event) for event in self.domain_demotion_events],
+            "tier_demotion_events": [
+                dict(event) for event in self.tier_demotion_events],
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -618,6 +730,9 @@ class EOPGovernor:
         self.domain_demotion_events = [
             dict(event) for event in state.get(
                 "domain_demotion_events", [])]  # type: ignore[union-attr]
+        self.tier_demotion_events = [
+            dict(event) for event in state.get(
+                "tier_demotion_events", [])]  # type: ignore[union-attr]
         fallback = state["fallback_saved"]
         if fallback is None:
             self._fallback_saved = None

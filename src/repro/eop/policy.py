@@ -23,9 +23,64 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
+from ..hardware.dram import MEMORY_TIERS, TIER_NORMAL, TIER_RELAXED, TIER_STRONG
+
+
+@dataclass(frozen=True)
+class TierStance:
+    """Per-memory-tier refresh stance for a heterogeneous-reliability node.
+
+    ``adopt=False`` pins the tier at nominal refresh regardless of what
+    characterisation offers (the strong tier's posture).
+    ``max_refresh_interval_s`` caps how far an adopted margin may relax
+    the tier's refresh; margins beyond the cap are clamped, not
+    rejected.  ``error_budget`` errors within ``error_window_s`` summed
+    across the *tier's* domains demote the whole tier in one batch —
+    without touching the other tiers.
+    """
+
+    tier: str
+    adopt: bool = True
+    error_budget: int = 10
+    error_window_s: float = 300.0
+    max_refresh_interval_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in MEMORY_TIERS:
+            raise ConfigurationError(f"unknown memory tier {self.tier!r}")
+        if self.error_budget < 1:
+            raise ConfigurationError("error_budget must be >= 1")
+        if self.error_window_s <= 0:
+            raise ConfigurationError("error_window_s must be positive")
+        if (self.max_refresh_interval_s is not None
+                and self.max_refresh_interval_s <= 0):
+            raise ConfigurationError(
+                "max_refresh_interval_s must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return {
+            "tier": self.tier,
+            "adopt": self.adopt,
+            "error_budget": self.error_budget,
+            "error_window_s": self.error_window_s,
+            "max_refresh_interval_s": self.max_refresh_interval_s,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "TierStance":
+        """Inverse of :meth:`as_dict`."""
+        cap = state.get("max_refresh_interval_s")
+        return cls(
+            tier=str(state["tier"]),
+            adopt=bool(state.get("adopt", True)),
+            error_budget=int(state.get("error_budget", 10)),  # type: ignore[arg-type]
+            error_window_s=float(state.get("error_window_s", 300.0)),  # type: ignore[arg-type]
+            max_refresh_interval_s=None if cap is None else float(cap),  # type: ignore[arg-type]
+        )
 
 
 class EOPState(enum.Enum):
@@ -77,6 +132,11 @@ class EOPPolicy:
     stale_fallback_s: Optional[float] = None
     correlated_k: Optional[int] = None
     correlated_window_s: float = 120.0
+    #: Per-memory-tier stances (HRM).  ``None`` keeps the legacy
+    #: per-component supervision for every domain; with stances set, the
+    #: governor adopts refresh margins per tier and charges errors to
+    #: tier-scoped budgets.
+    tier_stances: Optional[Tuple[TierStance, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -97,6 +157,19 @@ class EOPPolicy:
             raise ConfigurationError("correlated_k must be >= 1")
         if self.correlated_window_s <= 0:
             raise ConfigurationError("correlated_window_s must be positive")
+        if self.tier_stances is not None:
+            tiers = [stance.tier for stance in self.tier_stances]
+            if len(set(tiers)) != len(tiers):
+                raise ConfigurationError("duplicate tier stances")
+
+    def stance_for(self, tier: str) -> Optional[TierStance]:
+        """The stance governing one tier, if any."""
+        if self.tier_stances is None:
+            return None
+        for stance in self.tier_stances:
+            if stance.tier == tier:
+                return stance
+        return None
 
     # -- the three paper-facing stances (plus the legacy one-shot) ------------
 
@@ -125,11 +198,29 @@ class EOPPolicy:
         """
         return cls(name="one-shot", supervise=False)
 
+    @classmethod
+    def tiered(cls) -> "EOPPolicy":
+        """Heterogeneous-reliability stance: refresh governed per tier.
+
+        The strong tier never leaves nominal; the normal tier relaxes to
+        at most 1.5 s under a tight tier-wide error budget; the relaxed
+        tier chases refresh energy under a loose budget.  Demoting one
+        tier leaves the others' adopted margins standing.
+        """
+        return cls(name="tiered", tier_stances=(
+            TierStance(tier=TIER_STRONG, adopt=False),
+            TierStance(tier=TIER_NORMAL, error_budget=5,
+                       error_window_s=300.0, max_refresh_interval_s=1.5),
+            TierStance(tier=TIER_RELAXED, error_budget=20,
+                       error_window_s=300.0),
+        ))
+
     _BY_NAME = {
         "conservative": "conservative",
         "adopt-within-budget": "adopt_within_budget",
         "aggressive": "aggressive",
         "one-shot": "one_shot",
+        "tiered": "tiered",
     }
 
     @classmethod
@@ -163,6 +254,9 @@ class EOPPolicy:
             "stale_fallback_s": self.stale_fallback_s,
             "correlated_k": self.correlated_k,
             "correlated_window_s": self.correlated_window_s,
+            "tier_stances": (
+                None if self.tier_stances is None
+                else [stance.as_dict() for stance in self.tier_stances]),
         }
 
     @classmethod
@@ -171,6 +265,7 @@ class EOPPolicy:
         stale = state["stale_fallback_s"]
         # .get defaults keep pre-guard policy dicts loadable.
         correlated_k = state.get("correlated_k")
+        stances = state.get("tier_stances")
         return cls(
             name=str(state["name"]),
             adopt=bool(state["adopt"]),
@@ -184,4 +279,7 @@ class EOPPolicy:
             correlated_k=None if correlated_k is None else int(correlated_k),  # type: ignore[arg-type]
             correlated_window_s=float(
                 state.get("correlated_window_s", 120.0)),  # type: ignore[arg-type]
+            tier_stances=(
+                None if stances is None
+                else tuple(TierStance.from_dict(s) for s in stances)),  # type: ignore[union-attr]
         )

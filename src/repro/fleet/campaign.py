@@ -1323,6 +1323,23 @@ class FleetCampaign:
                 self.completed / (self.completed + self.vm_failures)
                 if self.completed + self.vm_failures else 1.0),
         }
+        if self.config.fleet.tiered:
+            # Per-tier block only for tiered fleets — untiered reports
+            # keep their exact legacy shape (and bytes).
+            totals["tiers"] = {
+                "refresh_energy_j": {
+                    "strong": math.fsum(
+                        float(e) for e in final["refresh_energy_strong_j"]),  # type: ignore[union-attr]
+                    "normal": math.fsum(
+                        float(e) for e in final["refresh_energy_normal_j"]),  # type: ignore[union-attr]
+                    "relaxed": math.fsum(
+                        float(e) for e in final["refresh_energy_relaxed_j"]),  # type: ignore[union-attr]
+                },
+                "retention_errors": {
+                    "normal": int(sum(final["retention_errors_normal"])),  # type: ignore[arg-type]
+                    "relaxed": int(sum(final["retention_errors_relaxed"])),  # type: ignore[arg-type]
+                },
+            }
         return fleet_campaign_report(
             self.config.as_report_dict(), self.config.fleet,
             totals, self.series, quarantine=self._quarantine_block(),

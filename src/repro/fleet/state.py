@@ -95,6 +95,17 @@ class FleetConfig:
     retention_halving_c: float = 10.0
     retention_weak_sigma: float = 0.8
     retention_fail_scale: float = 1e-3
+    #: Heterogeneous-reliability DIMM tiers.  The first
+    #: ``strong_dimms_per_node`` DIMM lanes are pinned at nominal
+    #: refresh even under adopted margins, the next
+    #: ``normal_dimms_per_node`` lanes relax only to
+    #: ``refresh_normal_s``, and the remainder relax all the way to
+    #: ``refresh_relaxed_s``.  Both counts default to zero, which keeps
+    #: the legacy uniform fleet — every tier-aware kernel branch is
+    #: gated on :attr:`tiered` so untiered runs stay byte-identical.
+    strong_dimms_per_node: int = 0
+    normal_dimms_per_node: int = 0
+    refresh_normal_s: float = 0.128
     #: Per-node margin governor (the zone-level EOP stance).
     adopt_margins: bool = True
     error_budget_per_window: int = 4
@@ -126,11 +137,26 @@ class FleetConfig:
         if not 0 <= self.brownout_crash_scale <= 1:
             raise ConfigurationError(
                 "brownout_crash_scale must be in [0, 1]")
+        if self.strong_dimms_per_node < 0 or self.normal_dimms_per_node < 0:
+            raise ConfigurationError("tier DIMM counts must be >= 0")
+        if (self.strong_dimms_per_node + self.normal_dimms_per_node
+                > self.dimms_per_node):
+            raise ConfigurationError(
+                "strong + normal DIMMs cannot exceed dimms_per_node")
+        if not (self.refresh_nominal_s <= self.refresh_normal_s
+                <= self.refresh_relaxed_s):
+            raise ConfigurationError(
+                "refresh_normal_s must sit between nominal and relaxed")
 
     @property
     def vcpus_per_node(self) -> int:
         """vCPU capacity of one node."""
         return self.cores_per_node * self.vcpus_per_core
+
+    @property
+    def tiered(self) -> bool:
+        """Whether any DIMM lane is pinned to a non-relaxed tier."""
+        return self.strong_dimms_per_node + self.normal_dimms_per_node > 0
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for snapshots and reports."""
@@ -162,6 +188,11 @@ DYNAMIC_FIELDS: Tuple[Tuple[str, object], ...] = (
     ("quarantined", np.bool_),
     ("crashes_total", np.int64),
     ("domain_demotions", np.int64),
+    ("refresh_energy_strong_j", np.float64),
+    ("refresh_energy_normal_j", np.float64),
+    ("refresh_energy_relaxed_j", np.float64),
+    ("retention_errors_normal", np.int64),
+    ("retention_errors_relaxed", np.int64),
 )
 
 
@@ -204,6 +235,15 @@ class FleetState:
         #: Precautionary demotions by the correlated-demotion guard
         #: (whole fault domain demoted at a window start).
         self.domain_demotions = np.zeros(n, dtype=np.int64)
+        #: Per-tier accounting, populated only by tiered configs
+        #: (``config.tiered``); flat zeros otherwise.  Kept 1-D per
+        #: node — snapshot resume rebuilds dynamic fields with
+        #: ``np.zeros(n, dtype)``.
+        self.refresh_energy_strong_j = np.zeros(n, dtype=np.float64)
+        self.refresh_energy_normal_j = np.zeros(n, dtype=np.float64)
+        self.refresh_energy_relaxed_j = np.zeros(n, dtype=np.float64)
+        self.retention_errors_normal = np.zeros(n, dtype=np.int64)
+        self.retention_errors_relaxed = np.zeros(n, dtype=np.int64)
 
     def view(self, lo: int, hi: int) -> "FleetState":
         """A shard view over nodes ``[lo, hi)`` sharing this state's
@@ -238,7 +278,12 @@ class FleetState:
                 f"this fleet has {self.n}")
         for name, dtype in DYNAMIC_FIELDS:
             array = getattr(self, name)
-            array[:] = np.asarray(state[name], dtype=dtype)
+            if name in state:
+                array[:] = np.asarray(state[name], dtype=dtype)
+            else:
+                # Snapshot predates this field (e.g. the per-tier
+                # counters); its run never populated it.
+                array[:] = 0
 
 
 def shard_bounds(n_nodes: int, shards: int) -> List[Tuple[int, int]]:

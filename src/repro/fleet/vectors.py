@@ -158,6 +158,29 @@ class FleetVectors:
         self._vcpus_per_node = float(config.vcpus_per_node)
         self._margined_v = config.nominal_v - config.margin_v
         self._thermal_decay = float(np.exp(-config.step_s / config.tau_s))
+        # Heterogeneous-reliability lane masks: the first
+        # ``strong_dimms_per_node`` lanes stay at nominal refresh, the
+        # next ``normal_dimms_per_node`` relax only to
+        # ``refresh_normal_s``, the rest relax fully.  Lane-wise
+        # constants, so every tiered kernel stays elementwise over
+        # nodes and the slice/shard byte-identity contract holds.
+        n_strong = config.strong_dimms_per_node
+        n_normal = config.normal_dimms_per_node
+        lanes = np.arange(config.dimms_per_node)
+        self._strong_mask = lanes < n_strong
+        self._normal_mask = (lanes >= n_strong) & (lanes < n_strong + n_normal)
+        self._relaxed_mask = lanes >= n_strong + n_normal
+        self._tier_interval_s = np.where(
+            self._strong_mask, config.refresh_nominal_s,
+            np.where(self._normal_mask, config.refresh_normal_s,
+                     config.refresh_relaxed_s))
+        refresh_margin_w = config.dram_refresh_w_per_dimm * (
+            config.refresh_nominal_s / self._tier_interval_s)
+        self._dram_margin_w = float(
+            config.dimms_per_node * config.dram_base_w_per_dimm
+            + np.add.reduce(refresh_margin_w))
+        self._dram_nominal_w = config.dimms_per_node * (
+            config.dram_base_w_per_dimm + config.dram_refresh_w_per_dimm)
 
     # -- static (build-time) draws ----------------------------------------
 
@@ -186,12 +209,18 @@ class FleetVectors:
                    * np.exp(cfg.leak_v_exp * (v - cfg.nominal_v))
                    * np.exp(cfg.leak_t_exp
                             * (temperature_c - cfg.leak_t_ref_c)))
-        interval = np.where(margin_on, cfg.refresh_relaxed_s,
-                            cfg.refresh_nominal_s)
-        dram = cfg.dimms_per_node * (
-            cfg.dram_base_w_per_dimm
-            + cfg.dram_refresh_w_per_dimm
-            * (cfg.refresh_nominal_s / interval))
+        if cfg.tiered:
+            # Per-lane tier intervals collapse to two per-node scalars
+            # (intervals are lane constants), precomputed in __init__.
+            dram = np.where(margin_on, self._dram_margin_w,
+                            self._dram_nominal_w)
+        else:
+            interval = np.where(margin_on, cfg.refresh_relaxed_s,
+                                cfg.refresh_nominal_s)
+            dram = cfg.dimms_per_node * (
+                cfg.dram_base_w_per_dimm
+                + cfg.dram_refresh_w_per_dimm
+                * (cfg.refresh_nominal_s / interval))
         return dynamic + leakage + dram + cfg.idle_platform_w
 
     def step(self, state: FleetState, t: int, chaos=None) -> None:
@@ -272,20 +301,48 @@ class FleetVectors:
 
         # DRAM retention draw: relaxed refresh trades power for a
         # temperature- and weakness-scaled retention failure rate.
-        interval = np.where(state.margin_on, cfg.refresh_relaxed_s,
-                            cfg.refresh_nominal_s)
         retention_factor = 2.0 ** (
             (cfg.retention_ref_c - state.temperature_c)
             / cfg.retention_halving_c)
-        relax = interval / cfg.refresh_nominal_s - 1.0
-        p_fail = np.clip(
-            cfg.retention_fail_scale * relax[:, None]
-            * state.retention_weak / retention_factor[:, None],
-            0.0, 0.5)
-        retention_errors = np.add.reduce(
-            (counter_uniform(keys, step_salt, CH_RETENTION,
-                             self._dimm_lanes) < p_fail)
-            .astype(np.int64), axis=1)
+        if cfg.tiered:
+            # Per-lane intervals: strong lanes never relax (zero
+            # retention stress), normal lanes relax part-way.  The
+            # same counter draws feed both branches — only the
+            # thresholds differ — so tiering never perturbs streams.
+            interval_lanes = np.where(
+                state.margin_on[:, None], self._tier_interval_s[None, :],
+                cfg.refresh_nominal_s)
+            relax_lanes = interval_lanes / cfg.refresh_nominal_s - 1.0
+            p_fail = np.clip(
+                cfg.retention_fail_scale * relax_lanes
+                * state.retention_weak / retention_factor[:, None],
+                0.0, 0.5)
+        else:
+            interval = np.where(state.margin_on, cfg.refresh_relaxed_s,
+                                cfg.refresh_nominal_s)
+            relax = interval / cfg.refresh_nominal_s - 1.0
+            p_fail = np.clip(
+                cfg.retention_fail_scale * relax[:, None]
+                * state.retention_weak / retention_factor[:, None],
+                0.0, 0.5)
+        retention_hits = (counter_uniform(keys, step_salt, CH_RETENTION,
+                                          self._dimm_lanes)
+                          < p_fail).astype(np.int64)
+        retention_errors = np.add.reduce(retention_hits, axis=1)
+        if cfg.tiered:
+            state.retention_errors_normal += np.add.reduce(
+                retention_hits[:, self._normal_mask], axis=1)
+            state.retention_errors_relaxed += np.add.reduce(
+                retention_hits[:, self._relaxed_mask], axis=1)
+            refresh_energy_lanes = (
+                cfg.dram_refresh_w_per_dimm
+                * (cfg.refresh_nominal_s / interval_lanes) * cfg.step_s)
+            state.refresh_energy_strong_j += np.add.reduce(
+                refresh_energy_lanes[:, self._strong_mask], axis=1)
+            state.refresh_energy_normal_j += np.add.reduce(
+                refresh_energy_lanes[:, self._normal_mask], axis=1)
+            state.refresh_energy_relaxed_j += np.add.reduce(
+                refresh_energy_lanes[:, self._relaxed_mask], axis=1)
 
         # Power/thermal integration: power at the pre-step temperature,
         # then the exact exponential RC step toward the new target.  A

@@ -20,21 +20,36 @@ from .chip import (
 from .core_model import CoreModel, CoreParameters
 from .dram import (
     BITS_PER_GB,
+    DEFAULT_TIER_REFRESH_S,
+    DEFAULT_TIER_UE_TARGETS,
+    MEMORY_TIERS,
+    TIER_NORMAL,
+    TIER_RELAXED,
+    TIER_STRONG,
     Dimm,
     DramSystem,
     MemoryDomain,
     RetentionModel,
     standard_server_memory,
+    tiered_server_memory,
 )
 from .ecc import (
+    BCH_DEC,
+    BCH_TEC,
     CODEWORD_BITS,
     DATA_BITS,
+    ECC_SCHEMES,
+    SEC_DAEC,
+    SECDED,
     SECDED_BER_CAPABILITY,
     DecodeResult,
     DecodeStatus,
+    EccScheme,
+    EccSelector,
     decode,
     encode,
     inject_bit_flips,
+    scheme_by_name,
     secded_word_failure_probability,
 )
 from .faults import FaultClass, FaultLedger, FaultOrigin, FaultRecord
@@ -88,10 +103,14 @@ __all__ = [
     "spec_from_variation",
     "CoreModel", "CoreParameters",
     "BITS_PER_GB", "Dimm", "DramSystem", "MemoryDomain", "RetentionModel",
-    "standard_server_memory",
+    "standard_server_memory", "tiered_server_memory",
+    "DEFAULT_TIER_REFRESH_S", "DEFAULT_TIER_UE_TARGETS", "MEMORY_TIERS",
+    "TIER_NORMAL", "TIER_RELAXED", "TIER_STRONG",
     "CODEWORD_BITS", "DATA_BITS", "SECDED_BER_CAPABILITY",
     "DecodeResult", "DecodeStatus", "decode", "encode", "inject_bit_flips",
     "secded_word_failure_probability",
+    "BCH_DEC", "BCH_TEC", "ECC_SCHEMES", "SEC_DAEC", "SECDED",
+    "EccScheme", "EccSelector", "scheme_by_name",
     "FaultClass", "FaultLedger", "FaultOrigin", "FaultRecord",
     "PlatformConfig", "ServerPlatform", "build_uniserver_node",
     "CorePowerModel", "DramPowerModel", "energy_for_work",

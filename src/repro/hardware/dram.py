@@ -29,12 +29,28 @@ from scipy.stats import norm
 
 from ..core.eop import NOMINAL_REFRESH_INTERVAL_S
 from ..core.exceptions import ConfigurationError
+from .ecc import (
+    RETENTION_ADJACENT_FRACTION,
+    SECDED,
+    EccScheme,
+    EccSelector,
+    scheme_by_name,
+)
 from .faults import FaultClass, FaultOrigin, FaultRecord
 from .power import DramPowerModel
 from .thermal import retention_temperature_factor
 
 #: Bits per gigabyte.
 BITS_PER_GB = 8 * 1024 ** 3
+
+#: Heterogeneous-reliability memory tier labels, strongest first.  A
+#: *strong* tier runs nominal refresh with the reliability interlock; a
+#: *normal* tier relaxes moderately behind mid-strength ECC; a *relaxed*
+#: tier chases refresh energy with the weakest acceptable protection.
+TIER_STRONG = "strong"
+TIER_NORMAL = "normal"
+TIER_RELAXED = "relaxed"
+MEMORY_TIERS: Tuple[str, ...] = (TIER_STRONG, TIER_NORMAL, TIER_RELAXED)
 
 
 @dataclass(frozen=True)
@@ -121,13 +137,22 @@ class MemoryDomain:
 
     def __init__(self, name: str, dimms: Sequence[Dimm],
                  reliable: bool = False, ecc_enabled: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0, tier: Optional[str] = None,
+                 ecc: Optional[EccScheme] = None) -> None:
         if not dimms:
             raise ConfigurationError("a domain needs at least one DIMM")
+        if tier is None:
+            # Legacy binary split: the reliable domain is the strong tier,
+            # everything else is the relaxed tier.
+            tier = TIER_STRONG if reliable else TIER_RELAXED
+        if tier not in MEMORY_TIERS:
+            raise ConfigurationError(f"unknown memory tier {tier!r}")
         self.name = name
         self.dimms = list(dimms)
         self.reliable = reliable
         self.ecc_enabled = ecc_enabled
+        self.tier = tier
+        self.ecc = ecc if ecc is not None else SECDED
         self._refresh_interval_s = NOMINAL_REFRESH_INTERVAL_S
         self._rng = np.random.default_rng(seed)
 
@@ -187,11 +212,24 @@ class MemoryDomain:
         lam = self.expected_errors_per_pass(coverage, temperature_c) * passes
         return int(self._rng.poisson(lam))
 
+    def uncorrectable_word_probability(
+            self, temperature_c: Optional[float] = None) -> float:
+        """P(a 64-bit access word defeats this domain's ECC scheme)."""
+        return self.ecc.uncorrectable_word_probability(self.ber(temperature_c))
+
+    def ecc_power_w(self, accesses_per_s: float) -> float:
+        """Decoder power at a given access rate through this domain's ECC."""
+        if accesses_per_s < 0:
+            raise ConfigurationError("access rate cannot be negative")
+        return self.ecc.energy_pj_per_access * 1e-12 * accesses_per_s
+
     def state_dict(self) -> dict:
-        """Serializable mutable state: refresh interval and pattern RNG."""
+        """Serializable mutable state: refresh interval, tier and RNG."""
         return {
             "refresh_interval_s": self._refresh_interval_s,
             "rng": self._rng.bit_generator.state,
+            "tier": self.tier,
+            "ecc_scheme": self.ecc.name,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -199,10 +237,18 @@ class MemoryDomain:
 
         The interval is written directly (bypassing the reliable-domain
         interlock) because a snapshot may legitimately capture an ablation
-        run that relaxed the reliable domain.
+        run that relaxed the reliable domain.  ``tier``/``ecc_scheme`` are
+        optional so snapshots from before the tier refactor still load.
         """
         self._refresh_interval_s = float(state["refresh_interval_s"])
         self._rng.bit_generator.state = state["rng"]
+        if "tier" in state:
+            tier = str(state["tier"])
+            if tier not in MEMORY_TIERS:
+                raise ConfigurationError(f"unknown memory tier {tier!r}")
+            self.tier = tier
+        if "ecc_scheme" in state:
+            self.ecc = scheme_by_name(str(state["ecc_scheme"]))
 
     def refresh_power_w(self) -> float:
         """Domain refresh power at the current interval."""
@@ -253,6 +299,27 @@ class DramSystem:
         return [d for d in self._domains.values()
                 if d.refresh_interval_s > NOMINAL_REFRESH_INTERVAL_S]
 
+    def domains_in_tier(self, tier: str) -> List[MemoryDomain]:
+        """All domains labelled with a reliability tier."""
+        if tier not in MEMORY_TIERS:
+            raise ConfigurationError(f"unknown memory tier {tier!r}")
+        return [d for d in self._domains.values() if d.tier == tier]
+
+    def tiers(self) -> List[str]:
+        """Tiers present in this system, strongest first."""
+        present = {d.tier for d in self._domains.values()}
+        return [t for t in MEMORY_TIERS if t in present]
+
+    def tier_capacity_gb(self) -> Dict[str, float]:
+        """Capacity per tier (GB), for every tier present."""
+        return {t: sum(d.capacity_gb for d in self.domains_in_tier(t))
+                for t in self.tiers()}
+
+    def tier_refresh_power_w(self) -> Dict[str, float]:
+        """Refresh power per tier (W), for every tier present."""
+        return {t: sum(d.refresh_power_w() for d in self.domains_in_tier(t))
+                for t in self.tiers()}
+
     @property
     def capacity_gb(self) -> float:
         """Capacity in gigabytes."""
@@ -300,15 +367,18 @@ class DramSystem:
 
 def standard_server_memory(n_channels: int = 4, dimm_gb: float = 8.0,
                            device_density_gbit: float = 2.0,
-                           reliable_channel: int = 0,
+                           reliable_channel: Optional[int] = 0,
                            retention: Optional[RetentionModel] = None,
                            seed: int = 0) -> DramSystem:
     """The paper's experimental memory layout: per-channel refresh domains.
 
     One channel is designated the reliable domain holding critical kernel
-    code and stack; the others can be relaxed independently.
+    code and stack; the others can be relaxed independently.  Pass
+    ``reliable_channel=None`` to build the degenerate all-relaxed topology
+    (no reliable domain at all) — callers of
+    :meth:`DramSystem.reliable_domain` must tolerate ``None``.
     """
-    if not 0 <= reliable_channel < n_channels:
+    if reliable_channel is not None and not 0 <= reliable_channel < n_channels:
         raise ConfigurationError("reliable_channel out of range")
     retention = retention or RetentionModel()
     domains = []
@@ -321,4 +391,79 @@ def standard_server_memory(n_channels: int = 4, dimm_gb: float = 8.0,
             reliable=(ch == reliable_channel),
             seed=seed + ch,
         ))
+    return DramSystem(domains)
+
+
+#: Default per-tier refresh intervals (seconds): strong stays nominal,
+#: normal relaxes to 1.5 s (the paper's "no observable errors" point),
+#: relaxed to 5 s (BER ≈ 1e-9, still under SECDED capability).
+DEFAULT_TIER_REFRESH_S: Dict[str, float] = {
+    TIER_STRONG: NOMINAL_REFRESH_INTERVAL_S,
+    TIER_NORMAL: 1.5,
+    TIER_RELAXED: 5.0,
+}
+
+#: Default per-tier uncorrectable-word-probability targets the ECC
+#: selector must meet at each tier's refresh-induced raw BER.  Strong is
+#: strictest; every tier's target tightens faster than its raw BER grows,
+#: so relaxing refresh forces stronger (more expensive) ECC.
+DEFAULT_TIER_UE_TARGETS: Dict[str, float] = {
+    TIER_STRONG: 1e-30,
+    TIER_NORMAL: 1e-21,
+    TIER_RELAXED: 1e-16,
+}
+
+
+def tiered_server_memory(n_channels: int = 4, dimm_gb: float = 8.0,
+                         device_density_gbit: float = 2.0,
+                         retention: Optional[RetentionModel] = None,
+                         tier_refresh_s: Optional[Dict[str, float]] = None,
+                         tier_ue_targets: Optional[Dict[str, float]] = None,
+                         temperature_c: Optional[float] = None,
+                         seed: int = 0) -> DramSystem:
+    """A heterogeneous-reliability memory layout over per-channel domains.
+
+    Channel 0 forms the strong tier (reliable, nominal refresh), channel 1
+    the normal tier, and the remaining channels the relaxed tier.  Each
+    tier's ECC scheme is chosen by :class:`EccSelector` as the cheapest
+    scheme meeting the tier's uncorrectable-error target at the raw BER
+    its refresh interval produces (via :meth:`RetentionModel.ber`).
+    """
+    if n_channels < 2:
+        raise ConfigurationError("a tiered layout needs >= 2 channels")
+    retention = retention or RetentionModel()
+    refresh = dict(DEFAULT_TIER_REFRESH_S)
+    refresh.update(tier_refresh_s or {})
+    targets = dict(DEFAULT_TIER_UE_TARGETS)
+    targets.update(tier_ue_targets or {})
+    # Retention failures cluster spatially under relaxed refresh, which is
+    # what gives SEC-DAEC its edge over plain SECDED at the mid tier.
+    selector = EccSelector(adjacent_fraction=RETENTION_ADJACENT_FRACTION)
+    tier_ecc = {
+        tier: selector.select(retention.ber(refresh[tier], temperature_c),
+                              targets[tier])
+        for tier in MEMORY_TIERS
+    }
+
+    def _tier_for_channel(ch: int) -> str:
+        if ch == 0:
+            return TIER_STRONG
+        if ch == 1:
+            return TIER_NORMAL
+        return TIER_RELAXED
+
+    domains = []
+    for ch in range(n_channels):
+        tier = _tier_for_channel(ch)
+        dimm = Dimm(dimm_id=ch, capacity_gb=dimm_gb,
+                    device_density_gbit=device_density_gbit,
+                    retention=retention)
+        domain = MemoryDomain(
+            name=f"channel{ch}", dimms=[dimm],
+            reliable=(tier == TIER_STRONG),
+            seed=seed + ch, tier=tier, ecc=tier_ecc[tier],
+        )
+        if tier != TIER_STRONG:
+            domain.set_refresh_interval(refresh[tier])
+        domains.append(domain)
     return DramSystem(domains)

@@ -1,22 +1,31 @@
-"""Hamming SECDED(72, 64) error-correcting code.
+"""ECC scheme models: SECDED(72, 64) bit-accurate, SEC-DAEC and BCH.
 
 Caches and ECC DIMMs in the paper rely on Single-Error-Correct,
 Double-Error-Detect codes: the cache ECC errors counted in Table 2 are
 SECDED corrections, and Section 6.B notes classical SECDED handles raw bit
 error rates up to ~1e-6.
 
-This is a real, bit-accurate implementation of the standard (72, 64)
-extended Hamming code used by server memory systems: 64 data bits are
-protected by 7 Hamming parity bits plus 1 overall parity bit.  Single-bit
-errors are located and corrected; double-bit errors are detected as
-uncorrectable.
+Two layers live here:
+
+* a real, bit-accurate implementation of the standard (72, 64) extended
+  Hamming code used by server memory systems (64 data bits, 7 Hamming
+  parity bits plus 1 overall parity bit; single-bit errors corrected,
+  double-bit errors detected as uncorrectable); and
+* analytic :class:`EccScheme` models for the heterogeneous-reliability
+  memory (HRM) tiers — SECDED, SEC-DAEC (adjacent-double correction for
+  the spatially-correlated retention failures relaxed refresh produces)
+  and shortened BCH codes (t = 2, 3) — each carrying its parity
+  overhead, correction/detection coverage and decode energy per access,
+  so an :class:`EccSelector` can pick the cheapest scheme that meets a
+  tier's uncorrectable-error target at a given raw BER.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ConfigurationError
 
@@ -184,3 +193,219 @@ def secded_word_failure_probability(raw_ber: float,
     p0 = (1.0 - raw_ber) ** word_bits
     p1 = word_bits * raw_ber * (1.0 - raw_ber) ** (word_bits - 1)
     return max(0.0, 1.0 - p0 - p1)
+
+
+# ---------------------------------------------------------------------------
+# ECC scheme models for heterogeneous-reliability memory tiers
+# ---------------------------------------------------------------------------
+
+def _binom_pmf(k: int, n: int, p: float) -> float:
+    """Binomial P(X = k) for n independent bit errors at rate p."""
+    return math.comb(n, k) * p ** k * (1.0 - p) ** (n - k)
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """Analytic model of one ECC scheme protecting a 64-bit data word.
+
+    ``correct_random`` is the guaranteed random-error correction strength
+    (t); ``correct_adjacent`` marks codes that additionally correct any
+    *adjacent* double error (SEC-DAEC); ``detect`` is the guaranteed
+    detection coverage.  ``energy_pj_per_access`` is the decoder energy
+    per 64-bit access — the knob the selector trades against correction
+    strength.
+    """
+
+    name: str
+    data_bits: int
+    parity_bits: int
+    correct_random: int
+    detect: int
+    energy_pj_per_access: float
+    correct_adjacent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.data_bits < 1 or self.parity_bits < 1:
+            raise ConfigurationError("scheme geometry must be positive")
+        if self.correct_random < 0 or self.detect < self.correct_random:
+            raise ConfigurationError(
+                "detection coverage cannot be below correction strength"
+            )
+        if self.energy_pj_per_access <= 0:
+            raise ConfigurationError("decode energy must be positive")
+
+    @property
+    def word_bits(self) -> int:
+        """Total codeword length (data + parity)."""
+        return self.data_bits + self.parity_bits
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Parity storage overhead relative to the data payload."""
+        return self.parity_bits / self.data_bits
+
+    def corrects(self, bit_positions: Sequence[int]) -> bool:
+        """Whether this scheme corrects a specific error pattern.
+
+        Patterns of up to ``correct_random`` errors always correct; a
+        SEC-DAEC code additionally corrects any two errors in adjacent
+        codeword positions.
+        """
+        positions = sorted(set(bit_positions))
+        for bit in positions:
+            if not 0 <= bit < self.word_bits:
+                raise ConfigurationError(
+                    f"bit position {bit} outside {self.word_bits}-bit codeword"
+                )
+        if len(positions) <= self.correct_random:
+            return True
+        if (self.correct_adjacent and len(positions) == 2
+                and positions[1] - positions[0] == 1):
+            return True
+        return False
+
+    def uncorrectable_word_probability(
+            self, raw_ber: float,
+            adjacent_fraction: Optional[float] = None) -> float:
+        """P(an access word holds an error pattern this scheme cannot fix).
+
+        Independent bit errors at ``raw_ber`` over the codeword: the upper
+        binomial tail beyond ``correct_random`` (summed term-by-term —
+        computing it as 1 − ΣP(k ≤ t) cancels catastrophically at the tiny
+        BERs relaxed refresh produces), minus the adjacent-double patterns
+        a SEC-DAEC decoder also fixes.  ``adjacent_fraction`` is the
+        fraction of double-bit errors landing in adjacent cells; ``None``
+        means errors place uniformly at random ((n−1)/C(n,2) of pairs are
+        adjacent), while relaxed-refresh retention failures cluster and
+        warrant a much larger value.
+        """
+        if raw_ber < 0 or raw_ber > 1:
+            raise ConfigurationError("raw_ber must be a probability")
+        n = self.word_bits
+        tail = sum(
+            _binom_pmf(k, n, raw_ber)
+            for k in range(self.correct_random + 1, n + 1)
+        )
+        if self.correct_adjacent and self.correct_random < 2:
+            if adjacent_fraction is None:
+                adjacent_fraction = (n - 1) / math.comb(n, 2)
+            if not 0.0 <= adjacent_fraction <= 1.0:
+                raise ConfigurationError(
+                    "adjacent_fraction must be in [0, 1]"
+                )
+            tail -= _binom_pmf(2, n, raw_ber) * adjacent_fraction
+        return max(0.0, tail)
+
+    def as_dict(self) -> dict:
+        """Canonical-JSON-friendly description of the scheme."""
+        return {
+            "name": self.name,
+            "data_bits": self.data_bits,
+            "parity_bits": self.parity_bits,
+            "correct_random": self.correct_random,
+            "correct_adjacent": self.correct_adjacent,
+            "detect": self.detect,
+            "energy_pj_per_access": self.energy_pj_per_access,
+        }
+
+
+#: The bit-accurate code above, as a scheme model: (72, 64) extended
+#: Hamming — corrects 1 random error, detects 2.
+SECDED = EccScheme(
+    name="secded", data_bits=64, parity_bits=8,
+    correct_random=1, detect=2, energy_pj_per_access=2.2,
+)
+
+#: SEC-DAEC(73, 64): single-error-correct plus double-*adjacent*-error
+#: correct — targets the spatially-correlated multi-cell upsets relaxed
+#: refresh tends to produce, at a one-extra-parity-bit cost.
+SEC_DAEC = EccScheme(
+    name="sec-daec", data_bits=64, parity_bits=9,
+    correct_random=1, detect=2, energy_pj_per_access=2.9,
+    correct_adjacent=True,
+)
+
+#: Shortened BCH over GF(2^7) for 64 data bits, t = 2: (78, 64) with
+#: 2·7 = 14 parity bits.  Double-error-correct, triple-error-detect.
+BCH_DEC = EccScheme(
+    name="bch-dec", data_bits=64, parity_bits=14,
+    correct_random=2, detect=3, energy_pj_per_access=5.6,
+)
+
+#: Shortened BCH, t = 3: (85, 64) with 3·7 = 21 parity bits.
+BCH_TEC = EccScheme(
+    name="bch-tec", data_bits=64, parity_bits=21,
+    correct_random=3, detect=4, energy_pj_per_access=8.8,
+)
+
+#: All modelled schemes, cheapest decode energy first.
+ECC_SCHEMES: Tuple[EccScheme, ...] = (SECDED, SEC_DAEC, BCH_DEC, BCH_TEC)
+
+#: Fraction of double-bit retention errors that land in adjacent cells
+#: under relaxed refresh.  Retention failures cluster spatially (shared
+#: wordline/bitline leakage paths), unlike uniformly-placed soft errors —
+#: this is what makes SEC-DAEC worth its extra parity bit on relaxed
+#: tiers.
+RETENTION_ADJACENT_FRACTION = 0.9
+
+
+def scheme_by_name(name: str) -> EccScheme:
+    """Look up a scheme model by its canonical name."""
+    for scheme in ECC_SCHEMES:
+        if scheme.name == name:
+            return scheme
+    raise ConfigurationError(f"unknown ECC scheme {name!r}")
+
+
+class EccSelector:
+    """Pick the cheapest ECC scheme meeting a tier's reliability target.
+
+    Candidates are ranked by decode energy per access; ``select`` returns
+    the first (cheapest) scheme whose uncorrectable-word probability at
+    the tier's raw BER (from :meth:`RetentionModel.ber`) stays at or
+    below the tier's uncorrectable-error target.  Because the qualifying
+    set only shrinks as the target tightens, a stricter target can never
+    pick a weaker scheme.
+    """
+
+    def __init__(self, schemes: Sequence[EccScheme] = ECC_SCHEMES,
+                 adjacent_fraction: Optional[float] = None) -> None:
+        if not schemes:
+            raise ConfigurationError("selector needs at least one scheme")
+        self._schemes = tuple(sorted(
+            schemes, key=lambda s: (s.energy_pj_per_access, s.name)
+        ))
+        self._adjacent_fraction = adjacent_fraction
+
+    @property
+    def schemes(self) -> Tuple[EccScheme, ...]:
+        """Candidate schemes, cheapest decode energy first."""
+        return self._schemes
+
+    def _ue(self, scheme: EccScheme, raw_ber: float) -> float:
+        return scheme.uncorrectable_word_probability(
+            raw_ber, adjacent_fraction=self._adjacent_fraction)
+
+    def select(self, raw_ber: float, ue_target: float) -> EccScheme:
+        """Cheapest scheme with UE-word probability ≤ ``ue_target``."""
+        if not 0.0 < ue_target <= 1.0:
+            raise ConfigurationError("ue_target must be in (0, 1]")
+        for scheme in self._schemes:
+            if self._ue(scheme, raw_ber) <= ue_target:
+                return scheme
+        raise ConfigurationError(
+            f"no ECC scheme meets UE target {ue_target:g} at raw BER "
+            f"{raw_ber:g}"
+        )
+
+    def selection_table(self, raw_ber: float) -> List[dict]:
+        """Per-scheme UE probability at a raw BER, for reporting."""
+        return [
+            {
+                "scheme": s.name,
+                "energy_pj_per_access": s.energy_pj_per_access,
+                "parity_bits": s.parity_bits,
+                "ue_word_probability": self._ue(s, raw_ber),
+            }
+            for s in self._schemes
+        ]

@@ -1,0 +1,26 @@
+"""Heterogeneous-reliability memory (HRM) tier A/B experiments.
+
+The tier refactor threads strong/normal/relaxed memory tiers through the
+hardware, hypervisor, EOP and fleet layers; this package closes the loop
+with the experiment that justifies the machinery: a deterministic
+tiered-vs-uniform A/B (``repro hrm``) showing the tiered layout on the
+energy/reliability frontier — cheaper refresh than an all-nominal fleet
+*and* orders of magnitude fewer expected critical uncorrectable errors
+than an all-relaxed one.
+"""
+
+from .ab import (
+    HRM_ARMS,
+    HrmConfig,
+    build_arm_node,
+    evaluate_node,
+    run_hrm_ab,
+)
+
+__all__ = [
+    "HRM_ARMS",
+    "HrmConfig",
+    "build_arm_node",
+    "evaluate_node",
+    "run_hrm_ab",
+]

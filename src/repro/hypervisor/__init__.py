@@ -13,17 +13,27 @@ from .fault_injection import (
     InjectionOutcome,
     InjectionReport,
     LoadComparisonRow,
+    TierExposure,
     run_figure4_campaign,
+    tier_exposure_report,
 )
 from .hypervisor import Hypervisor, HypervisorConfig, HypervisorStats
 from .isolation import IsolationAction, IsolationManager, IsolationPolicy
 from .memory import (
     Allocation,
+    CLASS_APPLICATION,
+    CLASS_HYPERVISOR,
+    CLASS_VM_CRITICAL,
+    CLASS_VM_DATA,
+    DEFAULT_TIER_MAP,
     FootprintSample,
     HYPERVISOR_BASE_MB,
     HYPERVISOR_PER_VM_MB,
     MemoryAccountant,
+    PLACEMENT_CLASSES,
     PlacementPolicy,
+    TIER_SPILL_ORDER,
+    TierClassifier,
 )
 from .objects import (
     CATEGORY_PROFILES,
@@ -52,11 +62,15 @@ __all__ = [
     "AffinityAssignment", "AffinityPlanner", "naive_balanced_plan",
     "CheckpointCostModel", "CheckpointManager", "CheckpointStats",
     "FaultInjectionCampaign", "Figure4Result", "InjectionOutcome",
-    "InjectionReport", "LoadComparisonRow", "run_figure4_campaign",
+    "InjectionReport", "LoadComparisonRow", "TierExposure",
+    "run_figure4_campaign", "tier_exposure_report",
     "Hypervisor", "HypervisorConfig", "HypervisorStats",
     "IsolationAction", "IsolationManager", "IsolationPolicy",
     "Allocation", "FootprintSample", "HYPERVISOR_BASE_MB",
     "HYPERVISOR_PER_VM_MB", "MemoryAccountant", "PlacementPolicy",
+    "CLASS_APPLICATION", "CLASS_HYPERVISOR", "CLASS_VM_CRITICAL",
+    "CLASS_VM_DATA", "DEFAULT_TIER_MAP", "PLACEMENT_CLASSES",
+    "TIER_SPILL_ORDER", "TierClassifier",
     "CATEGORY_PROFILES", "CategoryProfile", "HypervisorObject",
     "ObjectCatalog", "SENSITIVE_CATEGORIES", "TOTAL_OBJECTS",
     "ACTIVE_STATES", "VirtualMachine", "VMState", "make_vm_fleet",

@@ -25,7 +25,11 @@ import numpy as np
 
 from ..core.exceptions import ConfigurationError
 from .checkpoint import CheckpointManager
+from .memory import PlacementPolicy
 from .objects import CATEGORY_PROFILES, ObjectCatalog
+
+#: 64-bit data words per megabyte, for exposure arithmetic.
+WORDS_PER_MB = 1024 * 1024 // 8
 
 
 class InjectionOutcome(Enum):
@@ -128,6 +132,69 @@ class FaultInjectionCampaign:
             report.fatal_by_category.setdefault(category, 0)
             report.recovered_by_category.setdefault(category, 0)
         return report
+
+
+@dataclass(frozen=True)
+class TierExposure:
+    """Fault-injection exposure of one memory tier.
+
+    ``expected_critical_ue`` is the expected number of uncorrectable
+    errors landing in *critical* data over one full pass of the tier —
+    the quantity the HRM A/B campaign trades against refresh energy.
+    """
+
+    tier: str
+    used_mb: float
+    critical_mb: float
+    raw_ber: float
+    ecc_scheme: str
+    ue_word_probability: float
+    expected_critical_ue: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical-JSON-friendly row."""
+        return {
+            "tier": self.tier,
+            "used_mb": self.used_mb,
+            "critical_mb": self.critical_mb,
+            "raw_ber": self.raw_ber,
+            "ecc_scheme": self.ecc_scheme,
+            "ue_word_probability": self.ue_word_probability,
+            "expected_critical_ue": self.expected_critical_ue,
+        }
+
+
+def tier_exposure_report(placement: PlacementPolicy,
+                         temperature_c: Optional[float] = None,
+                         ) -> List[TierExposure]:
+    """Per-tier uncorrectable-error exposure of the current placement.
+
+    For each tier present in the placement's memory system: the worst
+    domain BER at the tier's refresh interval, the tier's ECC scheme's
+    uncorrectable-word probability at that BER, and the expected
+    critical-data UEs per full pass (critical words × UE probability).
+    Strong tiers should show ~zero; an all-relaxed ablation shows the
+    critical exposure the reliable/strong tier exists to remove.
+    """
+    usage = placement.tier_usage_mb()
+    exposure = placement.exposure_by_tier()
+    rows = []
+    for tier in placement.memory.tiers():
+        domains = placement.memory.domains_in_tier(tier)
+        worst = max(domains, key=lambda d: d.ber(temperature_c))
+        raw_ber = worst.ber(temperature_c)
+        ue_prob = worst.uncorrectable_word_probability(temperature_c)
+        critical_mb = exposure.get(tier, 0.0)
+        rows.append(TierExposure(
+            tier=tier,
+            used_mb=usage.get(tier, 0.0),
+            critical_mb=critical_mb,
+            raw_ber=raw_ber,
+            ecc_scheme=worst.ecc.name,
+            ue_word_probability=ue_prob,
+            expected_critical_ue=critical_mb * WORDS_PER_MB * ue_prob,
+        ))
+    return rows
 
 
 @dataclass(frozen=True)

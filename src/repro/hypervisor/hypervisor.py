@@ -40,8 +40,19 @@ from ..core.runtime import MetricsRegistry, NodeRuntime
 from ..daemons.infovector import MarginVector
 from ..hardware.faults import FaultClass, FaultOrigin, FaultRecord
 from ..hardware.platform import ServerPlatform
-from .memory import MemoryAccountant, PlacementPolicy
+from .memory import (
+    CLASS_VM_CRITICAL,
+    CLASS_VM_DATA,
+    MemoryAccountant,
+    PlacementPolicy,
+)
 from .vm import VirtualMachine, VMState
+
+#: With tiered placement on, this fraction of a VM's memory is treated as
+#: VM-critical (page tables, checkpoint images) and steered to the normal
+#: tier, with a floor covering fixed per-VM structures.
+VM_CRITICAL_FRACTION = 0.02
+VM_CRITICAL_MIN_MB = 8.0
 
 
 @dataclass(frozen=True)
@@ -58,6 +69,10 @@ class HypervisorConfig:
     #: Place VMs on cores EOP-aware (affinity planner) instead of
     #: least-loaded: strong cores take the stress-heavy guests.
     use_affinity: bool = False
+    #: Split each VM into a VM-critical slice (page tables, checkpoints →
+    #: normal tier) and tolerant data pages (relaxed tier).  Off by
+    #: default: the binary reliable/relaxed placement stays untouched.
+    tiered_placement: bool = False
     #: Scheduler time slice (seconds of simulated time per tick).
     tick_s: float = 1.0
     #: Fraction of a tick a VM effectively executes (scheduling overhead).
@@ -219,8 +234,17 @@ class Hypervisor:
             raise ConfigurationError("hypervisor is crashed")
         if vm.name in self._vms:
             raise ConfigurationError(f"VM {vm.name!r} already exists")
-        self.placement.place(vm.name, vm.guest_os_mb
-                             + vm.workload.demand.memory_mb)
+        total_mb = vm.guest_os_mb + vm.workload.demand.memory_mb
+        if self.config.tiered_placement:
+            critical_mb = min(total_mb / 2.0,
+                              max(VM_CRITICAL_MIN_MB,
+                                  total_mb * VM_CRITICAL_FRACTION))
+            self.placement.place(vm.name, critical_mb,
+                                 placement_class=CLASS_VM_CRITICAL)
+            self.placement.place(vm.name, total_mb - critical_mb,
+                                 placement_class=CLASS_VM_DATA)
+        else:
+            self.placement.place(vm.name, total_mb)
         self._vms[vm.name] = vm
         self._assignments[vm.name] = self._pick_core(vm)
         vm.start()

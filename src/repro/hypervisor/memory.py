@@ -19,17 +19,78 @@ Two paper results live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..core.exceptions import ConfigurationError
-from ..hardware.dram import DramSystem, MemoryDomain
+from ..hardware.dram import (
+    MEMORY_TIERS,
+    TIER_NORMAL,
+    TIER_RELAXED,
+    TIER_STRONG,
+    DramSystem,
+    MemoryDomain,
+)
 
 #: Default hypervisor resident footprint: base plus per-VM bookkeeping
 #: (page tables, virtio queues, emulation state).
 HYPERVISOR_BASE_MB = 200.0
 HYPERVISOR_PER_VM_MB = 40.0
+
+#: Placement classes a tier classifier buckets allocations into:
+#: hypervisor state, VM-critical pages (page tables, checkpoint images),
+#: tolerant VM data pages, and raw application pages.
+CLASS_HYPERVISOR = "hypervisor"
+CLASS_VM_CRITICAL = "vm_critical"
+CLASS_VM_DATA = "vm_data"
+CLASS_APPLICATION = "application"
+PLACEMENT_CLASSES: Tuple[str, ...] = (
+    CLASS_HYPERVISOR, CLASS_VM_CRITICAL, CLASS_VM_DATA, CLASS_APPLICATION,
+)
+
+#: Default placement-class → memory-tier mapping (the HRM matrix rows).
+DEFAULT_TIER_MAP: Dict[str, str] = {
+    CLASS_HYPERVISOR: TIER_STRONG,
+    CLASS_VM_CRITICAL: TIER_NORMAL,
+    CLASS_VM_DATA: TIER_RELAXED,
+    CLASS_APPLICATION: TIER_RELAXED,
+}
+
+#: Spill order when a tier fills: critical data spills *up* (stronger
+#: protection) before it ever spills down, tolerant data spills up only
+#: as a last resort.
+TIER_SPILL_ORDER: Dict[str, Tuple[str, ...]] = {
+    TIER_STRONG: (TIER_STRONG, TIER_NORMAL, TIER_RELAXED),
+    TIER_NORMAL: (TIER_NORMAL, TIER_STRONG, TIER_RELAXED),
+    TIER_RELAXED: (TIER_RELAXED, TIER_NORMAL, TIER_STRONG),
+}
+
+
+@dataclass(frozen=True)
+class TierClassifier:
+    """Buckets placement classes into heterogeneous-reliability tiers."""
+
+    tier_map: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_TIER_MAP))
+
+    def __post_init__(self) -> None:
+        for cls, tier in self.tier_map.items():
+            if cls not in PLACEMENT_CLASSES:
+                raise ConfigurationError(f"unknown placement class {cls!r}")
+            if tier not in MEMORY_TIERS:
+                raise ConfigurationError(f"unknown memory tier {tier!r}")
+        missing = set(PLACEMENT_CLASSES) - set(self.tier_map)
+        if missing:
+            raise ConfigurationError(
+                f"tier map missing classes: {sorted(missing)}")
+
+    def classify(self, placement_class: str) -> str:
+        """Preferred tier for a placement class."""
+        if placement_class not in PLACEMENT_CLASSES:
+            raise ConfigurationError(
+                f"unknown placement class {placement_class!r}")
+        return self.tier_map[placement_class]
 
 
 @dataclass(frozen=True)
@@ -123,28 +184,42 @@ class MemoryAccountant:
 
 @dataclass(frozen=True)
 class Allocation:
-    """One memory allocation placed into a refresh domain."""
+    """One memory allocation placed into a refresh domain.
+
+    ``placement_class`` records what kind of data this is (HRM bucket);
+    ``tier`` records the tier of the domain it actually landed in — they
+    diverge when a full tier forces a spill.
+    """
 
     owner: str
     size_mb: float
     domain: str
     critical: bool
+    placement_class: str = CLASS_VM_DATA
+    tier: str = TIER_RELAXED
 
 
 class PlacementPolicy:
-    """Places allocations across reliable and relaxed refresh domains.
+    """Places allocations across heterogeneous-reliability memory tiers.
 
-    Critical allocations (the hypervisor itself, kernel code/stack) go to
-    the reliable domain; everything else fills the relaxed domains.  With
+    A :class:`TierClassifier` buckets each allocation's placement class
+    into a preferred tier; within a tier, the emptiest domain wins, and a
+    full tier spills along :data:`TIER_SPILL_ORDER` (critical data spills
+    toward *stronger* tiers first).  On the paper's binary layout
+    (reliable channel + relaxed channels) this reduces exactly to the
+    original policy: critical allocations go to the reliable domain and
+    everything else fills the relaxed domains.  With
     ``use_reliable_domain=False`` the policy degenerates to spreading
-    everything across relaxed memory — the ablation configuration showing
+    everything across all memory — the ablation configuration showing
     why the paper isolates kernel state.
     """
 
     def __init__(self, memory: DramSystem,
-                 use_reliable_domain: bool = True) -> None:
+                 use_reliable_domain: bool = True,
+                 classifier: Optional[TierClassifier] = None) -> None:
         self.memory = memory
         self.use_reliable_domain = use_reliable_domain
+        self.classifier = classifier or TierClassifier()
         self._allocations: List[Allocation] = []
 
     @property
@@ -160,39 +235,58 @@ class PlacementPolicy:
         return domain.capacity_gb * 1024.0 - self._domain_usage_mb(domain.name)
 
     def place(self, owner: str, size_mb: float,
-              critical: bool = False) -> Allocation:
-        """Place one allocation; returns the placement decision."""
+              critical: bool = False,
+              placement_class: Optional[str] = None) -> Allocation:
+        """Place one allocation; returns the placement decision.
+
+        ``placement_class`` defaults from the legacy ``critical`` flag:
+        critical allocations are hypervisor state, the rest are tolerant
+        VM data.  Pass a class explicitly for finer HRM buckets
+        (``vm_critical`` page tables/checkpoints, ``application`` pages).
+        """
         if size_mb <= 0:
             raise ConfigurationError("allocation size must be positive")
-        reliable = self.memory.reliable_domain()
-        candidates: List[MemoryDomain]
-        if critical and self.use_reliable_domain and reliable is not None:
-            candidates = [reliable]
-        else:
-            candidates = [d for d in self.memory.domains()
-                          if not (d.reliable and self.use_reliable_domain)]
-            if not candidates:
-                candidates = self.memory.domains()
-        # First-fit by remaining capacity, preferring the emptiest domain.
-        candidates = sorted(candidates, key=self._capacity_left_mb,
-                            reverse=True)
-        target = candidates[0]
-        if self._capacity_left_mb(target) < size_mb:
+        if placement_class is None:
+            placement_class = CLASS_HYPERVISOR if critical else CLASS_VM_DATA
+        preferred = self.classifier.classify(placement_class)
+        target = self._choose_domain(size_mb, preferred, critical)
+        if target is None:
             raise ConfigurationError(
                 f"out of memory placing {size_mb:.0f} MB for {owner!r}"
             )
         allocation = Allocation(
             owner=owner, size_mb=size_mb, domain=target.name,
-            critical=critical,
+            critical=critical, placement_class=placement_class,
+            tier=target.tier,
         )
         self._allocations.append(allocation)
         return allocation
+
+    def _choose_domain(self, size_mb: float, preferred: str,
+                       critical: bool) -> Optional[MemoryDomain]:
+        """Emptiest domain in the preferred tier, spilling when full."""
+        if not self.use_reliable_domain:
+            # Ablation: ignore tiers entirely and spread across all memory
+            # (the original A3 configuration, decision-identical).
+            candidates = sorted(self.memory.domains(),
+                                key=self._capacity_left_mb, reverse=True)
+            if candidates and self._capacity_left_mb(candidates[0]) >= size_mb:
+                return candidates[0]
+            return None
+        for tier in TIER_SPILL_ORDER[preferred]:
+            domains = sorted(self.memory.domains_in_tier(tier),
+                             key=self._capacity_left_mb, reverse=True)
+            for domain in domains:
+                if self._capacity_left_mb(domain) >= size_mb:
+                    return domain
+        return None
 
     def state_dict(self) -> Dict[str, object]:
         """Serializable placement state (live allocations, in order)."""
         return {
             "allocations": [
-                [a.owner, a.size_mb, a.domain, a.critical]
+                [a.owner, a.size_mb, a.domain, a.critical,
+                 a.placement_class, a.tier]
                 for a in self._allocations
             ],
         }
@@ -201,13 +295,27 @@ class PlacementPolicy:
         """Restore the allocations saved by :meth:`state_dict`.
 
         Allocations are restored verbatim — no re-placement — so the
-        restored run sees the exact same domain occupancy.
+        restored run sees the exact same domain occupancy.  Rows from
+        snapshots predating the tier refactor (4 columns) reconstruct
+        their class/tier from the ``critical`` flag and domain label.
         """
-        self._allocations = [
-            Allocation(owner=str(row[0]), size_mb=float(row[1]),
-                       domain=str(row[2]), critical=bool(row[3]))
-            for row in state["allocations"]  # type: ignore[union-attr]
-        ]
+        restored = []
+        for row in state["allocations"]:  # type: ignore[union-attr]
+            owner, size_mb = str(row[0]), float(row[1])
+            domain, critical = str(row[2]), bool(row[3])
+            if len(row) >= 6:
+                placement_class, tier = str(row[4]), str(row[5])
+            else:
+                placement_class = (CLASS_HYPERVISOR if critical
+                                   else CLASS_VM_DATA)
+                tier = (self.memory.domain(domain).tier
+                        if domain in self.memory else TIER_RELAXED)
+            restored.append(Allocation(
+                owner=owner, size_mb=size_mb, domain=domain,
+                critical=critical, placement_class=placement_class,
+                tier=tier,
+            ))
+        self._allocations = restored
 
     def release(self, owner: str) -> int:
         """Free every allocation owned by ``owner``; returns the count."""
@@ -227,6 +335,44 @@ class PlacementPolicy:
         return sum(
             a.size_mb for a in self._allocations
             if a.critical and a.domain in relaxed_names
+        )
+
+    def tier_usage_mb(self) -> Dict[str, float]:
+        """Used megabytes per memory tier (every tier present, even empty)."""
+        usage = {t: 0.0 for t in self.memory.tiers()}
+        for a in self._allocations:
+            usage[a.tier] = usage.get(a.tier, 0.0) + a.size_mb
+        return usage
+
+    def class_usage_mb(self) -> Dict[str, float]:
+        """Used megabytes per placement class."""
+        usage: Dict[str, float] = {}
+        for a in self._allocations:
+            usage[a.placement_class] = (
+                usage.get(a.placement_class, 0.0) + a.size_mb)
+        return usage
+
+    def exposure_by_tier(self) -> Dict[str, float]:
+        """Critical megabytes per tier — the fault-injection exposure map.
+
+        Counts host-critical allocations *and* VM-critical pages (page
+        tables, checkpoint images): critical MB in the strong tier is
+        protected, while the same MB showing up under
+        ``normal``/``relaxed`` is exposure an error-injection campaign
+        can convert into crashes.
+        """
+        critical_classes = {CLASS_HYPERVISOR, CLASS_VM_CRITICAL}
+        exposure = {t: 0.0 for t in self.memory.tiers()}
+        for a in self._allocations:
+            if a.critical or a.placement_class in critical_classes:
+                exposure[a.tier] = exposure.get(a.tier, 0.0) + a.size_mb
+        return exposure
+
+    def spilled_mb(self) -> float:
+        """Megabytes living outside their classifier-preferred tier."""
+        return sum(
+            a.size_mb for a in self._allocations
+            if a.tier != self.classifier.classify(a.placement_class)
         )
 
     def error_hits_critical(self, domain_name: str,

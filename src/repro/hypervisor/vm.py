@@ -50,6 +50,11 @@ class VirtualMachine:
     executed_cycles: float = 0.0
     restarts: int = 0
     _memory_seed: int = 0
+    #: Declared memory-criticality mix: fraction of this VM's memory per
+    #: reliability tier (e.g. ``{"normal": 0.1, "relaxed": 0.9}``).
+    #: ``None`` means the VM declares nothing and tier-aware scheduling
+    #: treats it neutrally.
+    criticality_mix: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -58,6 +63,16 @@ class VirtualMachine:
             raise ConfigurationError("VM needs at least one vCPU")
         if self.guest_os_mb < 0:
             raise ConfigurationError("guest_os_mb must be non-negative")
+        if self.criticality_mix is not None:
+            if not self.criticality_mix:
+                raise ConfigurationError("criticality_mix cannot be empty")
+            for fraction in self.criticality_mix.values():
+                if fraction < 0:
+                    raise ConfigurationError(
+                        "criticality_mix fractions must be >= 0")
+            if sum(self.criticality_mix.values()) <= 0:
+                raise ConfigurationError(
+                    "criticality_mix must sum to a positive fraction")
         self._app_trace: Optional[np.ndarray] = None
 
     # -- progress ----------------------------------------------------------

@@ -15,7 +15,7 @@ class TestParser:
         for command in ("quickstart", "characterize", "refresh",
                         "figure4", "population", "tco", "edge",
                         "validate", "metrics", "chaos", "sweep",
-                        "fleet", "profile"):
+                        "fleet", "hrm", "profile"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -155,6 +155,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "2 zone(s)" in out
         assert "report sha256:" in out
+
+    def test_hrm_writes_frontier_report(self, capsys, tmp_path):
+        report_path = tmp_path / "hrm.json"
+        assert main(["hrm", "--nodes", "3", "--require-frontier",
+                     "--report-json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ON the frontier" in out
+        assert "report sha256:" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["frontier"]["tiered_beats_nominal_energy"]
+        assert report["frontier"]["tiered_beats_relaxed_ue"]
 
     def test_profile_fleet_prints_table(self, capsys):
         assert main(["profile", "--what", "fleet", "--nodes", "4",

@@ -146,3 +146,76 @@ class TestDramSystem:
         memory = standard_server_memory()
         assert "channel1" in memory
         assert "nope" not in memory
+
+
+class TestDegenerateTopologies:
+    def test_no_reliable_channel_layout(self):
+        memory = standard_server_memory(reliable_channel=None, seed=2)
+        assert memory.reliable_domain() is None
+        memory.relax_all(5.0)
+        assert len(memory.relaxed_domains()) == 4
+
+    def test_all_reliable_layout_has_no_relaxed_domains(self):
+        domains = [
+            MemoryDomain(f"ch{i}", [Dimm(dimm_id=i)], reliable=True,
+                         seed=i, tier="strong")
+            for i in range(3)
+        ]
+        memory = DramSystem(domains)
+        assert memory.reliable_domain() is not None
+        assert memory.relaxed_domains() == []
+        # relax_all spares every reliable domain: nothing changes.
+        assert memory.relax_all(5.0) == []
+        assert memory.tiers() == ["strong"]
+
+    def test_reliable_channel_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            standard_server_memory(n_channels=4, reliable_channel=4)
+
+
+class TestTieredLayout:
+    def test_tier_matrix(self):
+        from repro.hardware.dram import (
+            DEFAULT_TIER_REFRESH_S,
+            MEMORY_TIERS,
+            tiered_server_memory,
+        )
+        memory = tiered_server_memory(seed=4)
+        assert memory.tiers() == list(MEMORY_TIERS)
+        assert memory.domain("channel0").tier == "strong"
+        assert memory.domain("channel1").tier == "normal"
+        for name in ("channel2", "channel3"):
+            assert memory.domain(name).tier == "relaxed"
+        for domain in memory.domains():
+            assert domain.refresh_interval_s == pytest.approx(
+                DEFAULT_TIER_REFRESH_S[domain.tier])
+        # The verified ECC selection matrix.
+        assert memory.domain("channel0").ecc.name == "secded"
+        assert memory.domain("channel1").ecc.name == "sec-daec"
+        assert memory.domain("channel2").ecc.name == "bch-dec"
+
+    def test_strong_tier_is_the_reliable_domain(self):
+        from repro.hardware.dram import tiered_server_memory
+        memory = tiered_server_memory(seed=4)
+        reliable = memory.reliable_domain()
+        assert reliable is not None and reliable.name == "channel0"
+        with pytest.raises(ConfigurationError):
+            reliable.set_refresh_interval(5.0)
+
+    def test_tier_accounting_sums_to_totals(self):
+        from repro.hardware.dram import tiered_server_memory
+        memory = tiered_server_memory(seed=4)
+        assert sum(memory.tier_capacity_gb().values()) == pytest.approx(
+            memory.capacity_gb)
+        assert sum(memory.tier_refresh_power_w().values()) == pytest.approx(
+            memory.refresh_power_w())
+
+    def test_needs_two_channels(self):
+        from repro.hardware.dram import tiered_server_memory
+        with pytest.raises(ConfigurationError):
+            tiered_server_memory(n_channels=1)
+
+    def test_unknown_tier_rejected(self):
+        memory = standard_server_memory(seed=1)
+        with pytest.raises(ConfigurationError):
+            memory.domains_in_tier("medium")

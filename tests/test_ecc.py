@@ -116,3 +116,99 @@ class TestFailureProbability:
     def test_decode_rejects_out_of_range_codeword(self):
         with pytest.raises(ConfigurationError):
             decode(2 ** CODEWORD_BITS)
+
+
+class TestSchemeModels:
+    def test_secded_detects_but_never_corrects_doubles(self):
+        from repro.hardware.ecc import SECDED
+        assert SECDED.corrects([17])
+        for pair in ([0, 1], [3, 4], [10, 40], [70, 71]):
+            assert not SECDED.corrects(pair), pair
+        assert SECDED.detect == 2
+
+    def test_sec_daec_corrects_only_adjacent_doubles(self):
+        from repro.hardware.ecc import SEC_DAEC
+        assert SEC_DAEC.corrects([0, 1])
+        assert SEC_DAEC.corrects([41, 42])
+        assert not SEC_DAEC.corrects([41, 43])
+        assert not SEC_DAEC.corrects([0, 72])
+        assert not SEC_DAEC.corrects([1, 2, 3])
+
+    def test_bch_overhead_math(self):
+        from repro.hardware.ecc import BCH_DEC, BCH_TEC
+        # Shortened BCH over GF(2^7): t·7 parity bits for 64 data bits.
+        assert BCH_DEC.parity_bits == 2 * 7
+        assert BCH_TEC.parity_bits == 3 * 7
+        assert BCH_DEC.word_bits == 78
+        assert BCH_TEC.word_bits == 85
+        assert BCH_DEC.overhead_fraction == pytest.approx(14 / 64)
+        assert BCH_DEC.corrects([5, 50])
+        assert not BCH_DEC.corrects([5, 30, 50])
+        assert BCH_TEC.corrects([5, 30, 50])
+
+    def test_scheme_lookup(self):
+        from repro.hardware.ecc import SEC_DAEC, scheme_by_name
+        assert scheme_by_name("sec-daec") is SEC_DAEC
+        with pytest.raises(ConfigurationError):
+            scheme_by_name("chipkill")
+
+    def test_corrects_rejects_out_of_word_positions(self):
+        from repro.hardware.ecc import SECDED
+        with pytest.raises(ConfigurationError):
+            SECDED.corrects([72])
+
+    def test_ue_probability_monotone_in_ber(self):
+        from repro.hardware.ecc import ECC_SCHEMES
+        for scheme in ECC_SCHEMES:
+            probs = [scheme.uncorrectable_word_probability(b)
+                     for b in (1e-12, 1e-9, 1e-6, 1e-3)]
+            assert probs == sorted(probs), scheme.name
+
+    def test_adjacent_fraction_shrinks_sec_daec_ue(self):
+        from repro.hardware.ecc import SEC_DAEC, SECDED
+        ber = 1e-6
+        clustered = SEC_DAEC.uncorrectable_word_probability(
+            ber, adjacent_fraction=0.9)
+        uniform = SEC_DAEC.uncorrectable_word_probability(ber)
+        assert clustered < uniform
+        assert clustered < SECDED.uncorrectable_word_probability(ber)
+        with pytest.raises(ConfigurationError):
+            SEC_DAEC.uncorrectable_word_probability(
+                ber, adjacent_fraction=1.5)
+
+
+class TestSelector:
+    def test_stricter_target_never_picks_weaker_scheme(self):
+        from repro.hardware.ecc import (
+            RETENTION_ADJACENT_FRACTION,
+            EccSelector,
+        )
+        selector = EccSelector(
+            adjacent_fraction=RETENTION_ADJACENT_FRACTION)
+        ber = 1e-9
+        targets = [1e-12, 1e-16, 1e-20, 1e-22]
+        picks = [selector.select(ber, t) for t in targets]
+        energies = [s.energy_pj_per_access for s in picks]
+        assert energies == sorted(energies)
+
+    def test_unmeetable_target_rejected(self):
+        from repro.hardware.ecc import EccSelector
+        with pytest.raises(ConfigurationError):
+            EccSelector().select(0.2, 1e-30)
+
+    def test_invalid_target_rejected(self):
+        from repro.hardware.ecc import EccSelector
+        with pytest.raises(ConfigurationError):
+            EccSelector().select(1e-9, 0.0)
+
+    def test_empty_selector_rejected(self):
+        from repro.hardware.ecc import EccSelector
+        with pytest.raises(ConfigurationError):
+            EccSelector(schemes=())
+
+    def test_selection_table_covers_all_schemes(self):
+        from repro.hardware.ecc import ECC_SCHEMES, EccSelector
+        table = EccSelector().selection_table(1e-9)
+        assert len(table) == len(ECC_SCHEMES)
+        assert [row["energy_pj_per_access"] for row in table] == sorted(
+            row["energy_pj_per_access"] for row in table)

@@ -324,3 +324,97 @@ class TestChaosWedge:
         assert engine.injections["eop_governor_wedge"] == 1
         engine.apply(nodes, now=400.0)
         assert not nodes[0].governor.wedged
+
+
+def make_tiered_node(seed=3):
+    """A deployed node on tiered memory under the tiered EOP policy."""
+    from repro.hardware.chip import ChipModel, arm_server_soc_spec
+    from repro.hardware.dram import tiered_server_memory
+    from repro.hardware.platform import ServerPlatform
+
+    platform = ServerPlatform(
+        ChipModel(arm_server_soc_spec(), seed=seed),
+        tiered_server_memory(seed=seed + 7), name=f"tiered{seed}")
+    node = UniServerNode(
+        platform=platform, seed=seed, eop_policy=EOPPolicy.tiered(),
+        healthlog_config=HealthLogConfig(error_threshold=1000))
+    node.pre_deploy()
+    node.deploy()
+    return node
+
+
+class TestTierStances:
+    def test_round_trip(self):
+        from repro.eop import TierStance
+        stance = TierStance(tier="normal", error_budget=5,
+                            max_refresh_interval_s=1.5)
+        assert TierStance.from_dict(stance.as_dict()) == stance
+        policy = EOPPolicy.tiered()
+        assert EOPPolicy.from_dict(policy.as_dict()) == policy
+        assert EOPPolicy.from_name("tiered") == policy
+
+    def test_validation(self):
+        from repro.eop import TierStance
+        with pytest.raises(ConfigurationError):
+            TierStance(tier="medium")
+        with pytest.raises(ConfigurationError):
+            TierStance(tier="normal", error_budget=0)
+        with pytest.raises(ConfigurationError):
+            TierStance(tier="normal", error_window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TierStance(tier="normal", max_refresh_interval_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            EOPPolicy(name="dup", tier_stances=(
+                TierStance(tier="normal"), TierStance(tier="normal")))
+
+    def test_stance_lookup(self):
+        policy = EOPPolicy.tiered()
+        assert policy.stance_for("strong").adopt is False
+        assert policy.stance_for("normal").max_refresh_interval_s == 1.5
+        assert EOPPolicy.adopt_within_budget().stance_for("normal") is None
+
+
+class TestTieredGovernor:
+    def test_strong_pinned_normal_clamped(self):
+        node = make_tiered_node()
+        memory = node.platform.memory
+        # The reliable strong-tier domain is never offered a margin, so
+        # it either has no record or was left un-adopted — and its
+        # refresh never moves off nominal either way.
+        strong = node.governor.record("channel0")
+        assert strong is None or strong.state is not EOPState.ADOPTED
+        assert memory.domain("channel0").refresh_interval_s <= 0.064
+        # The normal tier adopts but its refresh is clamped at the cap.
+        normal = node.governor.record("channel1")
+        assert normal is not None and normal.state is EOPState.ADOPTED
+        assert memory.domain("channel1").refresh_interval_s <= 1.5
+
+    def test_storm_demotes_only_its_tier(self):
+        node = make_tiered_node()
+        storm(node, "channel3", 25)  # over the relaxed budget of 20
+        node.governor.step()
+        events = node.governor.tier_demotion_events
+        assert len(events) == 1
+        assert events[0]["tier"] == "relaxed"
+        assert sorted(events[0]["components"]) == ["channel2", "channel3"]
+        for name in ("channel2", "channel3"):
+            assert node.governor.record(name).state is EOPState.DEMOTED
+        assert node.governor.record("channel1").state is EOPState.ADOPTED
+
+    def test_under_budget_storm_leaves_tier_adopted(self):
+        node = make_tiered_node()
+        storm(node, "channel3", 10)  # under the relaxed budget of 20
+        node.governor.step()
+        assert node.governor.tier_demotion_events == []
+        for name in ("channel2", "channel3"):
+            assert node.governor.record(name).state is EOPState.ADOPTED
+
+    def test_tier_demotion_events_persist(self):
+        node = make_tiered_node()
+        storm(node, "channel2", 25)
+        node.governor.step()
+        state = node.governor.state_dict()
+        fresh = make_tiered_node(seed=9)
+        fresh.governor.load_state_dict(state)
+        assert (fresh.governor.tier_demotion_events
+                == node.governor.tier_demotion_events)

@@ -182,3 +182,96 @@ class TestViewSemantics:
         view.used_vcpus[:] = 7
         assert np.array_equal(state.used_vcpus[2:5], [7, 7, 7])
         assert state.used_vcpus[0] == 0
+
+
+class TestTieredFleet:
+    def tiered_config(self, **kwargs):
+        defaults = dict(n_nodes=6, seed=3, strong_dimms_per_node=1,
+                        normal_dimms_per_node=2)
+        defaults.update(kwargs)
+        return FleetConfig(**defaults)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(strong_dimms_per_node=-1)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(dimms_per_node=8, strong_dimms_per_node=5,
+                        normal_dimms_per_node=4)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(refresh_normal_s=0.01)  # below nominal
+        with pytest.raises(ConfigurationError):
+            FleetConfig(refresh_normal_s=10.0)  # above relaxed
+        assert not FleetConfig().tiered
+        assert self.tiered_config().tiered
+
+    def test_untiered_fleet_keeps_tier_fields_zero(self):
+        config = FleetConfig(n_nodes=4, seed=1)
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        for t in range(20):
+            vectors.step(state, t)
+        for name in ("refresh_energy_strong_j", "refresh_energy_normal_j",
+                     "refresh_energy_relaxed_j", "retention_errors_normal",
+                     "retention_errors_relaxed"):
+            assert not np.any(getattr(state, name)), name
+
+    def test_tiered_step_matches_per_node_and_sharded(self):
+        config = self.tiered_config()
+        vectors = FleetVectors(config)
+        whole = build_fleet_state(config)
+        per_node = build_fleet_state(config)
+        sharded = build_fleet_state(config)
+        views = [sharded.view(lo, hi) for lo, hi in shard_bounds(6, 4)]
+        for t in range(30):
+            used = (t * 5) % (config.vcpus_per_node + 1)
+            for s in (whole, per_node, sharded):
+                s.used_vcpus[:] = used
+            vectors.step(whole, t)
+            for i in range(6):
+                vectors.step_node(per_node, i, t)
+            for view in views:
+                vectors.step(view, t)
+            assert_states_identical(whole, per_node)
+            assert_states_identical(whole, sharded)
+
+    def test_tier_energy_accumulates_under_margins(self):
+        config = self.tiered_config(adopt_margins=True)
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        for t in range(50):
+            vectors.step(state, t)
+        assert np.all(state.refresh_energy_strong_j > 0)
+        assert np.all(state.refresh_energy_normal_j > 0)
+        assert np.all(state.refresh_energy_relaxed_j > 0)
+        # Per-DIMM refresh energy falls down the tiers: strong lanes pay
+        # nominal-rate refresh, relaxed lanes a fraction of it.
+        per_strong = state.refresh_energy_strong_j.sum() / 1
+        per_normal = state.refresh_energy_normal_j.sum() / 2
+        per_relaxed = state.refresh_energy_relaxed_j.sum() / 1
+        assert per_strong > per_normal > per_relaxed
+
+    def test_tiered_margin_power_below_nominal(self):
+        config = self.tiered_config(adopt_margins=True)
+        vectors = FleetVectors(config)
+        on = build_fleet_state(config)
+        off = build_fleet_state(config)
+        off.margin_on[:] = False
+        vectors.step(on, 0)
+        vectors.step(off, 0)
+        assert np.all(on.power_w < off.power_w)
+
+    def test_pre_tier_snapshot_loads_with_zero_fill(self):
+        config = self.tiered_config()
+        vectors = FleetVectors(config)
+        state = build_fleet_state(config)
+        for t in range(10):
+            vectors.step(state, t)
+        saved = state.state_dict()
+        for name in ("refresh_energy_strong_j", "refresh_energy_normal_j",
+                     "refresh_energy_relaxed_j", "retention_errors_normal",
+                     "retention_errors_relaxed"):
+            del saved[name]  # a snapshot from before the tier refactor
+        restored = build_fleet_state(config)
+        restored.load_state_dict(saved)
+        assert not np.any(restored.retention_errors_normal)
+        assert np.array_equal(restored.energy_j, state.energy_j)

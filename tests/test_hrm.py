@@ -1,0 +1,105 @@
+"""Tests for the tiered-vs-uniform memory A/B (``repro hrm``)."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.hrm import (
+    HRM_ARMS,
+    HrmConfig,
+    build_arm_node,
+    evaluate_node,
+    run_hrm_ab,
+)
+from repro.hrm.ab import node_temperature_c
+from repro.persistence import canonical_json
+
+
+class TestConfig:
+    def test_round_trip(self):
+        config = HrmConfig(n_nodes=3, seed=7, duration_s=120.0)
+        assert HrmConfig.from_dict(config.as_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HrmConfig(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(n_channels=1)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(vms_per_node=0)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(vm_critical_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(vm_application_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            HrmConfig(accesses_per_s=-1.0)
+
+
+class TestNodeBuild:
+    def test_temperature_deterministic_and_in_band(self):
+        config = HrmConfig(n_nodes=4, seed=5)
+        for node in range(4):
+            t = node_temperature_c(config, node)
+            assert t == node_temperature_c(config, node)
+            assert abs(t - config.temperature_base_c) <= (
+                config.temperature_spread_c)
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_arm_node(HrmConfig(), "all-medium", 0)
+
+    def test_tiered_arm_places_without_spill(self):
+        config = HrmConfig(n_nodes=1)
+        _, placement = build_arm_node(config, "tiered", 0)
+        assert placement.spilled_mb() == 0.0
+
+    def test_all_relaxed_arm_has_no_reliable_domain(self):
+        memory, _ = build_arm_node(HrmConfig(n_nodes=1), "all-relaxed", 0)
+        assert memory.reliable_domain() is None
+        assert all(d.refresh_interval_s == pytest.approx(5.0)
+                   for d in memory.domains())
+
+    def test_all_nominal_arm_stays_at_nominal(self):
+        memory, _ = build_arm_node(HrmConfig(n_nodes=1), "all-nominal", 0)
+        assert memory.reliable_domain() is not None
+        assert all(d.refresh_interval_s <= 0.064 for d in memory.domains())
+
+    def test_evaluate_node_is_pure(self):
+        config = HrmConfig(n_nodes=2)
+        for arm in HRM_ARMS:
+            assert (evaluate_node(config, arm, 1)
+                    == evaluate_node(config, arm, 1))
+
+
+class TestAbReport:
+    def test_jobs_invariant_bytes(self):
+        config = HrmConfig(n_nodes=3, duration_s=600.0)
+        solo = canonical_json(run_hrm_ab(config, jobs=1))
+        assert canonical_json(run_hrm_ab(config, jobs=1)) == solo
+        assert canonical_json(run_hrm_ab(config, jobs=2)) == solo
+
+    def test_frontier_holds(self):
+        report = run_hrm_ab(HrmConfig(n_nodes=2))
+        frontier = report["frontier"]
+        assert frontier["tiered_beats_nominal_energy"]
+        assert frontier["tiered_beats_relaxed_ue"]
+        assert 0.0 < frontier["refresh_energy_savings_vs_nominal"] < 1.0
+        assert frontier["critical_ue_ratio_vs_relaxed"] < 1e-6
+
+    def test_report_shape(self):
+        config = HrmConfig(n_nodes=2)
+        report = run_hrm_ab(config)
+        assert report["version"] == 1
+        assert report["config"] == config.as_dict()
+        assert set(report["arms"]) == set(HRM_ARMS)
+        assert len(report["nodes"]) == config.n_nodes
+        for arm in HRM_ARMS:
+            totals = report["arms"][arm]
+            assert totals["nodes"] == config.n_nodes
+            assert totals["energy_j"] == pytest.approx(
+                totals["refresh_energy_j"] + totals["ecc_energy_j"])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_hrm_ab(HrmConfig(n_nodes=2), jobs=0)

@@ -109,3 +109,102 @@ class TestPlacement:
     def test_zero_size_rejected(self, memory):
         with pytest.raises(ConfigurationError):
             PlacementPolicy(memory).place("x", 0.0)
+
+
+class TestTieredPlacement:
+    @pytest.fixture
+    def tiered(self):
+        from repro.hardware import tiered_server_memory
+        return tiered_server_memory(seed=7)
+
+    def test_classes_land_on_their_tiers(self, tiered):
+        from repro.hypervisor.memory import (
+            CLASS_APPLICATION,
+            CLASS_HYPERVISOR,
+            CLASS_VM_CRITICAL,
+            CLASS_VM_DATA,
+        )
+        policy = PlacementPolicy(tiered)
+        expect = {
+            CLASS_HYPERVISOR: "strong",
+            CLASS_VM_CRITICAL: "normal",
+            CLASS_VM_DATA: "relaxed",
+            CLASS_APPLICATION: "relaxed",
+        }
+        for cls, tier in expect.items():
+            allocation = policy.place("owner", 64.0, placement_class=cls)
+            assert allocation.tier == tier, cls
+        assert policy.spilled_mb() == 0.0
+
+    def test_full_tier_spills_critical_upward(self, tiered):
+        from repro.hypervisor.memory import CLASS_VM_CRITICAL
+        policy = PlacementPolicy(tiered)
+        normal_mb = tiered.tier_capacity_gb()["normal"] * 1024.0
+        policy.place("filler", normal_mb,
+                     placement_class=CLASS_VM_CRITICAL)
+        spilled = policy.place("vm1", 128.0,
+                               placement_class=CLASS_VM_CRITICAL)
+        # The normal tier is full: critical pages spill *up* to strong,
+        # never down to relaxed.
+        assert spilled.tier == "strong"
+        assert policy.spilled_mb() == pytest.approx(128.0)
+
+    def test_exposure_by_tier_counts_vm_critical(self, tiered):
+        from repro.hypervisor.memory import (
+            CLASS_VM_CRITICAL,
+            CLASS_VM_DATA,
+        )
+        policy = PlacementPolicy(tiered)
+        policy.place("hv", 200.0, critical=True)
+        policy.place("vm0", 50.0, placement_class=CLASS_VM_CRITICAL)
+        policy.place("vm0", 500.0, placement_class=CLASS_VM_DATA)
+        exposure = policy.exposure_by_tier()
+        assert exposure["strong"] == pytest.approx(200.0)
+        assert exposure["normal"] == pytest.approx(50.0)
+        assert exposure["relaxed"] == 0.0
+        usage = policy.tier_usage_mb()
+        assert usage["relaxed"] == pytest.approx(500.0)
+        classes = policy.class_usage_mb()
+        assert classes[CLASS_VM_DATA] == pytest.approx(500.0)
+
+    def test_classifier_validation(self):
+        from repro.hypervisor.memory import (
+            CLASS_HYPERVISOR,
+            TierClassifier,
+        )
+        with pytest.raises(ConfigurationError):
+            TierClassifier(tier_map={CLASS_HYPERVISOR: "strong"})
+        with pytest.raises(ConfigurationError):
+            TierClassifier().classify("scratch")
+
+    def test_state_round_trip_keeps_tiers(self, tiered):
+        from repro.hypervisor.memory import CLASS_VM_CRITICAL
+        policy = PlacementPolicy(tiered)
+        policy.place("hv", 100.0, critical=True)
+        policy.place("vm0", 64.0, placement_class=CLASS_VM_CRITICAL)
+        restored = PlacementPolicy(tiered)
+        restored.load_state_dict(policy.state_dict())
+        assert restored.state_dict() == policy.state_dict()
+        assert restored.exposure_by_tier() == policy.exposure_by_tier()
+
+    def test_legacy_rows_reconstruct_tier(self, tiered):
+        policy = PlacementPolicy(tiered)
+        policy.load_state_dict({
+            "allocations": [["hv", 100.0, "channel0", True]],
+        })
+        allocation = policy.allocations[0]
+        assert allocation.placement_class == "hypervisor"
+        assert allocation.tier == "strong"
+
+
+class TestNoReliableDomainPlacement:
+    def test_critical_placement_survives_without_reliable_domain(self):
+        memory = standard_server_memory(reliable_channel=None, seed=3)
+        policy = PlacementPolicy(memory)
+        allocation = policy.place("kernel", 100.0, critical=True)
+        # No strong tier exists: the hypervisor allocation spills to
+        # whatever is available instead of crashing on a None domain.
+        assert allocation.tier == "relaxed"
+        assert policy.spilled_mb() == pytest.approx(100.0)
+        memory.relax_all(5.0)
+        assert policy.critical_exposure_mb() == pytest.approx(100.0)

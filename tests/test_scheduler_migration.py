@@ -183,3 +183,76 @@ class TestMigration:
         assert [r.vm_name for r in records] == ["gold_vm", "bronze_vm"]
         assert manager.proactive_migrations() == 2
         assert nodes[0].hypervisor.active_vms() == []
+
+
+class TestTierAwareWeighing:
+    def make_tiered_node(self, name, clock, seed=0, n_channels=4):
+        from repro.hardware.chip import ChipModel, arm_server_soc_spec
+        from repro.hardware.dram import tiered_server_memory
+        from repro.hardware.platform import ServerPlatform
+        platform = ServerPlatform(
+            ChipModel(arm_server_soc_spec(), seed=seed),
+            tiered_server_memory(n_channels=n_channels, seed=seed + 5),
+            name=name)
+        return ComputeNode(name, clock, platform=platform, seed=seed)
+
+    def critical_vm(self, name="vm0"):
+        return VirtualMachine(
+            name=name,
+            workload=spec_workload("mcf", duration_cycles=1e12),
+            criticality_mix={"normal": 0.5, "relaxed": 0.5})
+
+    def test_mixless_vm_scores_neutral(self):
+        from repro.cloudmgr.scheduler import tier_capacity_weigher
+        clock = SimClock()
+        node = self.make_tiered_node("n0", clock)
+        assert tier_capacity_weigher(node, make_vm(), SILVER) == 0.5
+
+    def test_untiered_node_scores_neutral(self):
+        from repro.cloudmgr.scheduler import tier_capacity_weigher
+        clock = SimClock()
+        node = ComputeNode("n0", clock)  # binary layout, no tier method gap
+        vm = self.critical_vm()
+        score = tier_capacity_weigher(node, vm, SILVER)
+        assert 0.0 <= score <= 1.0
+
+    def test_starved_normal_tier_scores_lower(self):
+        from repro.cloudmgr.scheduler import tier_capacity_weigher
+        clock = SimClock()
+        roomy = self.make_tiered_node("roomy", clock, seed=1)
+        starved = self.make_tiered_node("starved", clock, seed=2)
+        # Exhaust the starved node's normal tier so a criticality-heavy
+        # VM cannot land its critical slice there.
+        normal_mb = (starved.platform.memory
+                     .tier_capacity_gb()["normal"] * 1024.0)
+        starved.hypervisor.placement.place(
+            "squatter", normal_mb - 1.0, placement_class="vm_critical")
+        vm = self.critical_vm()
+        assert (tier_capacity_weigher(starved, vm, SILVER)
+                < tier_capacity_weigher(roomy, vm, SILVER))
+
+    def test_scheduler_prefers_tier_capable_node(self):
+        from repro.cloudmgr.scheduler import TIER_AWARE_WEIGHERS
+        clock = SimClock()
+        roomy = self.make_tiered_node("roomy", clock, seed=1)
+        starved = self.make_tiered_node("starved", clock, seed=2)
+        normal_mb = (starved.platform.memory
+                     .tier_capacity_gb()["normal"] * 1024.0)
+        starved.hypervisor.placement.place(
+            "squatter", normal_mb - 1.0, placement_class="vm_critical")
+        scheduler = FilterScheduler(weighers=TIER_AWARE_WEIGHERS)
+        placement = scheduler.schedule(
+            [starved, roomy], self.critical_vm(), SILVER)
+        assert placement.node == "roomy"
+
+    def test_criticality_mix_validation(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(
+                name="bad",
+                workload=spec_workload("mcf", duration_cycles=1e9),
+                criticality_mix={})
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(
+                name="bad",
+                workload=spec_workload("mcf", duration_cycles=1e9),
+                criticality_mix={"normal": -0.1})
